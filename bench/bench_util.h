@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries: run one
+ * (trace, scheduler) pair and render comparison tables the way the
+ * paper reports them.
+ */
+#ifndef EF_BENCH_BENCH_UTIL_H_
+#define EF_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "workload/trace_gen.h"
+
+namespace ef {
+namespace bench {
+
+/** Simulate one scheduler on a trace. */
+inline RunResult
+run_once(const Trace &trace, const std::string &scheduler_name,
+         SimConfig config = {})
+{
+    auto scheduler = make_scheduler(scheduler_name);
+    Simulator sim(trace, scheduler.get(), config);
+    return sim.run();
+}
+
+/** Print a section header. */
+inline void
+section(const std::string &title)
+{
+    std::cout << "\n=== " << title << " ===\n\n";
+}
+
+/**
+ * Print deadline-satisfactory-ratio rows plus the paper's
+ * "ElasticFlow improves over X by N.NNx" factors.
+ */
+inline void
+print_deadline_table(const std::vector<RunResult> &results)
+{
+    ConsoleTable table({"scheduler", "met", "submitted", "ratio",
+                        "dropped", "elasticflow-vs"});
+    double ef_ratio = 0.0;
+    for (const RunResult &r : results) {
+        if (r.scheduler_name == "elasticflow")
+            ef_ratio = r.deadline_ratio();
+    }
+    for (const RunResult &r : results) {
+        double ratio = r.deadline_ratio();
+        std::string factor =
+            (r.scheduler_name == "elasticflow" || ratio <= 0.0)
+                ? "-"
+                : format_double(ef_ratio / ratio, 2) + "x";
+        table.add_row({r.scheduler_name,
+                       std::to_string(r.deadlines_met()),
+                       std::to_string(r.submitted(JobKind::kSlo)),
+                       format_percent(ratio),
+                       std::to_string(r.dropped_count()), factor});
+    }
+    std::cout << table.render();
+}
+
+}  // namespace bench
+}  // namespace ef
+
+#endif  // EF_BENCH_BENCH_UTIL_H_

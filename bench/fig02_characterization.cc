@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 2 — characteristics of distributed training jobs.
+ * (a) Normalized scaling curves of the six DNN models (throughput on
+ *     1..16 GPUs, compact placement, relative to 1 GPU x count).
+ * (b) Throughput of 8-worker ResNet50/BERT under placements spanning
+ *     1, 2, 4, and 8 servers (normalized to the same-server case).
+ */
+#include "bench_util.h"
+
+#include "workload/perf_model.h"
+
+int
+main()
+{
+    using namespace ef;
+    Topology topo(TopologySpec::testbed_128());
+    PerfModel perf(&topo);
+
+    bench::section("Figure 2(a): scaling curves (normalized to linear)");
+    ConsoleTable curves({"model", "batch", "1", "2", "4", "8", "16",
+                         "eff@8"});
+    for (DnnModel model : all_models()) {
+        int batch = model_profile(model).batch_sizes.back();
+        GpuCount base = perf.min_workers(model, batch);
+        double t_base = perf.compact_throughput(model, batch, base);
+        std::vector<std::string> row = {model_name(model),
+                                        std::to_string(batch)};
+        double eff8 = 0.0;
+        for (GpuCount g : {1, 2, 4, 8, 16}) {
+            double tpt = perf.compact_throughput(model, batch, g);
+            if (tpt <= 0.0) {
+                row.push_back("-");  // local batch would not fit
+                continue;
+            }
+            // Speedup relative to the smallest feasible worker count,
+            // scaled so linear scaling reads as g.
+            double speedup = tpt / t_base * static_cast<double>(base);
+            row.push_back(format_double(speedup, 2));
+            if (g == 8)
+                eff8 = speedup / 8.0;
+        }
+        row.push_back(format_percent(eff8));
+        curves.add_row(std::move(row));
+    }
+    std::cout << curves.render();
+    std::cout << "(paper: VGG16 reaches 76.07% of linear at 8 GPUs)\n";
+
+    bench::section(
+        "Figure 2(b): placement-dependent throughput, 8 workers");
+    ConsoleTable placement({"model", "1 server", "2 servers",
+                            "4 servers", "8 servers",
+                            "best/worst"});
+    for (DnnModel model : {DnnModel::kResNet50, DnnModel::kBert}) {
+        int batch = 256;
+        if (perf.min_workers(model, batch) > 8)
+            batch = model_profile(model).batch_sizes.front();
+        double best = perf.throughput(model, batch,
+                                      PlacementShape{8, 1, 1});
+        std::vector<std::string> row = {model_name(model)};
+        double worst = best;
+        for (int span : {1, 2, 4, 8}) {
+            double tpt = perf.throughput(model, batch,
+                                         PlacementShape{8, span, 1});
+            worst = std::min(worst, tpt);
+            row.push_back(format_double(tpt / best, 3));
+        }
+        row.push_back(format_double(best / worst, 2) + "x");
+        placement.add_row(std::move(row));
+    }
+    std::cout << placement.render();
+    std::cout << "(paper: ResNet50 same-server is 2.17x of 8-server)\n";
+    return 0;
+}

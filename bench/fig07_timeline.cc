@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 7 — behaviour over time on the 128-GPU testbed trace.
+ * (a) GPUs allocated over time for ElasticFlow vs. representative
+ *     non-elastic baselines (ElasticFlow soaks up idle GPUs, drains
+ *     on bursts).
+ * (b) Cumulative submitted vs. admitted jobs under ElasticFlow
+ *     (admission control visibly drops jobs during bursts).
+ */
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace ef;
+    Trace trace = TraceGenerator::generate(testbed_large_preset());
+
+    bench::section("Figure 7(a): allocated GPUs over time");
+    std::map<std::string, RunResult> results;
+    Time horizon = 0.0;
+    for (const std::string name :
+         {"elasticflow", "gandiva", "tiresias"}) {
+        results.emplace(name, bench::run_once(trace, name));
+        horizon = std::max(horizon, results.at(name).makespan);
+    }
+    const std::size_t buckets = 64;
+    for (const std::string name :
+         {"elasticflow", "gandiva", "tiresias"}) {
+        const RunResult &r = results.at(name);
+        std::cout << name << " (makespan "
+                  << format_double(r.makespan / kHour, 1) << " h, mean "
+                  << format_double(
+                         r.used_gpus.time_average(0.0, horizon), 1)
+                  << " GPUs busy):\n";
+        std::cout << render_sparkline(
+            r.used_gpus.resample(0.0, horizon, buckets), 6);
+    }
+
+    bench::section("Figure 7(b): submitted vs admitted (ElasticFlow)");
+    const RunResult &ef_run = results.at("elasticflow");
+    ConsoleTable table({"hour", "submitted", "admitted", "dropped"});
+    Time last_submit = trace.last_submit_time();
+    for (int h = 0; h <= static_cast<int>(last_submit / kHour) + 1;
+         h += 2) {
+        double t = h * kHour;
+        double submitted = ef_run.submitted_jobs.value_at(t);
+        double admitted = ef_run.admitted_jobs.value_at(t);
+        table.add_row({std::to_string(h),
+                       format_double(submitted, 0),
+                       format_double(admitted, 0),
+                       format_double(submitted - admitted, 0)});
+    }
+    std::cout << table.render();
+    return 0;
+}

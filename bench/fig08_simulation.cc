@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 8 — end-to-end results in simulation.
+ * (a) The 195-job trace with Pollux included (the paper transforms the
+ *     trace into Pollux's simulator; here all policies share one
+ *     simulator).
+ * (b) Deadline satisfactory ratio across the ten production-like
+ *     cluster presets and the Philly-like trace, with the average
+ *     improvement factors the paper reports (12.95x / 2.58x / 2.15x /
+ *     1.76x / 1.68x over EDF / Gandiva / Tiresias / Themis / Chronus).
+ */
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace ef;
+
+    bench::section("Figure 8(a): simulation incl. Pollux, 195 jobs");
+    {
+        Trace trace = TraceGenerator::generate(testbed_large_preset());
+        std::vector<RunResult> results;
+        for (const std::string &name : all_scheduler_names())
+            results.push_back(bench::run_once(trace, name));
+        bench::print_deadline_table(results);
+    }
+
+    bench::section("Figure 8(b): ten cluster traces + Philly");
+    const std::vector<std::string> schedulers = {
+        "elasticflow", "edf", "gandiva", "tiresias", "themis",
+        "chronus"};
+    std::vector<std::string> header = {"trace", "gpus", "jobs"};
+    for (const std::string &name : schedulers)
+        header.push_back(name);
+    ConsoleTable table(header);
+
+    std::map<std::string, double> factor_sum;
+    std::map<std::string, int> factor_count;
+    auto run_trace = [&](const TraceGenConfig &config) {
+        Trace trace = TraceGenerator::generate(config);
+        Topology topo(trace.topology);
+        std::vector<std::string> row = {
+            trace.name, std::to_string(topo.total_gpus()),
+            std::to_string(trace.jobs.size())};
+        double ef_ratio = 0.0;
+        for (const std::string &name : schedulers) {
+            RunResult result = bench::run_once(trace, name);
+            double ratio = result.deadline_ratio();
+            if (name == "elasticflow")
+                ef_ratio = ratio;
+            else if (ratio > 0.0) {
+                factor_sum[name] += ef_ratio / ratio;
+                ++factor_count[name];
+            }
+            row.push_back(format_percent(ratio));
+        }
+        table.add_row(std::move(row));
+    };
+
+    for (int preset = 1; preset <= 10; ++preset)
+        run_trace(cluster_preset(preset));
+    run_trace(philly_preset());
+    std::cout << table.render();
+
+    std::cout << "\nAverage ElasticFlow improvement factors:\n";
+    ConsoleTable factors({"baseline", "avg factor", "paper"});
+    const std::map<std::string, std::string> paper = {
+        {"edf", "12.95x"},    {"gandiva", "2.58x"},
+        {"tiresias", "2.15x"}, {"themis", "1.76x"},
+        {"chronus", "1.68x"}};
+    for (const std::string &name : schedulers) {
+        if (name == "elasticflow")
+            continue;
+        double avg = factor_sum[name] /
+                     std::max(1, factor_count[name]);
+        factors.add_row({name, format_double(avg, 2) + "x",
+                         paper.at(name)});
+    }
+    std::cout << factors.render();
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 9 — sources of improvement: plain EDF, EDF + Admission
+ * Control, EDF + Elastic Scaling, and full ElasticFlow across cluster
+ * sizes at a fixed offered load. The paper's observations to
+ * reproduce: (i) each ingredient alone helps but trails ElasticFlow;
+ * (ii) the EDF+Elastic gap to ElasticFlow closes as the cluster grows
+ * (admission matters most when the cluster is small).
+ *
+ * A second table ablates this reproduction's own design knobs: the
+ * planning-slot length and the fill direction (DESIGN.md decisions).
+ */
+#include "bench_util.h"
+
+#include "sched/elastic_flow.h"
+
+int
+main()
+{
+    using namespace ef;
+
+    bench::section("Figure 9: ablation vs cluster size (fixed load)");
+    const std::vector<std::string> variants = {
+        "edf", "edf+admission", "edf+elastic", "elasticflow"};
+    std::vector<std::string> header = {"gpus"};
+    for (const std::string &v : variants)
+        header.push_back(v);
+    ConsoleTable table(header);
+    for (int gpus : {32, 64, 128, 256}) {
+        TraceGenConfig config = testbed_large_preset();
+        config.topology = TopologySpec::with_total_gpus(gpus);
+        config.num_jobs = 120;
+        Trace trace = TraceGenerator::generate(config);
+        std::vector<std::string> row = {std::to_string(gpus)};
+        for (const std::string &variant : variants) {
+            RunResult result = bench::run_once(trace, variant);
+            row.push_back(format_percent(result.deadline_ratio()));
+        }
+        table.add_row(std::move(row));
+    }
+    std::cout << table.render();
+
+    bench::section("Extra ablation: slot length and fill direction "
+                    "(ElasticFlow internals)");
+    ConsoleTable knobs({"slot(s)", "direction", "ratio", "dropped",
+                        "replans"});
+    Trace trace = TraceGenerator::generate(testbed_large_preset());
+    for (double slot : {300.0, 600.0, 1200.0, 2400.0}) {
+        for (FillDirection dir :
+             {FillDirection::kEarliest, FillDirection::kLatest}) {
+            ElasticFlowConfig config;
+            config.slot_seconds = slot;
+            config.direction = dir;
+            ElasticFlowScheduler scheduler(config);
+            Simulator sim(trace, &scheduler);
+            RunResult result = sim.run();
+            knobs.add_row(
+                {format_double(slot, 0),
+                 dir == FillDirection::kEarliest ? "earliest"
+                                                 : "latest",
+                 format_percent(result.deadline_ratio()),
+                 std::to_string(result.dropped_count()),
+                 std::to_string(result.replan_failures)});
+        }
+    }
+    std::cout << knobs.render();
+    return 0;
+}

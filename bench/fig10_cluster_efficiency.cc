@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 10 — cluster efficiency (Eq. 8) over time and makespan.
+ * Following §6.4, deadlines are set loose (1.5x duration) so every
+ * scheduler runs the identical 100-job set on 128 GPUs; ElasticFlow
+ * should sustain the highest efficiency early on and finish the whole
+ * batch first (smallest makespan).
+ */
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace ef;
+    TraceGenConfig config = testbed_large_preset();
+    config.num_jobs = 100;
+    config.mean_interarrival_s = 150.0;  // a dense burst of work
+    config.tightness_lo = 4.0;  // loose enough to admit everything
+    config.tightness_hi = 4.0;
+    Trace trace = TraceGenerator::generate(config);
+
+    bench::section("Figure 10: cluster efficiency (Eq. 8) and makespan");
+    ConsoleTable table({"scheduler", "CE@10h", "CE@20h", "CE@40h",
+                        "makespan(h)", "admitted"});
+    std::map<std::string, RunResult> results;
+    for (const std::string &name : all_scheduler_names()) {
+        RunResult result = bench::run_once(trace, name);
+        table.add_row(
+            {name,
+             format_percent(result.average_cluster_efficiency(
+                 10.0 * kHour)),
+             format_percent(result.average_cluster_efficiency(
+                 20.0 * kHour)),
+             format_percent(result.average_cluster_efficiency(
+                 40.0 * kHour)),
+             format_double(result.makespan / kHour, 1),
+             std::to_string(result.admitted_count())});
+        results.emplace(name, std::move(result));
+    }
+    std::cout << table.render();
+
+    std::cout << "\nCluster efficiency over time (first 40 h):\n";
+    for (const std::string name : {"elasticflow", "edf", "chronus"}) {
+        std::cout << name << ":\n"
+                  << render_sparkline(
+                         results.at(name).cluster_efficiency.resample(
+                             0.0, 40.0 * kHour, 64),
+                         5);
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 11 — mixing SLO and best-effort jobs (§6.5). Sweeping the
+ * best-effort fraction: (a) ElasticFlow keeps the highest deadline
+ * satisfactory ratio for SLO jobs; (b) best-effort average JCT,
+ * normalized to Gandiva's, stays competitive at low fractions and is
+ * traded for SLO compliance at higher ones.
+ */
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace ef;
+    const std::vector<double> fractions = {0.0, 0.1, 0.3, 0.5};
+    const std::vector<std::string> schedulers = {
+        "elasticflow", "edf", "gandiva", "tiresias", "themis",
+        "chronus"};
+
+    std::map<double, std::map<std::string, RunResult>> grid;
+    for (double fraction : fractions) {
+        TraceGenConfig config = testbed_large_preset();
+        config.num_jobs = 150;
+        config.best_effort_fraction = fraction;
+        Trace trace = TraceGenerator::generate(config);
+        for (const std::string &name : schedulers)
+            grid[fraction].emplace(name, bench::run_once(trace, name));
+    }
+
+    bench::section("Figure 11(a): SLO deadline satisfactory ratio");
+    {
+        std::vector<std::string> header = {"best-effort %"};
+        for (const std::string &name : schedulers)
+            header.push_back(name);
+        ConsoleTable table(header);
+        for (double fraction : fractions) {
+            std::vector<std::string> row = {
+                format_percent(fraction, 0)};
+            for (const std::string &name : schedulers) {
+                row.push_back(format_percent(
+                    grid[fraction].at(name).deadline_ratio()));
+            }
+            table.add_row(std::move(row));
+        }
+        std::cout << table.render();
+    }
+
+    bench::section(
+        "Figure 11(b): best-effort avg JCT (normalized to Gandiva)");
+    {
+        std::vector<std::string> header = {"best-effort %"};
+        for (const std::string &name : schedulers)
+            header.push_back(name);
+        ConsoleTable table(header);
+        for (double fraction : fractions) {
+            if (fraction == 0.0)
+                continue;  // no best-effort jobs to measure
+            double gandiva_jct =
+                grid[fraction].at("gandiva").average_jct(
+                    JobKind::kBestEffort);
+            std::vector<std::string> row = {
+                format_percent(fraction, 0)};
+            for (const std::string &name : schedulers) {
+                double jct = grid[fraction].at(name).average_jct(
+                    JobKind::kBestEffort);
+                row.push_back(gandiva_jct > 0.0
+                                  ? format_double(jct / gandiva_jct, 2)
+                                  : "-");
+            }
+            table.add_row(std::move(row));
+        }
+        std::cout << table.render();
+    }
+    return 0;
+}

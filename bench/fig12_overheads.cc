@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 12 — system overheads.
+ * (a) Pre-run profiling cost per model (all Table 1 batch sizes, GPU
+ *     counts doubling until throughput stops improving, §6.6).
+ * (b) Scaling/migration overhead per model for the paper's five
+ *     cases: 1->8, 8->1, 4->8, 8->4, and migrating 8 GPUs.
+ * Both are reported against the ~23-minute average scheduling
+ * interval the paper cites, to show they are marginal.
+ */
+#include "bench_util.h"
+
+#include "exec/profiler.h"
+#include "sim/overhead_model.h"
+
+int
+main()
+{
+    using namespace ef;
+    Topology topo(TopologySpec::testbed_128());
+    PerfModel perf(&topo);
+
+    bench::section("Figure 12(a): pre-run profiling overhead");
+    Profiler profiler(&perf);
+    ConsoleTable profiling({"model", "configs", "total(s)",
+                            "largest batch curve"});
+    for (DnnModel model : all_models()) {
+        int configs = 0;
+        for (int batch : model_profile(model).batch_sizes) {
+            configs += static_cast<int>(
+                profiler.profile(model, batch, 128).entries.size());
+        }
+        ProfileReport report = profiler.profile(
+            model, model_profile(model).batch_sizes.back(), 128);
+        std::string curve;
+        for (const ProfileEntry &entry : report.entries) {
+            if (!curve.empty())
+                curve += " ";
+            curve += std::to_string(entry.workers) + ":" +
+                     format_double(entry.throughput, 1);
+        }
+        profiling.add_row(
+            {model_name(model), std::to_string(configs),
+             format_double(profiler.total_cost_for_model(model, 128), 0),
+             curve});
+    }
+    std::cout << profiling.render();
+
+    bench::section("Figure 12(b): scaling and migration overheads");
+    OverheadModel overhead;
+    ConsoleTable scaling({"model", "1->8", "8->1", "4->8", "8->4",
+                          "migrate-8"});
+    for (DnnModel model : all_models()) {
+        scaling.add_row(
+            {model_name(model),
+             format_double(overhead.scaling_seconds(model, 1, 8), 1),
+             format_double(overhead.scaling_seconds(model, 8, 1), 1),
+             format_double(overhead.scaling_seconds(model, 4, 8), 1),
+             format_double(overhead.scaling_seconds(model, 8, 4), 1),
+             format_double(overhead.migration_seconds(model, 8), 1)});
+    }
+    std::cout << scaling.render();
+    std::cout << "(seconds per event; the paper's average scheduling "
+                 "interval is ~23 min, so overheads are marginal)\n";
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Table 1 — DNN models used in the evaluation: task, dataset, model,
+ * and batch-size pool, plus the performance-model constants this
+ * reproduction calibrates them with.
+ */
+#include "bench_util.h"
+
+#include "workload/model_zoo.h"
+
+int
+main()
+{
+    using namespace ef;
+    bench::section("Table 1: DNN models used in the evaluation");
+
+    ConsoleTable table({"Task", "Dataset", "Model", "Batch Sizes",
+                        "Params(GB)", "MaxLocalBatch"});
+    for (DnnModel model : all_models()) {
+        const ModelProfile &p = model_profile(model);
+        std::string batches;
+        for (std::size_t i = 0; i < p.batch_sizes.size(); ++i) {
+            if (i)
+                batches += ", ";
+            batches += std::to_string(p.batch_sizes[i]);
+        }
+        table.add_row({p.task, p.dataset, p.name, batches,
+                       format_double(p.param_gb, 3),
+                       std::to_string(p.max_local_batch)});
+    }
+    std::cout << table.render();
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Command-line driver: run any scheduler on a CSV job trace, or dump
+ * one of the built-in presets to CSV to edit and replay.
+ *
+ *   # dump a preset workload to CSV
+ *   ./run_trace --generate testbed-small my_trace.csv
+ *
+ *   # replay it (or your own trace) under a scheduler
+ *   ./run_trace my_trace.csv --gpus 32 --scheduler elasticflow
+ *   ./run_trace my_trace.csv --gpus 32 --scheduler tiresias \
+ *       --failures-mtbf-days 3 --noise 0.05
+ *
+ * CSV columns: id,name,user,model,global_batch,iterations,
+ * submit_time,deadline,kind,requested_gpus (deadline "inf" and kind
+ * "best-effort" for jobs without one; kind "soft" for soft deadlines).
+ */
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "workload/trace_gen.h"
+#include "workload/trace_io.h"
+
+using namespace ef;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+        << "  run_trace <trace.csv> [--gpus N] [--scheduler NAME]\n"
+        << "            [--failures-mtbf-days D] [--noise FRACTION]\n"
+        << "  run_trace --generate <preset> <out.csv>\n"
+        << "presets: testbed-small, testbed-large, philly, "
+        << "cluster1..cluster10\nschedulers:";
+    for (const std::string &name : all_scheduler_names())
+        std::cerr << " " << name;
+    std::cerr << " edf+admission edf+elastic\n";
+    return 2;
+}
+
+TraceGenConfig
+preset_by_name(const std::string &name)
+{
+    if (name == "testbed-small")
+        return testbed_small_preset();
+    if (name == "testbed-large")
+        return testbed_large_preset();
+    if (name == "philly")
+        return philly_preset();
+    if (name.rfind("cluster", 0) == 0)
+        return cluster_preset(std::stoi(name.substr(7)));
+    EF_FATAL_IF(true, "unknown preset '" << name << "'");
+    return {};
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+
+    if (std::strcmp(argv[1], "--generate") == 0) {
+        if (argc != 4)
+            return usage();
+        Trace trace = TraceGenerator::generate(preset_by_name(argv[2]));
+        save_trace_csv(argv[3], trace);
+        Topology topo(trace.topology);
+        std::cout << "wrote " << trace.jobs.size() << " jobs ("
+                  << topo.total_gpus() << "-GPU preset) to " << argv[3]
+                  << "\n";
+        return 0;
+    }
+
+    std::string trace_path = argv[1];
+    int gpus = 128;
+    std::string scheduler_name = "elasticflow";
+    SimConfig sim_config;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            EF_FATAL_IF(i + 1 >= argc, arg << " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--gpus") {
+            gpus = std::stoi(next());
+        } else if (arg == "--scheduler") {
+            scheduler_name = next();
+        } else if (arg == "--failures-mtbf-days") {
+            sim_config.failures.enabled = true;
+            sim_config.failures.server_mtbf_s =
+                std::stod(next()) * kDay;
+        } else if (arg == "--noise") {
+            sim_config.noise.throughput_error = std::stod(next());
+        } else {
+            return usage();
+        }
+    }
+
+    Trace trace = load_trace_csv(
+        trace_path, TopologySpec::with_total_gpus(gpus));
+    auto scheduler = make_scheduler(scheduler_name);
+    Simulator simulator(trace, scheduler.get(), sim_config);
+    RunResult result = simulator.run();
+
+    std::cout << summarize(result) << "\n\n";
+    ConsoleTable table({"metric", "value"});
+    table.add_row({"jobs", std::to_string(result.jobs.size())});
+    table.add_row({"admitted",
+                   std::to_string(result.admitted_count())});
+    table.add_row({"deadline ratio",
+                   format_percent(result.deadline_ratio())});
+    table.add_row({"soft-deadline ratio",
+                   format_percent(result.deadline_ratio_of(
+                       JobKind::kSoftDeadline))});
+    table.add_row(
+        {"avg best-effort JCT (h)",
+         format_double(result.average_jct(JobKind::kBestEffort) / kHour,
+                       2)});
+    table.add_row({"makespan (h)",
+                   format_double(result.makespan / kHour, 1)});
+    table.add_row({"GPU-hours",
+                   format_double(result.total_gpu_seconds() / kHour,
+                                 0)});
+    std::cout << table.render();
+    return 0;
+}

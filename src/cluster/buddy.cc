@@ -1,0 +1,73 @@
+#include "cluster/buddy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace ef {
+
+Packing
+pack_power_of_two(const std::vector<PackItem> &items, int num_bins,
+                  GpuCount bin_capacity)
+{
+    EF_CHECK(num_bins >= 0);
+    EF_CHECK_MSG(is_power_of_two(bin_capacity),
+                 "bin capacity must be a power of two: " << bin_capacity);
+
+    Packing packing;
+    packing.bin_of_item.assign(items.size(), -1);
+    packing.bin_used.assign(static_cast<std::size_t>(num_bins), 0);
+
+    std::vector<std::size_t> order(items.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    // First-fit decreasing; ties broken by id for determinism.
+    std::stable_sort(order.begin(), order.end(),
+                     [&items](std::size_t a, std::size_t b) {
+                         if (items[a].size != items[b].size)
+                             return items[a].size > items[b].size;
+                         return items[a].id < items[b].id;
+                     });
+
+    for (std::size_t idx : order) {
+        const PackItem &item = items[idx];
+        EF_CHECK_MSG(is_power_of_two(item.size) && item.size <= bin_capacity,
+                     "pack item size must be a power of two <= capacity, got "
+                         << item.size);
+        bool placed = false;
+        for (int b = 0; b < num_bins; ++b) {
+            if (packing.bin_used[b] + item.size <= bin_capacity) {
+                packing.bin_used[b] += item.size;
+                packing.bin_of_item[idx] = b;
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            packing.feasible = false;
+            return packing;
+        }
+    }
+    packing.feasible = true;
+    return packing;
+}
+
+bool
+fits_after_repack(const std::vector<PackItem> &existing, GpuCount size,
+                  int num_bins, GpuCount bin_capacity)
+{
+    EF_CHECK(is_power_of_two(size));
+    std::vector<PackItem> items = existing;
+    if (size <= bin_capacity) {
+        items.push_back(PackItem{-1, size});
+    } else {
+        EF_CHECK_MSG(size % bin_capacity == 0,
+                     "multi-bin item must be a multiple of bin capacity");
+        for (GpuCount s = 0; s < size / bin_capacity; ++s)
+            items.push_back(PackItem{-1, bin_capacity});
+    }
+    return pack_power_of_two(items, num_bins, bin_capacity).feasible;
+}
+
+}  // namespace ef

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Buddy-style packing math for power-of-two jobs (paper §4.3).
+ *
+ * ElasticFlow restricts worker counts to powers of two (like CoDDL) so
+ * that, with migration, placement never suffers fragmentation: whenever
+ * the cluster has enough idle GPUs for a job, a repacking exists that
+ * gives the job a maximally compact set of GPUs.
+ *
+ * This module provides the pure packing algorithms the placement
+ * manager builds on: first-fit-decreasing packing of power-of-two items
+ * into fixed-capacity bins, and a feasibility predicate. With
+ * power-of-two item sizes and power-of-two bin capacity, descending
+ * first-fit is *perfect*: every bin except possibly the last partially
+ * used one has no unusable gap, because each placed item size divides
+ * the remaining free space of any bin it is offered.
+ */
+#ifndef EF_CLUSTER_BUDDY_H_
+#define EF_CLUSTER_BUDDY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ef {
+
+/** An item to pack: a job fragment that must stay within one bin. */
+struct PackItem
+{
+    std::int64_t id = 0;   ///< opaque owner id (job id)
+    GpuCount size = 0;     ///< power of two, <= bin capacity
+};
+
+/** Result of packing: bin index assigned to each input item. */
+struct Packing
+{
+    bool feasible = false;
+    std::vector<int> bin_of_item;  ///< parallel to the input item vector
+    std::vector<GpuCount> bin_used;
+};
+
+/**
+ * Pack power-of-two items into @p num_bins bins of capacity
+ * @p bin_capacity (a power of two) with first-fit decreasing.
+ *
+ * @return Packing with feasible=false when total size exceeds total
+ *         capacity; with power-of-two sizes the converse always packs.
+ */
+Packing pack_power_of_two(const std::vector<PackItem> &items, int num_bins,
+                          GpuCount bin_capacity);
+
+/**
+ * True iff a new item of @p size (power of two, may exceed the bin
+ * capacity, in which case it needs size/capacity whole bins) fits after
+ * repacking the existing items. Items larger than a bin are expressed
+ * by the caller as multiple whole-bin fragments.
+ */
+bool fits_after_repack(const std::vector<PackItem> &existing, GpuCount size,
+                       int num_bins, GpuCount bin_capacity);
+
+}  // namespace ef
+
+#endif  // EF_CLUSTER_BUDDY_H_

@@ -1,0 +1,833 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cluster/buddy.h"
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace ef {
+
+PlacementManager::PlacementManager(const Topology *topology)
+    : topology_(topology)
+{
+    EF_CHECK(topology_ != nullptr);
+    gpu_owner_.assign(static_cast<std::size_t>(topology_->total_gpus()),
+                      kInvalidJob);
+    free_per_server_.assign(static_cast<std::size_t>(
+                                topology_->num_servers()),
+                            topology_->gpus_per_server());
+    server_down_.assign(static_cast<std::size_t>(
+                            topology_->num_servers()),
+                        false);
+}
+
+GpuCount
+PlacementManager::total_gpus() const
+{
+    return topology_->total_gpus();
+}
+
+GpuCount
+PlacementManager::available_gpus() const
+{
+    GpuCount total = 0;
+    for (int s = 0; s < topology_->num_servers(); ++s) {
+        if (!server_down_[static_cast<std::size_t>(s)])
+            total += topology_->gpus_per_server();
+    }
+    return total;
+}
+
+GpuCount
+PlacementManager::idle_gpus() const
+{
+    GpuCount total = 0;
+    for (int s = 0; s < topology_->num_servers(); ++s) {
+        if (!server_down_[static_cast<std::size_t>(s)])
+            total += free_per_server_[static_cast<std::size_t>(s)];
+    }
+    return total;
+}
+
+GpuCount
+PlacementManager::used_gpus() const
+{
+    return available_gpus() - idle_gpus();
+}
+
+bool
+PlacementManager::is_placed(JobId job) const
+{
+    return job_gpus_.count(job) > 0;
+}
+
+const std::vector<GpuCount> &
+PlacementManager::gpus_of(JobId job) const
+{
+    auto it = job_gpus_.find(job);
+    EF_CHECK_MSG(it != job_gpus_.end(), "job " << job << " is not placed");
+    return it->second;
+}
+
+GpuCount
+PlacementManager::size_of(JobId job) const
+{
+    return static_cast<GpuCount>(gpus_of(job).size());
+}
+
+int
+PlacementManager::server_span(JobId job) const
+{
+    return topology_->server_span(gpus_of(job));
+}
+
+CommLevel
+PlacementManager::comm_level_of(JobId job) const
+{
+    return topology_->comm_level(gpus_of(job));
+}
+
+std::vector<JobId>
+PlacementManager::placed_jobs() const
+{
+    std::vector<JobId> jobs;
+    jobs.reserve(job_gpus_.size());
+    for (const auto &[job, gpus] : job_gpus_)
+        jobs.push_back(job);
+    return jobs;
+}
+
+GpuCount
+PlacementManager::free_in_server(int server) const
+{
+    EF_CHECK(server >= 0 && server < topology_->num_servers());
+    if (server_down_[static_cast<std::size_t>(server)])
+        return 0;
+    return free_per_server_[static_cast<std::size_t>(server)];
+}
+
+void
+PlacementManager::set_server_available(int server, bool available)
+{
+    EF_CHECK(server >= 0 && server < topology_->num_servers());
+    if (!available) {
+        EF_CHECK_MSG(free_per_server_[static_cast<std::size_t>(
+                         server)] == topology_->gpus_per_server(),
+                     "server " << server
+                               << " must be drained before going down");
+    }
+    server_down_[static_cast<std::size_t>(server)] = !available;
+}
+
+bool
+PlacementManager::server_available(int server) const
+{
+    EF_CHECK(server >= 0 && server < topology_->num_servers());
+    return !server_down_[static_cast<std::size_t>(server)];
+}
+
+std::vector<GpuCount>
+PlacementManager::take_from_server(int server, GpuCount count)
+{
+    std::vector<GpuCount> taken;
+    GpuCount base = topology_->first_gpu_of_server(server);
+    for (GpuCount g = base;
+         g < base + topology_->gpus_per_server() &&
+         static_cast<GpuCount>(taken.size()) < count;
+         ++g) {
+        if (gpu_owner_[static_cast<std::size_t>(g)] == kInvalidJob)
+            taken.push_back(g);
+    }
+    EF_CHECK_MSG(static_cast<GpuCount>(taken.size()) == count,
+                 "server " << server << " lacks " << count << " free GPUs");
+    return taken;
+}
+
+void
+PlacementManager::assign(JobId job, std::vector<GpuCount> gpus)
+{
+    EF_CHECK(!is_placed(job));
+    std::sort(gpus.begin(), gpus.end());
+    for (GpuCount g : gpus) {
+        EF_CHECK_MSG(gpu_owner_[static_cast<std::size_t>(g)] == kInvalidJob,
+                     "GPU " << g << " is already owned");
+        gpu_owner_[static_cast<std::size_t>(g)] = job;
+        --free_per_server_[static_cast<std::size_t>(topology_->server_of(g))];
+    }
+    job_gpus_[job] = std::move(gpus);
+}
+
+void
+PlacementManager::unassign(JobId job)
+{
+    auto it = job_gpus_.find(job);
+    EF_CHECK(it != job_gpus_.end());
+    for (GpuCount g : it->second) {
+        gpu_owner_[static_cast<std::size_t>(g)] = kInvalidJob;
+        ++free_per_server_[static_cast<std::size_t>(topology_->server_of(g))];
+    }
+    job_gpus_.erase(it);
+}
+
+std::optional<std::vector<GpuCount>>
+PlacementManager::try_direct(GpuCount size, PlacementStrategy strategy) const
+{
+    switch (strategy) {
+      case PlacementStrategy::kBestFitCompact:
+        return try_best_fit(size);
+      case PlacementStrategy::kFirstFit:
+        return try_first_fit(size);
+      case PlacementStrategy::kScatter:
+        return try_scatter(size);
+    }
+    EF_CHECK(false);
+    return std::nullopt;
+}
+
+std::optional<std::vector<GpuCount>>
+PlacementManager::try_best_fit(GpuCount size) const
+{
+    const int servers = topology_->num_servers();
+    const GpuCount per_server = topology_->gpus_per_server();
+
+    if (size <= per_server) {
+        // Best fit: the server whose idle count is closest to (but at
+        // least) the request.
+        int best = -1;
+        for (int s = 0; s < servers; ++s) {
+            if (server_down_[static_cast<std::size_t>(s)])
+                continue;
+            GpuCount free = free_per_server_[static_cast<std::size_t>(s)];
+            if (free < size)
+                continue;
+            if (best < 0 ||
+                free < free_per_server_[static_cast<std::size_t>(best)]) {
+                best = s;
+            }
+        }
+        if (best >= 0) {
+            std::vector<GpuCount> gpus;
+            GpuCount base = topology_->first_gpu_of_server(best);
+            for (GpuCount g = base; g < base + per_server; ++g) {
+                if (gpu_owner_[static_cast<std::size_t>(g)] ==
+                    kInvalidJob) {
+                    gpus.push_back(g);
+                    if (static_cast<GpuCount>(gpus.size()) == size)
+                        return gpus;
+                }
+            }
+        }
+        // No single server fits: fall through to the fragmented
+        // fullest-first fallback below (the paper's §4.3 scenario —
+        // callers that allow migration will repack instead).
+    } else {
+        // Multi-server job: prefer whole free servers, best-fit by rack
+        // (the rack with the fewest spare free servers that still
+        // fits).
+        std::vector<int> free_servers;
+        for (int s = 0; s < servers; ++s) {
+            if (server_down_[static_cast<std::size_t>(s)])
+                continue;
+            if (free_per_server_[static_cast<std::size_t>(s)] == per_server)
+                free_servers.push_back(s);
+        }
+        int needed_servers = (size + per_server - 1) / per_server;
+        if (static_cast<int>(free_servers.size()) >= needed_servers) {
+            std::vector<int> per_rack(static_cast<std::size_t>(
+                                          topology_->num_racks()), 0);
+            for (int s : free_servers)
+                ++per_rack[static_cast<std::size_t>(
+                    topology_->rack_of_server(s))];
+            int best_rack = -1;
+            for (int r = 0; r < topology_->num_racks(); ++r) {
+                if (per_rack[static_cast<std::size_t>(r)] < needed_servers)
+                    continue;
+                if (best_rack < 0 ||
+                    per_rack[static_cast<std::size_t>(r)] <
+                        per_rack[static_cast<std::size_t>(best_rack)]) {
+                    best_rack = r;
+                }
+            }
+            std::vector<GpuCount> gpus;
+            GpuCount remaining = size;
+            auto take_server = [&](int s) {
+                GpuCount base = topology_->first_gpu_of_server(s);
+                GpuCount take = std::min(remaining, per_server);
+                for (GpuCount g = base; g < base + take; ++g)
+                    gpus.push_back(g);
+                remaining -= take;
+            };
+            if (best_rack >= 0) {
+                for (int s : free_servers) {
+                    if (remaining == 0)
+                        break;
+                    if (topology_->rack_of_server(s) == best_rack)
+                        take_server(s);
+                }
+            } else {
+                for (int s : free_servers) {
+                    if (remaining == 0)
+                        break;
+                    take_server(s);
+                }
+            }
+            EF_CHECK(remaining == 0);
+            return gpus;
+        }
+    }
+
+    // Not enough whole free servers: greedily take the fullest-free
+    // servers (fewest fragments) if the total suffices.
+    if (idle_gpus() < size)
+        return std::nullopt;
+    std::vector<int> order(static_cast<std::size_t>(servers));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+        return free_per_server_[static_cast<std::size_t>(a)] >
+               free_per_server_[static_cast<std::size_t>(b)];
+    });
+    std::vector<GpuCount> gpus;
+    GpuCount remaining = size;
+    for (int s : order) {
+        if (remaining == 0)
+            break;
+        if (server_down_[static_cast<std::size_t>(s)])
+            continue;
+        GpuCount take = std::min(
+            remaining, free_per_server_[static_cast<std::size_t>(s)]);
+        if (take == 0)
+            continue;
+        GpuCount base = topology_->first_gpu_of_server(s);
+        for (GpuCount g = base;
+             g < base + per_server && take > 0; ++g) {
+            if (gpu_owner_[static_cast<std::size_t>(g)] == kInvalidJob) {
+                gpus.push_back(g);
+                --take;
+                --remaining;
+            }
+        }
+    }
+    EF_CHECK(remaining == 0);
+    return gpus;
+}
+
+std::optional<std::vector<GpuCount>>
+PlacementManager::try_first_fit(GpuCount size) const
+{
+    if (idle_gpus() < size)
+        return std::nullopt;
+    std::vector<GpuCount> gpus;
+    for (GpuCount g = 0; g < topology_->total_gpus(); ++g) {
+        if (server_down_[static_cast<std::size_t>(
+                topology_->server_of(g))]) {
+            continue;
+        }
+        if (gpu_owner_[static_cast<std::size_t>(g)] == kInvalidJob) {
+            gpus.push_back(g);
+            if (static_cast<GpuCount>(gpus.size()) == size)
+                return gpus;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::vector<GpuCount>>
+PlacementManager::try_scatter(GpuCount size) const
+{
+    if (idle_gpus() < size)
+        return std::nullopt;
+    std::vector<GpuCount> gpus;
+    std::vector<GpuCount> cursor(static_cast<std::size_t>(
+                                     topology_->num_servers()), 0);
+    while (static_cast<GpuCount>(gpus.size()) < size) {
+        bool progressed = false;
+        for (int s = 0; s < topology_->num_servers() &&
+                        static_cast<GpuCount>(gpus.size()) < size;
+             ++s) {
+            if (server_down_[static_cast<std::size_t>(s)])
+                continue;
+            GpuCount base = topology_->first_gpu_of_server(s);
+            GpuCount &c = cursor[static_cast<std::size_t>(s)];
+            while (c < topology_->gpus_per_server()) {
+                GpuCount g = base + c;
+                ++c;
+                if (gpu_owner_[static_cast<std::size_t>(g)] == kInvalidJob) {
+                    gpus.push_back(g);
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        if (!progressed)
+            break;
+    }
+    if (static_cast<GpuCount>(gpus.size()) != size)
+        return std::nullopt;
+    return gpus;
+}
+
+bool
+PlacementManager::repack_with(JobId new_job, GpuCount size,
+                              PlacementResult *result)
+{
+    const GpuCount per_server = topology_->gpus_per_server();
+    if (!is_power_of_two(size) || !is_power_of_two(per_server))
+        return false;
+    if (idle_gpus() < size)
+        return false;
+
+    const int n = topology_->num_servers();
+    const int num_racks = topology_->num_racks();
+    const int servers_per_rack = topology_->spec().servers_per_rack;
+
+    // Split jobs into multi-server ("big") jobs, which need whole
+    // servers and should stay rack-local, and single-server ("small")
+    // jobs; bail out on shapes buddy packing cannot express.
+    struct BigJob { JobId job; int servers; };
+    std::vector<BigJob> bigs;
+    std::vector<PackItem> smalls;
+    auto classify = [&](JobId job, GpuCount job_size) -> bool {
+        if (job_size <= per_server) {
+            if (!is_power_of_two(job_size))
+                return false;
+            smalls.push_back(PackItem{job, job_size});
+            return true;
+        }
+        if (job_size % per_server != 0)
+            return false;
+        bigs.push_back(BigJob{job, job_size / per_server});
+        return true;
+    };
+    for (const auto &[job, gpus] : job_gpus_) {
+        if (!classify(job, static_cast<GpuCount>(gpus.size())))
+            return false;
+    }
+    if (!classify(new_job, size))
+        return false;
+
+    // Level 1: assign big jobs to racks (best-fit decreasing on whole
+    // servers), so their bandwidth matches the compact-placement curve
+    // the planner used. A job larger than a rack, or one that cannot
+    // fit any single rack, is split across the racks with the most
+    // room (it will run at cross-rack bandwidth — the planner's
+    // compact_comm_level already says so when the job exceeds a rack).
+    std::vector<int> rack_free(static_cast<std::size_t>(num_racks),
+                               servers_per_rack);
+    for (int srv = 0; srv < n; ++srv) {
+        if (server_down_[static_cast<std::size_t>(srv)])
+            --rack_free[static_cast<std::size_t>(
+                topology_->rack_of_server(srv))];
+    }
+    // bin_jobs[b]: GPUs of each job in abstract server bin b. Bins are
+    // grouped per rack: rack r owns bins [r*spr, (r+1)*spr).
+    std::vector<std::map<JobId, GpuCount>> bin_jobs(
+        static_cast<std::size_t>(n));
+    std::vector<GpuCount> bin_used(static_cast<std::size_t>(n), 0);
+    // Reserve one sentinel bin per down server (nothing packs there;
+    // the matching below pins it onto the down server itself).
+    std::vector<int> down_bins;
+    for (int srv = 0; srv < n; ++srv) {
+        if (!server_down_[static_cast<std::size_t>(srv)])
+            continue;
+        int r = topology_->rack_of_server(srv);
+        for (int b = r * servers_per_rack; b < (r + 1) * servers_per_rack;
+             ++b) {
+            if (bin_used[static_cast<std::size_t>(b)] == 0) {
+                bin_used[static_cast<std::size_t>(b)] = per_server;
+                down_bins.push_back(b);
+                break;
+            }
+        }
+    }
+    auto bins_of_rack = [&](int r, int want) {
+        // indices of `want` empty bins in rack r
+        std::vector<int> out;
+        for (int b = r * servers_per_rack;
+             b < (r + 1) * servers_per_rack &&
+             static_cast<int>(out.size()) < want;
+             ++b) {
+            if (bin_used[static_cast<std::size_t>(b)] == 0)
+                out.push_back(b);
+        }
+        return out;
+    };
+    std::stable_sort(bigs.begin(), bigs.end(),
+                     [](const BigJob &a, const BigJob &b) {
+                         if (a.servers != b.servers)
+                             return a.servers > b.servers;
+                         return a.job < b.job;
+                     });
+    for (const BigJob &big : bigs) {
+        int best_rack = -1;
+        for (int r = 0; r < num_racks; ++r) {
+            if (rack_free[static_cast<std::size_t>(r)] < big.servers)
+                continue;
+            if (best_rack < 0 ||
+                rack_free[static_cast<std::size_t>(r)] <
+                    rack_free[static_cast<std::size_t>(best_rack)]) {
+                best_rack = r;
+            }
+        }
+        int remaining = big.servers;
+        if (best_rack >= 0) {
+            for (int b : bins_of_rack(best_rack, big.servers)) {
+                bin_jobs[static_cast<std::size_t>(b)][big.job] = per_server;
+                bin_used[static_cast<std::size_t>(b)] = per_server;
+                --remaining;
+            }
+            rack_free[static_cast<std::size_t>(best_rack)] -= big.servers;
+        } else {
+            // Cross-rack split: drain the racks with the most room.
+            while (remaining > 0) {
+                int r_most = -1;
+                for (int r = 0; r < num_racks; ++r) {
+                    if (rack_free[static_cast<std::size_t>(r)] == 0)
+                        continue;
+                    if (r_most < 0 ||
+                        rack_free[static_cast<std::size_t>(r)] >
+                            rack_free[static_cast<std::size_t>(r_most)]) {
+                        r_most = r;
+                    }
+                }
+                if (r_most < 0)
+                    return false;  // not enough whole servers anywhere
+                int take = std::min(
+                    remaining, rack_free[static_cast<std::size_t>(r_most)]);
+                for (int b : bins_of_rack(r_most, take)) {
+                    bin_jobs[static_cast<std::size_t>(b)][big.job] =
+                        per_server;
+                    bin_used[static_cast<std::size_t>(b)] = per_server;
+                    --remaining;
+                }
+                rack_free[static_cast<std::size_t>(r_most)] -= take;
+            }
+        }
+    }
+
+    // Level 2: first-fit-decreasing of small jobs into the remaining
+    // bins (partially filled first — best fit — then empty bins in the
+    // rack with the least room, to keep whole servers free for future
+    // big jobs). Power-of-two sizes make this packing gap-free.
+    std::stable_sort(smalls.begin(), smalls.end(),
+                     [](const PackItem &a, const PackItem &b) {
+                         if (a.size != b.size)
+                             return a.size > b.size;
+                         return a.id < b.id;
+                     });
+    for (const PackItem &item : smalls) {
+        int best_bin = -1;
+        for (int b = 0; b < n; ++b) {
+            GpuCount used = bin_used[static_cast<std::size_t>(b)];
+            if (used == 0 || used + item.size > per_server)
+                continue;
+            if (best_bin < 0 ||
+                used > bin_used[static_cast<std::size_t>(best_bin)]) {
+                best_bin = b;
+            }
+        }
+        if (best_bin < 0) {
+            // Open an empty bin in the fullest rack that still has one.
+            int best_rack = -1;
+            for (int r = 0; r < num_racks; ++r) {
+                if (rack_free[static_cast<std::size_t>(r)] == 0)
+                    continue;
+                if (best_rack < 0 ||
+                    rack_free[static_cast<std::size_t>(r)] <
+                        rack_free[static_cast<std::size_t>(best_rack)]) {
+                    best_rack = r;
+                }
+            }
+            if (best_rack < 0)
+                return false;
+            best_bin = bins_of_rack(best_rack, 1).front();
+            rack_free[static_cast<std::size_t>(best_rack)] -= 1;
+        }
+        bin_jobs[static_cast<std::size_t>(best_bin)][item.id] += item.size;
+        bin_used[static_cast<std::size_t>(best_bin)] += item.size;
+    }
+    // current_in[job][server] = GPUs job currently holds in server.
+    std::map<JobId, std::vector<GpuCount>> current_in;
+    for (const auto &[job, gpus] : job_gpus_) {
+        auto &row = current_in[job];
+        row.assign(static_cast<std::size_t>(n), 0);
+        for (GpuCount g : gpus)
+            ++row[static_cast<std::size_t>(topology_->server_of(g))];
+    }
+
+    // Match abstract bins to physical servers *within each rack*,
+    // maximizing overlap with the current layout so as few jobs as
+    // possible actually move.
+    std::vector<int> bin_to_server(static_cast<std::size_t>(n), -1);
+    std::vector<bool> server_taken(static_cast<std::size_t>(n), false);
+    std::vector<bool> bin_done(static_cast<std::size_t>(n), false);
+    auto rack_of_bin = [&](int b) { return b / servers_per_rack; };
+    // Pin the sentinel bins to the down servers before matching.
+    {
+        std::size_t next_down_bin = 0;
+        for (int srv = 0; srv < n && next_down_bin < down_bins.size();
+             ++srv) {
+            if (!server_down_[static_cast<std::size_t>(srv)])
+                continue;
+            // Find the sentinel bin reserved in this server's rack.
+            for (std::size_t i = next_down_bin; i < down_bins.size();
+                 ++i) {
+                int b = down_bins[i];
+                if (rack_of_bin(b) == topology_->rack_of_server(srv) &&
+                    !bin_done[static_cast<std::size_t>(b)]) {
+                    bin_to_server[static_cast<std::size_t>(b)] = srv;
+                    bin_done[static_cast<std::size_t>(b)] = true;
+                    server_taken[static_cast<std::size_t>(srv)] = true;
+                    break;
+                }
+            }
+            ++next_down_bin;
+        }
+    }
+    for (int round = 0; round < n; ++round) {
+        int best_bin = -1, best_server = -1;
+        GpuCount best_overlap = -1;
+        for (int b = 0; b < n; ++b) {
+            if (bin_done[static_cast<std::size_t>(b)])
+                continue;
+            int r = rack_of_bin(b);
+            for (int s = r * servers_per_rack;
+                 s < (r + 1) * servers_per_rack; ++s) {
+                if (server_taken[static_cast<std::size_t>(s)])
+                    continue;
+                GpuCount overlap = 0;
+                for (const auto &[job, cnt] :
+                     bin_jobs[static_cast<std::size_t>(b)]) {
+                    auto it = current_in.find(job);
+                    if (it != current_in.end()) {
+                        overlap += std::min(
+                            cnt, it->second[static_cast<std::size_t>(s)]);
+                    }
+                }
+                if (overlap > best_overlap) {
+                    best_overlap = overlap;
+                    best_bin = b;
+                    best_server = s;
+                }
+            }
+        }
+        if (best_bin < 0)
+            break;  // all remaining bins were pinned already
+        bin_to_server[static_cast<std::size_t>(best_bin)] = best_server;
+        bin_done[static_cast<std::size_t>(best_bin)] = true;
+        server_taken[static_cast<std::size_t>(best_server)] = true;
+    }
+
+    // Desired per-(job, server) GPU counts under the new packing.
+    std::map<JobId, std::vector<GpuCount>> desired;
+    for (int b = 0; b < n; ++b) {
+        int s = bin_to_server[static_cast<std::size_t>(b)];
+        for (const auto &[job, cnt] : bin_jobs[static_cast<std::size_t>(b)]) {
+            auto &row = desired[job];
+            if (row.empty())
+                row.assign(static_cast<std::size_t>(n), 0);
+            row[static_cast<std::size_t>(s)] += cnt;
+        }
+    }
+
+    // Materialize GPU ids: first let each job keep the ids it already
+    // owns in servers where it stays, then hand out the rest.
+    std::vector<JobId> new_owner(gpu_owner_.size(), kInvalidJob);
+    std::map<JobId, std::vector<GpuCount>> new_gpus;
+    for (auto &[job, row] : desired) {
+        auto it = current_in.find(job);
+        if (it == current_in.end())
+            continue;  // the new job keeps nothing
+        const auto &cur_gpus = job_gpus_.at(job);
+        std::vector<GpuCount> kept_per_server(static_cast<std::size_t>(n), 0);
+        for (GpuCount g : cur_gpus) {
+            int s = topology_->server_of(g);
+            if (kept_per_server[static_cast<std::size_t>(s)] <
+                row[static_cast<std::size_t>(s)]) {
+                new_owner[static_cast<std::size_t>(g)] = job;
+                new_gpus[job].push_back(g);
+                ++kept_per_server[static_cast<std::size_t>(s)];
+                row[static_cast<std::size_t>(s)] -= 0;  // tracked below
+            }
+        }
+        for (int s = 0; s < n; ++s) {
+            row[static_cast<std::size_t>(s)] -=
+                kept_per_server[static_cast<std::size_t>(s)];
+        }
+    }
+    // Remaining demands pull from GPUs still unowned in the new map.
+    for (auto &[job, row] : desired) {
+        for (int s = 0; s < n; ++s) {
+            GpuCount need = row[static_cast<std::size_t>(s)];
+            if (need <= 0)
+                continue;
+            GpuCount base = topology_->first_gpu_of_server(s);
+            for (GpuCount g = base;
+                 g < base + per_server && need > 0; ++g) {
+                if (new_owner[static_cast<std::size_t>(g)] == kInvalidJob) {
+                    new_owner[static_cast<std::size_t>(g)] = job;
+                    new_gpus[job].push_back(g);
+                    --need;
+                }
+            }
+            EF_CHECK_MSG(need == 0, "repack accounting failed");
+        }
+    }
+
+    // Diff against the old layout to produce the migration list.
+    result->migrations.clear();
+    for (auto &[job, gpus] : new_gpus)
+        std::sort(gpus.begin(), gpus.end());
+    for (const auto &[job, old_set] : job_gpus_) {
+        const auto &fresh = new_gpus.at(job);
+        if (fresh != old_set) {
+            Migration m;
+            m.job = job;
+            m.from = old_set;
+            m.to = fresh;
+            result->migrations.push_back(std::move(m));
+        }
+    }
+
+    // Apply: rebuild ownership from the new map.
+    std::vector<JobId> old_jobs = placed_jobs();
+    for (JobId job : old_jobs)
+        unassign(job);
+    for (auto &[job, gpus] : new_gpus) {
+        if (job == new_job)
+            continue;
+        assign(job, gpus);
+    }
+    result->ok = true;
+    result->gpus = new_gpus.at(new_job);
+    assign(new_job, result->gpus);
+    return true;
+}
+
+PlacementResult
+PlacementManager::place(JobId job, GpuCount size, PlacementStrategy strategy,
+                        bool allow_migration)
+{
+    EF_CHECK_MSG(!is_placed(job), "job " << job << " is already placed");
+    EF_CHECK_MSG(size > 0, "placement size must be positive");
+    PlacementResult result;
+    if (size > idle_gpus())
+        return result;
+
+    auto direct = try_direct(size, strategy);
+    if (strategy == PlacementStrategy::kBestFitCompact && allow_migration) {
+        // Buddy defragmentation: if the direct placement would span
+        // more servers than a compact one (or fails outright), repack
+        // so the job gets the locality its scaling curve assumes.
+        int compact_span =
+            (size + topology_->gpus_per_server() - 1) /
+            topology_->gpus_per_server();
+        int compact_racks =
+            (compact_span + topology_->spec().servers_per_rack - 1) /
+            topology_->spec().servers_per_rack;
+        bool direct_compact =
+            direct.has_value() &&
+            topology_->server_span(*direct) <= compact_span &&
+            topology_->rack_span(*direct) <= compact_racks;
+        if (!direct_compact && repack_with(job, size, &result))
+            return result;
+    }
+    if (direct.has_value()) {
+        result.ok = true;
+        result.gpus = std::move(*direct);
+        assign(job, result.gpus);
+        std::sort(result.gpus.begin(), result.gpus.end());
+        return result;
+    }
+    return result;
+}
+
+PlacementResult
+PlacementManager::resize(JobId job, GpuCount new_size,
+                         PlacementStrategy strategy, bool allow_migration)
+{
+    EF_CHECK(is_placed(job));
+    EF_CHECK(new_size > 0);
+    std::vector<GpuCount> current = gpus_of(job);
+    GpuCount old_size = static_cast<GpuCount>(current.size());
+    PlacementResult result;
+    if (new_size == old_size) {
+        result.ok = true;
+        result.gpus = current;
+        return result;
+    }
+
+    if (new_size < old_size) {
+        // Shrink: keep GPUs from the servers where the job is densest,
+        // so the remaining placement is as compact as possible.
+        std::map<int, std::vector<GpuCount>> by_server;
+        for (GpuCount g : current)
+            by_server[topology_->server_of(g)].push_back(g);
+        std::vector<std::pair<int, std::vector<GpuCount>>> groups(
+            by_server.begin(), by_server.end());
+        std::stable_sort(groups.begin(), groups.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.second.size() > b.second.size();
+                         });
+        std::vector<GpuCount> keep;
+        for (const auto &[server, gpus] : groups) {
+            for (GpuCount g : gpus) {
+                if (static_cast<GpuCount>(keep.size()) < new_size)
+                    keep.push_back(g);
+            }
+        }
+        unassign(job);
+        assign(job, keep);
+        result.ok = true;
+        std::sort(keep.begin(), keep.end());
+        result.gpus = std::move(keep);
+        return result;
+    }
+
+    // Grow: free the current GPUs, then place fresh (possibly with
+    // migration); restore the old placement if that fails.
+    unassign(job);
+    result = place(job, new_size, strategy, allow_migration);
+    if (!result.ok) {
+        assign(job, current);
+    }
+    return result;
+}
+
+void
+PlacementManager::release(JobId job)
+{
+    unassign(job);
+}
+
+void
+PlacementManager::validate() const
+{
+    std::vector<GpuCount> free_check(free_per_server_.size(), 0);
+    std::map<JobId, GpuCount> counts;
+    for (GpuCount g = 0; g < topology_->total_gpus(); ++g) {
+        JobId owner = gpu_owner_[static_cast<std::size_t>(g)];
+        if (owner == kInvalidJob) {
+            ++free_check[static_cast<std::size_t>(topology_->server_of(g))];
+        } else {
+            ++counts[owner];
+        }
+    }
+    EF_CHECK(free_check == free_per_server_);
+    for (int s = 0; s < topology_->num_servers(); ++s) {
+        if (server_down_[static_cast<std::size_t>(s)]) {
+            EF_CHECK(free_per_server_[static_cast<std::size_t>(s)] ==
+                     topology_->gpus_per_server());
+        }
+    }
+    EF_CHECK(counts.size() == job_gpus_.size());
+    for (const auto &[job, gpus] : job_gpus_) {
+        EF_CHECK(counts[job] == static_cast<GpuCount>(gpus.size()));
+        EF_CHECK(std::is_sorted(gpus.begin(), gpus.end()));
+        for (GpuCount g : gpus)
+            EF_CHECK(gpu_owner_[static_cast<std::size_t>(g)] == job);
+    }
+}
+
+}  // namespace ef

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Topology-aware job placement with buddy-style defragmentation
+ * (paper §4.3).
+ *
+ * The placement manager owns the assignment of jobs to concrete GPU
+ * ids. ElasticFlow places jobs with Best-Fit over the topology tree
+ * (the subtree whose idle GPU count is closest to the request) and,
+ * when power-of-two worker counts are used, falls back to a
+ * migration-based repacking that is guaranteed to succeed whenever
+ * enough idle GPUs exist anywhere in the cluster. Baseline schedulers
+ * use the non-migrating strategies, which can fragment — exactly the
+ * effect the paper's §3.2 motivates.
+ */
+#ifndef EF_CLUSTER_PLACEMENT_H_
+#define EF_CLUSTER_PLACEMENT_H_
+
+#include <optional>
+#include <map>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/types.h"
+
+namespace ef {
+
+/** How GPU ids are chosen for a job. */
+enum class PlacementStrategy {
+    kBestFitCompact,  ///< ElasticFlow: best-fit subtree, buddy repack
+    kFirstFit,        ///< naive: lowest free GPU ids, may fragment
+    kScatter,         ///< adversarial: round-robin across servers
+};
+
+/** A job relocation produced by defragmentation. */
+struct Migration
+{
+    JobId job = kInvalidJob;
+    std::vector<GpuCount> from;
+    std::vector<GpuCount> to;
+};
+
+/** Outcome of a placement request. */
+struct PlacementResult
+{
+    bool ok = false;
+    std::vector<GpuCount> gpus;        ///< sorted GPU ids for the job
+    std::vector<Migration> migrations; ///< relocations applied first
+};
+
+/** Tracks which job owns which GPU and serves placement requests. */
+class PlacementManager
+{
+  public:
+    explicit PlacementManager(const Topology *topology);
+
+    const Topology &topology() const { return *topology_; }
+
+    GpuCount total_gpus() const;
+    /** GPUs in servers that are currently up. */
+    GpuCount available_gpus() const;
+    /** Idle GPUs in servers that are currently up. */
+    GpuCount idle_gpus() const;
+    GpuCount used_gpus() const;
+
+    bool is_placed(JobId job) const;
+    /** Sorted GPU ids of a placed job. */
+    const std::vector<GpuCount> &gpus_of(JobId job) const;
+    GpuCount size_of(JobId job) const;
+    int server_span(JobId job) const;
+    CommLevel comm_level_of(JobId job) const;
+    std::vector<JobId> placed_jobs() const;
+
+    /** Idle GPUs in one server (0 while the server is down). */
+    GpuCount free_in_server(int server) const;
+
+    /**
+     * Mark a server failed/repaired (§4.4 "Node failures"). A server
+     * must be empty before it can be taken down — the simulator
+     * releases its jobs first. Down servers hold no placements and
+     * do not count toward idle or available capacity.
+     */
+    void set_server_available(int server, bool available);
+    bool server_available(int server) const;
+
+    /**
+     * Place @p job on @p size GPUs. The job must not currently be
+     * placed. With kBestFitCompact and @p allow_migration, power-of-two
+     * requests succeed whenever idle_gpus() >= size; the result then
+     * lists the migrations (whole-job relocations) performed to
+     * defragment. Other strategies never migrate.
+     */
+    PlacementResult place(JobId job, GpuCount size,
+                          PlacementStrategy strategy,
+                          bool allow_migration);
+
+    /**
+     * Change a placed job to @p new_size GPUs (elastic scaling). Keeps
+     * as many of the job's current GPUs as the strategy allows. The
+     * simulator charges the scaling overhead; this only rewires
+     * ownership.
+     */
+    PlacementResult resize(JobId job, GpuCount new_size,
+                           PlacementStrategy strategy,
+                           bool allow_migration);
+
+    /** Free all GPUs of a placed job. */
+    void release(JobId job);
+
+    /** Internal consistency check (tests call this after mutations). */
+    void validate() const;
+
+  private:
+    std::vector<GpuCount> take_from_server(int server, GpuCount count);
+    void assign(JobId job, std::vector<GpuCount> gpus);
+    void unassign(JobId job);
+
+    std::optional<std::vector<GpuCount>>
+    try_direct(GpuCount size, PlacementStrategy strategy) const;
+
+    /** Best-fit without migration; nullopt when impossible. */
+    std::optional<std::vector<GpuCount>> try_best_fit(GpuCount size) const;
+    std::optional<std::vector<GpuCount>> try_first_fit(GpuCount size) const;
+    std::optional<std::vector<GpuCount>> try_scatter(GpuCount size) const;
+
+    /** Full buddy repack; fills result on success. */
+    bool repack_with(JobId new_job, GpuCount size, PlacementResult *result);
+
+    const Topology *topology_;
+    std::vector<JobId> gpu_owner_;              // size total_gpus
+    std::map<JobId, std::vector<GpuCount>> job_gpus_;
+    std::vector<GpuCount> free_per_server_;
+    std::vector<bool> server_down_;
+};
+
+}  // namespace ef
+
+#endif  // EF_CLUSTER_PLACEMENT_H_

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Checked assertions.
+ *
+ * EF_CHECK is for conditions that indicate a bug in ElasticFlow itself
+ * (gem5's panic()); EF_FATAL_IF is for user errors such as invalid
+ * configuration (gem5's fatal()). Both are always on, including in
+ * release builds: scheduler invariants are cheap relative to simulation
+ * work and silent corruption of an allocation plan is much worse than an
+ * abort.
+ */
+#ifndef EF_COMMON_CHECK_H_
+#define EF_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ef {
+namespace detail {
+
+[[noreturn]] inline void
+check_failed(const char *kind, const char *file, int line,
+             const char *expr, const std::string &msg)
+{
+    std::cerr << kind << " at " << file << ":" << line << ": " << expr;
+    if (!msg.empty())
+        std::cerr << " — " << msg;
+    std::cerr << std::endl;
+    std::abort();
+}
+
+}  // namespace detail
+}  // namespace ef
+
+/** Abort if @p cond is false; indicates an internal ElasticFlow bug. */
+#define EF_CHECK(cond)                                                      \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::ef::detail::check_failed("EF_CHECK failed", __FILE__,         \
+                                       __LINE__, #cond, "");                \
+        }                                                                   \
+    } while (0)
+
+/** Abort with a streamed message if @p cond is false. */
+#define EF_CHECK_MSG(cond, msg_expr)                                        \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream ef_check_oss_;                               \
+            ef_check_oss_ << msg_expr;                                      \
+            ::ef::detail::check_failed("EF_CHECK failed", __FILE__,         \
+                                       __LINE__, #cond,                     \
+                                       ef_check_oss_.str());                \
+        }                                                                   \
+    } while (0)
+
+/** Abort if @p cond is true; indicates invalid user input/configuration. */
+#define EF_FATAL_IF(cond, msg_expr)                                         \
+    do {                                                                    \
+        if (cond) {                                                         \
+            std::ostringstream ef_check_oss_;                               \
+            ef_check_oss_ << msg_expr;                                      \
+            ::ef::detail::check_failed("fatal", __FILE__, __LINE__, #cond,  \
+                                       ef_check_oss_.str());                \
+        }                                                                   \
+    } while (0)
+
+#endif  // EF_COMMON_CHECK_H_

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Tiny CSV reader/writer: enough to load real job traces (submit time,
+ * GPU count, duration) and to dump bench results for external plotting.
+ * Supports quoted fields with embedded commas; does not support
+ * multi-line fields (traces never contain them).
+ */
+#ifndef EF_COMMON_CSV_H_
+#define EF_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace ef {
+
+/** One parsed CSV table: a header row plus data rows of strings. */
+struct CsvTable
+{
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+
+    /** Index of @p column in the header, or -1 if absent. */
+    int column_index(const std::string &column) const;
+
+    /** Cell accessor with bounds checks; aborts via EF_FATAL_IF on miss. */
+    const std::string &cell(std::size_t row, const std::string &column) const;
+};
+
+/** Parse CSV text (first row is the header). */
+CsvTable parse_csv(const std::string &text);
+
+/** Load and parse a CSV file. */
+CsvTable load_csv(const std::string &path);
+
+/** Serialize rows (quoting fields that need it). */
+std::string to_csv(const std::vector<std::string> &header,
+                   const std::vector<std::vector<std::string>> &rows);
+
+/** Write CSV text to a file (overwrites). */
+void save_csv(const std::string &path, const std::vector<std::string> &header,
+              const std::vector<std::vector<std::string>> &rows);
+
+}  // namespace ef
+
+#endif  // EF_COMMON_CSV_H_

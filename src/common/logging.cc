@@ -1,0 +1,42 @@
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace ef {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char *
+level_name(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kError: return "error";
+    }
+    return "?";
+}
+
+}  // namespace
+
+LogLevel
+log_level()
+{
+    return g_level;
+}
+
+void
+set_log_level(LogLevel level)
+{
+    g_level = level;
+}
+
+void
+log_message(LogLevel level, const std::string &msg)
+{
+    std::cerr << "[ef:" << level_name(level) << "] " << msg << "\n";
+}
+
+}  // namespace ef

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal leveled logger.
+ *
+ * Benches and examples keep the default (warn) so their stdout stays a
+ * clean reproduction of the paper's tables; tests raise the level when
+ * debugging. Not thread-safe by design — ElasticFlow's simulator is
+ * single-threaded and deterministic.
+ */
+#ifndef EF_COMMON_LOGGING_H_
+#define EF_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ef {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/** Global log threshold; messages below it are discarded. */
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/** Emit one log line (no layout guarantees beyond "level: message"). */
+void log_message(LogLevel level, const std::string &msg);
+
+}  // namespace ef
+
+#define EF_LOG(level, msg_expr)                                             \
+    do {                                                                    \
+        if (static_cast<int>(level) >=                                      \
+            static_cast<int>(::ef::log_level())) {                          \
+            std::ostringstream ef_log_oss_;                                 \
+            ef_log_oss_ << msg_expr;                                        \
+            ::ef::log_message(level, ef_log_oss_.str());                    \
+        }                                                                   \
+    } while (0)
+
+#define EF_DEBUG(msg_expr) EF_LOG(::ef::LogLevel::kDebug, msg_expr)
+#define EF_INFO(msg_expr) EF_LOG(::ef::LogLevel::kInfo, msg_expr)
+#define EF_WARN(msg_expr) EF_LOG(::ef::LogLevel::kWarn, msg_expr)
+#define EF_ERROR(msg_expr) EF_LOG(::ef::LogLevel::kError, msg_expr)
+
+#endif  // EF_COMMON_LOGGING_H_

@@ -1,0 +1,129 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ef {
+
+bool
+is_power_of_two(GpuCount value)
+{
+    return value > 0 && (value & (value - 1)) == 0;
+}
+
+GpuCount
+floor_power_of_two(GpuCount value)
+{
+    if (value <= 0)
+        return 0;
+    GpuCount p = 1;
+    while (p * 2 <= value)
+        p *= 2;
+    return p;
+}
+
+GpuCount
+ceil_power_of_two(GpuCount value)
+{
+    if (value <= 1)
+        return 1;
+    GpuCount p = 1;
+    while (p < value)
+        p *= 2;
+    return p;
+}
+
+int
+log2_floor(GpuCount value)
+{
+    EF_CHECK(value >= 1);
+    int k = 0;
+    while ((GpuCount(1) << (k + 1)) <= value)
+        ++k;
+    return k;
+}
+
+int
+log2_exact(GpuCount value)
+{
+    EF_CHECK_MSG(is_power_of_two(value), value << " is not a power of two");
+    return log2_floor(value);
+}
+
+bool
+is_concave(const std::vector<double> &xs, const std::vector<double> &ys,
+           double tol)
+{
+    EF_CHECK(xs.size() == ys.size());
+    if (xs.size() < 3)
+        return true;
+    double prev_slope = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+        double dx = xs[i] - xs[i - 1];
+        EF_CHECK_MSG(dx > 0, "x samples must be strictly increasing");
+        double slope = (ys[i] - ys[i - 1]) / dx;
+        if (slope > prev_slope + tol)
+            return false;
+        prev_slope = slope;
+    }
+    return true;
+}
+
+std::vector<double>
+concave_envelope(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    EF_CHECK(xs.size() == ys.size());
+    const std::size_t n = xs.size();
+    if (n < 3)
+        return ys;
+
+    // Upper convex hull of the points (monotone chain). Points on the
+    // hull keep their value; points below it are lifted onto the hull
+    // segment that spans them.
+    auto cross = [&](std::size_t o, std::size_t a, std::size_t b) {
+        return (xs[a] - xs[o]) * (ys[b] - ys[o]) -
+               (ys[a] - ys[o]) * (xs[b] - xs[o]);
+    };
+    std::vector<std::size_t> hull;
+    for (std::size_t i = 0; i < n; ++i) {
+        while (hull.size() >= 2 &&
+               cross(hull[hull.size() - 2], hull.back(), i) >= 0) {
+            hull.pop_back();
+        }
+        hull.push_back(i);
+    }
+
+    std::vector<double> out(n);
+    std::size_t seg = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        while (seg + 1 < hull.size() && xs[hull[seg + 1]] < xs[i])
+            ++seg;
+        if (hull[seg] == i || seg + 1 >= hull.size()) {
+            out[i] = std::max(ys[i], ys[hull[seg]]);
+            continue;
+        }
+        std::size_t a = hull[seg];
+        std::size_t b = hull[seg + 1];
+        double t = (xs[i] - xs[a]) / (xs[b] - xs[a]);
+        out[i] = ys[a] + t * (ys[b] - ys[a]);
+        out[i] = std::max(out[i], ys[i]);
+    }
+    return out;
+}
+
+double
+clamp(double value, double lo, double hi)
+{
+    return std::min(std::max(value, lo), hi);
+}
+
+double
+relative_difference(double a, double b, double eps)
+{
+    double denom = std::max({std::fabs(a), std::fabs(b), eps});
+    return std::fabs(a - b) / denom;
+}
+
+}  // namespace ef

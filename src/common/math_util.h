@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Small numeric helpers used across the scheduler: power-of-two
+ * arithmetic (worker counts are restricted to powers of two, §4.3) and
+ * concavity utilities for scaling curves.
+ */
+#ifndef EF_COMMON_MATH_UTIL_H_
+#define EF_COMMON_MATH_UTIL_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace ef {
+
+/** True iff @p value is a power of two (1, 2, 4, ...). */
+bool is_power_of_two(GpuCount value);
+
+/** Largest power of two ≤ @p value; 0 when value ≤ 0. */
+GpuCount floor_power_of_two(GpuCount value);
+
+/** Smallest power of two ≥ @p value; 1 when value ≤ 1. */
+GpuCount ceil_power_of_two(GpuCount value);
+
+/** floor(log2(value)) for value ≥ 1. */
+int log2_floor(GpuCount value);
+
+/** Exact log2 for a power of two. */
+int log2_exact(GpuCount value);
+
+/**
+ * True iff the sequence y(x) sampled at strictly increasing points
+ * @p xs is concave: successive chord slopes are non-increasing (within
+ * @p tol of slope slack).
+ */
+bool is_concave(const std::vector<double> &xs, const std::vector<double> &ys,
+                double tol = 1e-9);
+
+/**
+ * Upper concave envelope of y(x) at the same sample points: the least
+ * concave majorant, computed with an Andrew-monotone-chain style upper
+ * hull. Used to force analytic scaling curves into the concave regime
+ * Algorithms 1–2 assume.
+ */
+std::vector<double> concave_envelope(const std::vector<double> &xs,
+                                     const std::vector<double> &ys);
+
+/** Clamp helper that also works for Time. */
+double clamp(double value, double lo, double hi);
+
+/** Relative difference |a-b| / max(|a|,|b|,eps). */
+double relative_difference(double a, double b, double eps = 1e-12);
+
+}  // namespace ef
+
+#endif  // EF_COMMON_MATH_UTIL_H_

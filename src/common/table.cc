@@ -1,0 +1,150 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ef {
+namespace {
+
+bool
+looks_numeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+              c == '-' || c == '+' || c == 'e' || c == 'E' || c == '%' ||
+              c == 'x')) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    EF_CHECK(!header_.empty());
+}
+
+void
+ConsoleTable::add_row(std::vector<std::string> row)
+{
+    EF_CHECK_MSG(row.size() == header_.size(),
+                 "row width " << row.size() << " != header width "
+                              << header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+ConsoleTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &row, bool align_right) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out << "  ";
+            bool right = align_right && looks_numeric(row[c]);
+            std::size_t pad = widths[c] - row[c].size();
+            if (right)
+                out << std::string(pad, ' ') << row[c];
+            else
+                out << row[c] << std::string(pad, ' ');
+        }
+        out << '\n';
+    };
+    emit(header_, false);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row, true);
+    return out.str();
+}
+
+std::string
+format_double(double value, int decimals)
+{
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(decimals);
+    out << value;
+    return out.str();
+}
+
+std::string
+format_percent(double fraction, int decimals)
+{
+    return format_double(fraction * 100.0, decimals) + "%";
+}
+
+std::string
+render_bar_chart(const std::vector<std::string> &labels,
+                 const std::vector<double> &values, int width)
+{
+    EF_CHECK(labels.size() == values.size());
+    EF_CHECK(width > 0);
+    double max_value = 0.0;
+    std::size_t label_width = 0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        max_value = std::max(max_value, values[i]);
+        label_width = std::max(label_width, labels[i].size());
+    }
+    std::ostringstream out;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        int bars = 0;
+        if (max_value > 0) {
+            bars = static_cast<int>(
+                std::lround(values[i] / max_value * width));
+        }
+        out << labels[i]
+            << std::string(label_width - labels[i].size(), ' ') << " |"
+            << std::string(static_cast<std::size_t>(std::max(bars, 0)), '#')
+            << " " << format_double(values[i], 3) << '\n';
+    }
+    return out.str();
+}
+
+std::string
+render_sparkline(const std::vector<double> &values, int height)
+{
+    EF_CHECK(height > 0);
+    if (values.empty())
+        return "(empty series)\n";
+    double lo = *std::min_element(values.begin(), values.end());
+    double hi = *std::max_element(values.begin(), values.end());
+    double span = hi - lo;
+    std::ostringstream out;
+    for (int row = height - 1; row >= 0; --row) {
+        double threshold =
+            lo + span * (static_cast<double>(row) + 0.5) /
+                     static_cast<double>(height);
+        out << format_double(
+                   lo + span * (static_cast<double>(row) + 1.0) /
+                            static_cast<double>(height), 1)
+            << "\t|";
+        for (double v : values)
+            out << (span == 0.0 ? (row == 0 ? '#' : ' ')
+                                : (v >= threshold ? '#' : ' '));
+        out << '\n';
+    }
+    out << "\t+" << std::string(values.size(), '-') << '\n';
+    return out.str();
+}
+
+}  // namespace ef

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Console table and bar-chart rendering for the bench binaries, so each
+ * bench prints the same rows/series the paper's tables and figures
+ * report, readable directly in a terminal.
+ */
+#ifndef EF_COMMON_TABLE_H_
+#define EF_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace ef {
+
+/** Column-aligned text table with a header row. */
+class ConsoleTable
+{
+  public:
+    explicit ConsoleTable(std::vector<std::string> header);
+
+    /** Append a data row (must match the header width). */
+    void add_row(std::vector<std::string> row);
+
+    /** Render with padded, right-aligned numeric-looking columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed decimals (bench output helper). */
+std::string format_double(double value, int decimals = 2);
+
+/** Format a fraction as a percentage string like "83.3%". */
+std::string format_percent(double fraction, int decimals = 1);
+
+/**
+ * Render a horizontal ASCII bar chart: one line per (label, value),
+ * bars scaled to @p width characters at the maximum value.
+ */
+std::string render_bar_chart(const std::vector<std::string> &labels,
+                             const std::vector<double> &values,
+                             int width = 40);
+
+/**
+ * Render a compact ASCII line plot of a series (used for the timeline
+ * figures): values bucketed into @p height character rows.
+ */
+std::string render_sparkline(const std::vector<double> &values,
+                             int height = 8);
+
+}  // namespace ef
+
+#endif  // EF_COMMON_TABLE_H_

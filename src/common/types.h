@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every ElasticFlow module.
+ *
+ * Time is modelled as continuous seconds (double) since the start of an
+ * experiment; the scheduler quantizes time into slots internally but the
+ * simulator and all public interfaces use seconds.
+ */
+#ifndef EF_COMMON_TYPES_H_
+#define EF_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ef {
+
+/** Continuous simulation time in seconds since experiment start. */
+using Time = double;
+
+/** Number of GPUs (whole devices; ElasticFlow does not share GPUs). */
+using GpuCount = int;
+
+/** Unique identifier of a training job within one experiment. */
+using JobId = std::int64_t;
+
+/** Sentinel for "no job". */
+inline constexpr JobId kInvalidJob = -1;
+
+/** Sentinel time for "never" (used for best-effort job deadlines). */
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/** Seconds in common calendar units, for readable experiment configs. */
+inline constexpr Time kMinute = 60.0;
+inline constexpr Time kHour = 3600.0;
+inline constexpr Time kDay = 86400.0;
+
+}  // namespace ef
+
+#endif  // EF_COMMON_TYPES_H_

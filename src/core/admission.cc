@@ -1,0 +1,135 @@
+#include "core/admission.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace ef {
+namespace {
+
+/** Tolerance on "remaining iterations satisfied" comparisons. */
+constexpr double kIterEpsilon = 1e-7;
+
+}  // namespace
+
+std::optional<SlotPlan>
+progressive_fill(const PlanningJob &job,
+                 const std::vector<GpuCount> &available,
+                 const PlanHorizon &horizon, const PlannerConfig &config,
+                 int start_slot)
+{
+    const int slots = horizon.slots;
+    EF_CHECK(slots >= 0 && start_slot >= 0);
+    EF_CHECK(static_cast<int>(available.size()) >= slots);
+    EF_CHECK(!job.curve.empty());
+
+    SlotPlan plan;
+    if (job.remaining_iterations <= kIterEpsilon)
+        return plan;  // nothing left to do
+    if (start_slot >= slots)
+        return std::nullopt;
+
+    const Time dt = config.slot_seconds;
+    auto slot_capacity = [&](int t) {
+        return t == slots - 1 ? dt * horizon.last_weight : dt;
+    };
+    for (GpuCount level = job.curve.min_workers();
+         level != 0 && level <= job.curve.max_useful();
+         level = (level < job.curve.max_useful() ? level * 2 : 0)) {
+        plan.gpus.assign(static_cast<std::size_t>(slots), 0);
+        double remaining = job.remaining_iterations;
+        bool satisfied = false;
+
+        auto fill_slot = [&](int t) {
+            GpuCount x = job.curve.usable(
+                std::min(level, available[static_cast<std::size_t>(t)]));
+            plan.gpus[static_cast<std::size_t>(t)] = x;
+            remaining -= job.curve.throughput(x) * slot_capacity(t);
+            return remaining <= kIterEpsilon;
+        };
+
+        if (config.direction == FillDirection::kEarliest) {
+            for (int t = start_slot; t < slots && !satisfied; ++t)
+                satisfied = fill_slot(t);
+        } else {
+            for (int t = slots - 1; t >= start_slot && !satisfied; --t)
+                satisfied = fill_slot(t);
+        }
+        if (satisfied) {
+            plan.trim();
+            return plan;
+        }
+    }
+    return std::nullopt;
+}
+
+AdmissionOutcome
+run_admission(const PlannerConfig &config, Time now,
+              std::vector<PlanningJob> jobs)
+{
+    EF_CHECK(config.total_gpus > 0 && config.slot_seconds > 0.0);
+    AdmissionOutcome outcome;
+
+    std::stable_sort(jobs.begin(), jobs.end(),
+                     [](const PlanningJob &a, const PlanningJob &b) {
+                         if (a.deadline != b.deadline)
+                             return a.deadline < b.deadline;
+                         return a.id < b.id;
+                     });
+
+    int max_horizon = 0;
+    for (const PlanningJob &job : jobs) {
+        EF_CHECK_MSG(!job.best_effort(),
+                     "best-effort job " << job.id
+                                        << " passed to admission control");
+        max_horizon = std::max(
+            max_horizon, plan_horizon(now, job.deadline,
+                                      config.slot_seconds,
+                                      config.max_slots).slots);
+    }
+
+    std::vector<GpuCount> available(static_cast<std::size_t>(max_horizon),
+                                    config.total_gpus);
+    for (const PlanningJob &job : jobs) {
+        PlanHorizon horizon = plan_horizon(now, job.deadline,
+                                           config.slot_seconds,
+                                           config.max_slots);
+        auto plan = progressive_fill(job, available, horizon, config);
+        if (!plan.has_value())
+            return outcome;  // infeasible; plans discarded
+        for (int t = 0; t < plan->horizon(); ++t) {
+            GpuCount &a = available[static_cast<std::size_t>(t)];
+            a -= plan->at(t);
+            EF_CHECK_MSG(a >= 0, "admission over-allocated slot " << t);
+        }
+        outcome.plans.emplace(job.id, std::move(*plan));
+    }
+    outcome.feasible = true;
+    return outcome;
+}
+
+bool
+linear_feasibility(GpuCount total_gpus, Time now,
+                   const std::vector<PlanningJob> &jobs)
+{
+    std::vector<PlanningJob> sorted = jobs;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const PlanningJob &a, const PlanningJob &b) {
+                         return a.deadline < b.deadline;
+                     });
+    double cumulative_gpu_time = 0.0;
+    for (const PlanningJob &job : sorted) {
+        double per_gpu = job.curve.throughput(1);
+        EF_CHECK_MSG(per_gpu > 0.0,
+                     "linear_feasibility needs 1-GPU-feasible jobs");
+        cumulative_gpu_time += job.remaining_iterations / per_gpu;
+        double budget =
+            static_cast<double>(total_gpus) * (job.deadline - now);
+        if (cumulative_gpu_time > budget)
+            return false;
+    }
+    return true;
+}
+
+}  // namespace ef

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Admission control via Minimum Satisfactory Share (paper §4.1,
+ * Algorithm 1).
+ *
+ * The minimum satisfactory share of a job is the least allocation
+ * profile that meets its deadline given what earlier-deadline jobs
+ * already reserved. Admission sorts jobs by deadline and progressively
+ * fills each one: it raises a per-job GPU level j (a power of two) and
+ * assigns x_i(t) = usable(min(j, available(t))) in each slot until the
+ * job's remaining iterations fit before its deadline. A new job is
+ * admitted iff this succeeds for *every* job with the new job included
+ * — i.e. admitting it cannot break any already-admitted deadline.
+ */
+#ifndef EF_CORE_ADMISSION_H_
+#define EF_CORE_ADMISSION_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/allocation_plan.h"
+
+namespace ef {
+
+/** Which slots a fill occupies when a job needs fewer than all. */
+enum class FillDirection {
+    kEarliest,  ///< run as soon as possible (frees GPUs early; default)
+    kLatest,    ///< run as late as possible (paper's Algorithm 1 order)
+};
+
+/** Static parameters of one planning pass. */
+struct PlannerConfig
+{
+    GpuCount total_gpus = 0;
+    Time slot_seconds = 300.0;
+    FillDirection direction = FillDirection::kEarliest;
+    /** Upper bound on planning horizon slots (guards runaway input). */
+    int max_slots = 1 << 16;
+};
+
+/** Result of Algorithm 1 over a job set. */
+struct AdmissionOutcome
+{
+    bool feasible = false;
+    /** Minimum-satisfactory-share plan per job (iff feasible). */
+    std::map<JobId, SlotPlan> plans;
+};
+
+/**
+ * ProgressiveFilling for one job: the smallest GPU level whose
+ * per-slot allocation min(level, available) finishes
+ * @p job.remaining_iterations within the horizon (the final slot
+ * contributes only its usable fraction). Slots [0, start_slot) are
+ * untouched (used by Algorithm 2's re-fill with a fixed slot-0
+ * allocation). @p available lists free GPUs per slot and must cover
+ * horizon.slots entries.
+ *
+ * @return the plan (length <= horizon.slots, trailing zeros trimmed),
+ *         or nullopt when even the maximum useful level cannot meet
+ *         the deadline.
+ */
+std::optional<SlotPlan>
+progressive_fill(const PlanningJob &job,
+                 const std::vector<GpuCount> &available,
+                 const PlanHorizon &horizon, const PlannerConfig &config,
+                 int start_slot = 0);
+
+/**
+ * Algorithm 1: feasibility of a whole job set (admitted jobs plus a
+ * candidate), all with deadlines. Jobs are sorted by deadline
+ * internally. Best-effort jobs must not be passed here — they are
+ * never admission-controlled.
+ */
+AdmissionOutcome run_admission(const PlannerConfig &config, Time now,
+                               std::vector<PlanningJob> jobs);
+
+/**
+ * Closed-form feasibility for *linear* curves (Theorem 1): with jobs
+ * sorted by deadline, feasible iff for every prefix the required GPU
+ * time fits before the prefix deadline. Used by tests to validate
+ * run_admission and exposed for documentation value.
+ */
+bool linear_feasibility(GpuCount total_gpus, Time now,
+                        const std::vector<PlanningJob> &jobs);
+
+}  // namespace ef
+
+#endif  // EF_CORE_ADMISSION_H_

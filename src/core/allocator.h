@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Elastic resource allocation (paper §4.2, Algorithm 2).
+ *
+ * After admission reserves each SLO job's minimum satisfactory share,
+ * leftover GPUs are handed out greedily by *marginal return*: the
+ * reduction in total GPU time obtained by giving a job one more
+ * allocation step in the current slot (worker counts being powers of
+ * two, a step doubles the current count). Only steps that strictly
+ * improve the job's finish time are considered (Algorithm 2, line 10).
+ * Best-effort jobs (deadline = infinity, §4.4) join the same queue
+ * after SLO minimum shares: starting an idle best-effort job has
+ * unbounded return (it turns idle GPUs into progress), and growing a
+ * running one is priced by the same GPU-time delta, computed
+ * analytically since its horizon is unbounded.
+ *
+ * Theorem 2: under concave scaling curves this greedy is optimal for
+ * the objective (4)-(7) — minimize total GPU time subject to meeting
+ * all deadlines and leaving no allocatable GPU idle. Property tests
+ * check it against brute force on small instances.
+ */
+#ifndef EF_CORE_ALLOCATOR_H_
+#define EF_CORE_ALLOCATOR_H_
+
+#include <map>
+#include <vector>
+
+#include "core/admission.h"
+
+namespace ef {
+
+/** Final decision of one scheduling pass. */
+struct AllocationOutcome
+{
+    /** GPUs to hand each job *now* (slot 0); 0 = suspended. */
+    std::map<JobId, GpuCount> gpus_now;
+    /** Full plans for SLO jobs (feasibility witnesses). */
+    std::map<JobId, SlotPlan> plans;
+    /** GPUs left idle because no job could benefit from more. */
+    GpuCount unallocated = 0;
+};
+
+/**
+ * Algorithm 2. @p slo_jobs must all carry finite deadlines and an
+ * entry in @p min_share_plans (produced by run_admission over the same
+ * state); @p best_effort_jobs carry deadline = infinity.
+ */
+AllocationOutcome
+run_allocation(const PlannerConfig &config, Time now,
+               const std::vector<PlanningJob> &slo_jobs,
+               const std::map<JobId, SlotPlan> &min_share_plans,
+               const std::vector<PlanningJob> &best_effort_jobs);
+
+}  // namespace ef
+
+#endif  // EF_CORE_ALLOCATOR_H_

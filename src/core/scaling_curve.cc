@@ -1,0 +1,148 @@
+#include "core/scaling_curve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace ef {
+namespace {
+
+/** Relative gain below which an extra doubling is "not useful". */
+constexpr double kUsefulGainEpsilon = 1e-6;
+
+}  // namespace
+
+ScalingCurve
+ScalingCurve::from_pow2_table(std::vector<double> table,
+                              bool enforce_concave)
+{
+    EF_CHECK_MSG(!table.empty(), "scaling curve needs at least one entry");
+    for (double v : table)
+        EF_CHECK_MSG(v >= 0.0, "negative throughput in scaling curve");
+
+    // Identify the valid region [first positive, end].
+    std::size_t first = 0;
+    while (first < table.size() && table[first] <= 0.0)
+        ++first;
+    EF_CHECK_MSG(first < table.size(),
+                 "scaling curve has no feasible GPU count");
+    for (std::size_t k = first; k < table.size(); ++k) {
+        EF_CHECK_MSG(table[k] > 0.0,
+                     "scaling curve has a zero inside its valid region");
+    }
+
+    if (enforce_concave && table.size() - first >= 2) {
+        // Monotone non-decreasing clamp: a concave curve in the
+        // algorithms' sense never loses throughput when GPUs are added
+        // (the scheduler would simply not use the extra GPUs; profiling
+        // stops there, §6.6).
+        for (std::size_t k = first + 1; k < table.size(); ++k)
+            table[k] = std::max(table[k], table[k - 1]);
+        // Concave envelope in GPU-count space over the valid region.
+        std::vector<double> xs, ys;
+        for (std::size_t k = first; k < table.size(); ++k) {
+            xs.push_back(static_cast<double>(GpuCount(1) << k));
+            ys.push_back(table[k]);
+        }
+        std::vector<double> env = concave_envelope(xs, ys);
+        for (std::size_t k = first; k < table.size(); ++k)
+            table[k] = env[k - first];
+    }
+
+    ScalingCurve curve;
+    curve.table_ = std::move(table);
+
+    // max_useful: the last doubling that still improves throughput.
+    std::size_t best = first;
+    for (std::size_t k = first + 1; k < curve.table_.size(); ++k) {
+        if (curve.table_[k] >
+            curve.table_[best] * (1.0 + kUsefulGainEpsilon)) {
+            best = k;
+        }
+    }
+    curve.max_useful_ = GpuCount(1) << best;
+    return curve;
+}
+
+double
+ScalingCurve::throughput(GpuCount gpus) const
+{
+    EF_CHECK(!table_.empty());
+    if (gpus <= 0)
+        return 0.0;
+    GpuCount p = std::min(floor_power_of_two(gpus), max_tabulated());
+    return table_[static_cast<std::size_t>(log2_exact(p))];
+}
+
+GpuCount
+ScalingCurve::max_tabulated() const
+{
+    EF_CHECK(!table_.empty());
+    return GpuCount(1) << (table_.size() - 1);
+}
+
+GpuCount
+ScalingCurve::min_workers() const
+{
+    EF_CHECK(!table_.empty());
+    for (std::size_t k = 0; k < table_.size(); ++k) {
+        if (table_[k] > 0.0)
+            return GpuCount(1) << k;
+    }
+    EF_CHECK(false);
+    return 0;
+}
+
+GpuCount
+ScalingCurve::usable(GpuCount available) const
+{
+    GpuCount cap = std::min(available, max_useful());
+    GpuCount p = floor_power_of_two(cap);
+    if (p < min_workers())
+        return 0;
+    return p;
+}
+
+GpuCount
+ScalingCurve::next_step(GpuCount gpus) const
+{
+    if (gpus <= 0)
+        return min_workers() <= max_useful() ? min_workers() : 0;
+    EF_CHECK_MSG(is_power_of_two(gpus), "allocation " << gpus
+                                        << " is not a power of two");
+    GpuCount next = gpus * 2;
+    if (next > max_useful())
+        return 0;
+    return next;
+}
+
+ScalingCurve
+restrict_to_fixed_size(const ScalingCurve &curve, GpuCount size)
+{
+    EF_CHECK(is_power_of_two(size));
+    double tpt = curve.throughput(size);
+    EF_CHECK_MSG(tpt > 0.0,
+                 "cannot fix a curve at infeasible size " << size);
+    std::vector<double> table(static_cast<std::size_t>(
+                                  log2_exact(size)) + 1, 0.0);
+    table.back() = tpt;
+    return ScalingCurve::from_pow2_table(std::move(table),
+                                         /*enforce_concave=*/false);
+}
+
+bool
+ScalingCurve::concave() const
+{
+    std::vector<double> xs, ys;
+    for (std::size_t k = 0; k < table_.size(); ++k) {
+        if (table_[k] <= 0.0)
+            continue;
+        xs.push_back(static_cast<double>(GpuCount(1) << k));
+        ys.push_back(table_[k]);
+    }
+    return is_concave(xs, ys, 1e-9 * (ys.empty() ? 1.0 : ys.back()));
+}
+
+}  // namespace ef

@@ -1,0 +1,130 @@
+#include "exec/control_plane.h"
+
+#include "common/check.h"
+
+namespace ef {
+
+std::string
+command_type_name(CommandType type)
+{
+    switch (type) {
+      case CommandType::kLaunch: return "launch";
+      case CommandType::kScale: return "scale";
+      case CommandType::kSuspend: return "suspend";
+      case CommandType::kShutdown: return "shutdown";
+    }
+    return "?";
+}
+
+ExecutorFleet::ExecutorFleet(const PerfModel *perf,
+                             const OverheadModel *overhead,
+                             Time rpc_latency_s)
+    : perf_(perf), overhead_(overhead), rpc_latency_s_(rpc_latency_s)
+{
+    EF_CHECK(perf_ != nullptr && overhead_ != nullptr);
+    EF_CHECK(rpc_latency_s_ >= 0.0);
+}
+
+void
+ExecutorFleet::register_job(const JobSpec &spec)
+{
+    EF_FATAL_IF(executions_.count(spec.id) > 0,
+                "job " << spec.id << " already registered");
+    executions_.emplace(spec.id, std::make_unique<JobExecution>(
+                                     spec, perf_, overhead_));
+}
+
+bool
+ExecutorFleet::knows(JobId job) const
+{
+    return executions_.count(job) > 0;
+}
+
+CommandAck
+ExecutorFleet::issue(CommandType type, JobId job,
+                     const std::vector<GpuCount> &gpus, Time now)
+{
+    EF_CHECK_MSG(now >= last_issue_,
+                 "commands must be issued in time order");
+    last_issue_ = now;
+
+    Command command;
+    command.seq = next_seq_++;
+    command.issued_at = now;
+    command.type = type;
+    command.job = job;
+    command.gpus = gpus;
+    log_.push_back(command);
+
+    CommandAck ack;
+    ack.seq = command.seq;
+    ack.applied_at = now + rpc_latency_s_;
+
+    auto it = executions_.find(job);
+    if (it == executions_.end()) {
+        ack.ok = false;
+        acks_.push_back(ack);
+        return ack;
+    }
+    JobExecution &exec = *it->second;
+    switch (type) {
+      case CommandType::kLaunch:
+      case CommandType::kScale:
+        EF_CHECK_MSG(!gpus.empty(),
+                     command_type_name(type) << " needs a GPU set");
+        if (exec.finished()) {
+            ack.ok = false;
+            break;
+        }
+        exec.scale(ack.applied_at, gpus);
+        ack.ok = true;
+        break;
+      case CommandType::kSuspend:
+        exec.scale(ack.applied_at, {});
+        ack.ok = true;
+        break;
+      case CommandType::kShutdown:
+        exec.scale(ack.applied_at, {});
+        executions_.erase(it);
+        ack.ok = true;
+        break;
+    }
+    acks_.push_back(ack);
+    return ack;
+}
+
+void
+ExecutorFleet::advance(Time now)
+{
+    for (auto &[id, exec] : executions_)
+        exec->advance(now);
+}
+
+const JobExecution &
+ExecutorFleet::execution(JobId job) const
+{
+    auto it = executions_.find(job);
+    EF_CHECK_MSG(it != executions_.end(),
+                 "job " << job << " is unknown to the fleet");
+    return *it->second;
+}
+
+std::size_t
+ExecutorFleet::finished_count() const
+{
+    std::size_t n = 0;
+    for (const auto &[id, exec] : executions_)
+        n += exec->finished() ? 1 : 0;
+    return n;
+}
+
+std::size_t
+ExecutorFleet::running_count() const
+{
+    std::size_t n = 0;
+    for (const auto &[id, exec] : executions_)
+        n += (!exec->finished() && exec->worker_count() > 0) ? 1 : 0;
+    return n;
+}
+
+}  // namespace ef

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Control plane of the elastic training executor (paper §5: the
+ * scheduler exchanges control messages with workers over gRPC).
+ *
+ * ExecutorFleet models that coordination layer: the scheduler issues
+ * typed commands (launch, scale, suspend, shutdown) addressed to a
+ * job; each command is delivered after an RPC latency and applied to
+ * the job's iteration-granular JobExecution. Every command and its
+ * acknowledgement land in an inspectable log, which is what the tests
+ * (and a real deployment's observability) key on.
+ */
+#ifndef EF_EXEC_CONTROL_PLANE_H_
+#define EF_EXEC_CONTROL_PLANE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "exec/executor.h"
+
+namespace ef {
+
+/** Message types the scheduler sends to the executor. */
+enum class CommandType { kLaunch, kScale, kSuspend, kShutdown };
+
+std::string command_type_name(CommandType type);
+
+/** One control message. */
+struct Command
+{
+    std::uint64_t seq = 0;
+    Time issued_at = 0.0;
+    CommandType type = CommandType::kLaunch;
+    JobId job = kInvalidJob;
+    std::vector<GpuCount> gpus;  ///< empty for suspend/shutdown
+};
+
+/** Executor-side acknowledgement. */
+struct CommandAck
+{
+    std::uint64_t seq = 0;
+    Time applied_at = 0.0;  ///< when the worker group acted on it
+    bool ok = false;
+};
+
+/** The scheduler-facing executor coordination layer. */
+class ExecutorFleet
+{
+  public:
+    /**
+     * @param rpc_latency_s control-message delivery latency; the
+     *        command takes effect this long after being issued.
+     */
+    ExecutorFleet(const PerfModel *perf, const OverheadModel *overhead,
+                  Time rpc_latency_s = 0.05);
+
+    /** Make a job known to the fleet (before any command). */
+    void register_job(const JobSpec &spec);
+    bool knows(JobId job) const;
+
+    /**
+     * Issue a command at time @p now (non-decreasing across calls).
+     * kLaunch and kScale carry the GPU set; kSuspend checkpoints and
+     * frees the workers; kShutdown additionally forgets the job.
+     * Commands to finished or unknown jobs are acked with ok=false.
+     */
+    CommandAck issue(CommandType type, JobId job,
+                     const std::vector<GpuCount> &gpus, Time now);
+
+    /** Advance all executions to @p now. */
+    void advance(Time now);
+
+    const JobExecution &execution(JobId job) const;
+
+    std::size_t finished_count() const;
+    std::size_t running_count() const;
+
+    /** Full command history, in issue order. */
+    const std::vector<Command> &command_log() const { return log_; }
+    const std::vector<CommandAck> &ack_log() const { return acks_; }
+
+  private:
+    const PerfModel *perf_;
+    const OverheadModel *overhead_;
+    Time rpc_latency_s_;
+    Time last_issue_ = 0.0;
+    std::uint64_t next_seq_ = 0;
+
+    std::map<JobId, std::unique_ptr<JobExecution>> executions_;
+    std::vector<Command> log_;
+    std::vector<CommandAck> acks_;
+};
+
+}  // namespace ef
+
+#endif  // EF_EXEC_CONTROL_PLANE_H_

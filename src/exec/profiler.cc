@@ -1,0 +1,69 @@
+#include "exec/profiler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace ef {
+
+std::vector<double>
+ProfileReport::pow2_table() const
+{
+    EF_CHECK(!entries.empty());
+    GpuCount max_workers = entries.back().workers;
+    std::vector<double> table(
+        static_cast<std::size_t>(log2_exact(max_workers)) + 1, 0.0);
+    for (const ProfileEntry &entry : entries) {
+        table[static_cast<std::size_t>(log2_exact(entry.workers))] =
+            entry.throughput;
+    }
+    return table;
+}
+
+Profiler::Profiler(const PerfModel *perf, ProfilerConfig config)
+    : perf_(perf), config_(config)
+{
+    EF_CHECK(perf_ != nullptr);
+}
+
+ProfileReport
+Profiler::profile(DnnModel model, int global_batch,
+                  GpuCount max_workers) const
+{
+    ProfileReport report;
+    report.model = model;
+    report.global_batch = global_batch;
+
+    GpuCount lo = perf_->min_workers(model, global_batch);
+    GpuCount hi = perf_->max_workers(model, global_batch, max_workers);
+    double previous_tpt = 0.0;
+    for (GpuCount g = lo; g <= hi; g *= 2) {
+        double tpt = perf_->compact_throughput(model, global_batch, g);
+        EF_CHECK(tpt > 0.0);
+        ProfileEntry entry;
+        entry.workers = g;
+        entry.throughput = tpt;
+        entry.cost_seconds =
+            config_.setup_seconds +
+            static_cast<double>(config_.iterations_per_config) / tpt;
+        report.entries.push_back(entry);
+        report.total_seconds += entry.cost_seconds;
+        // Stop early when adding GPUs no longer helps (paper §6.6).
+        if (tpt <= previous_tpt)
+            break;
+        previous_tpt = tpt;
+    }
+    return report;
+}
+
+Time
+Profiler::total_cost_for_model(DnnModel model, GpuCount max_workers) const
+{
+    Time total = 0.0;
+    for (int batch : model_profile(model).batch_sizes)
+        total += profile(model, batch, max_workers).total_seconds;
+    return total;
+}
+
+}  // namespace ef

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Pre-run throughput profiling (paper §5 "Throughput profiling" and
+ * §6.6, Fig. 12a).
+ *
+ * Before scheduling a new model, ElasticFlow profiles its throughput
+ * at increasing GPU counts (and would do so for each batch size).
+ * The procedure mirrors the paper's: start at the smallest worker
+ * count whose local batch fits in GPU memory, run a fixed number of
+ * iterations per configuration, and stop as soon as adding GPUs no
+ * longer increases throughput. The report carries both the measured
+ * curve (what the scheduler consumes) and the wall-clock cost of
+ * obtaining it (what Fig. 12a reports).
+ */
+#ifndef EF_EXEC_PROFILER_H_
+#define EF_EXEC_PROFILER_H_
+
+#include <vector>
+
+#include "workload/perf_model.h"
+
+namespace ef {
+
+/** Profiling knobs. */
+struct ProfilerConfig
+{
+    /** Iterations measured per (model, batch, GPU count) config. */
+    int iterations_per_config = 50;
+    /** Fixed setup cost per config (launch, warmup), seconds. */
+    double setup_seconds = 20.0;
+};
+
+/** One profiled configuration. */
+struct ProfileEntry
+{
+    GpuCount workers = 0;
+    double throughput = 0.0;  ///< iterations/sec
+    Time cost_seconds = 0.0;  ///< wall-clock spent measuring it
+};
+
+/** Result of profiling one (model, batch). */
+struct ProfileReport
+{
+    DnnModel model = DnnModel::kResNet50;
+    int global_batch = 0;
+    std::vector<ProfileEntry> entries;
+    Time total_seconds = 0.0;
+
+    /**
+     * Power-of-two throughput table (zeros below the first profiled
+     * count), suitable for ScalingCurve::from_pow2_table.
+     */
+    std::vector<double> pow2_table() const;
+};
+
+/** See file comment. */
+class Profiler
+{
+  public:
+    explicit Profiler(const PerfModel *perf, ProfilerConfig config = {});
+
+    /** Profile one (model, batch) up to @p max_workers GPUs. */
+    ProfileReport profile(DnnModel model, int global_batch,
+                          GpuCount max_workers) const;
+
+    /** Total profiling cost across all Table 1 batch sizes (Fig. 12a). */
+    Time total_cost_for_model(DnnModel model, GpuCount max_workers) const;
+
+  private:
+    const PerfModel *perf_;
+    ProfilerConfig config_;
+};
+
+}  // namespace ef
+
+#endif  // EF_EXEC_PROFILER_H_

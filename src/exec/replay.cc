@@ -1,0 +1,75 @@
+#include "exec/replay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+
+namespace ef {
+
+ReplayReport
+replay_and_compare(const Trace &trace, const RunResult &result,
+                   const OverheadConfig &overhead_config)
+{
+    Topology topology(trace.topology);
+    PerfModel perf(&topology);
+    OverheadModel overhead(overhead_config);
+    // RPC latency zero: the fluid simulator applies decisions
+    // instantly, so the comparison isolates the fluid-vs-iteration
+    // approximation itself.
+    ExecutorFleet fleet(&perf, &overhead, 0.0);
+
+    std::map<JobId, const JobOutcome *> outcomes;
+    for (const JobOutcome &job : result.jobs) {
+        outcomes.emplace(job.spec.id, &job);
+        if (job.admitted)
+            fleet.register_job(job.spec);
+    }
+
+    // Feed the allocation log in order.
+    for (const AllocationEvent &event : result.allocation_log) {
+        if (!fleet.knows(event.job))
+            continue;  // already shut down
+        if (event.gpus.empty()) {
+            fleet.issue(CommandType::kSuspend, event.job, {},
+                        event.time);
+        } else {
+            fleet.issue(CommandType::kScale, event.job, event.gpus,
+                        event.time);
+        }
+    }
+    fleet.advance(1e18);
+
+    ReplayReport report;
+    double error_sum = 0.0;
+    for (const JobOutcome &job : result.jobs) {
+        if (!job.admitted || !job.finished || job.failures_suffered > 0)
+            continue;
+        if (!fleet.knows(job.spec.id))
+            continue;
+        const JobExecution &exec = fleet.execution(job.spec.id);
+        if (!exec.finished())
+            continue;  // replay could not finish it (shouldn't happen)
+        ReplayJobResult r;
+        r.job = job.spec.id;
+        r.sim_finish = job.finish_time;
+        r.replay_finish = exec.last_progress_time();
+        double span =
+            std::max(job.finish_time - job.spec.submit_time, 1e-9);
+        r.relative_error =
+            std::fabs(r.replay_finish - r.sim_finish) / span;
+        error_sum += r.relative_error;
+        report.max_relative_error =
+            std::max(report.max_relative_error, r.relative_error);
+        report.jobs.push_back(r);
+    }
+    report.compared = report.jobs.size();
+    report.mean_relative_error =
+        report.compared > 0
+            ? error_sum / static_cast<double>(report.compared)
+            : 0.0;
+    return report;
+}
+
+}  // namespace ef

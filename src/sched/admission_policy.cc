@@ -1,0 +1,65 @@
+#include "sched/admission_policy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ef {
+
+bool
+QuotaPolicy::approve(const JobSpec &job, Time now,
+                     Time baseline_duration_s)
+{
+    (void)baseline_duration_s;
+    if (used(job.user, now) >= max_jobs_per_day_)
+        return false;
+    admissions_[job.user].push_back(now);
+    return true;
+}
+
+int
+QuotaPolicy::used(const std::string &user, Time now) const
+{
+    auto it = admissions_.find(user);
+    if (it == admissions_.end())
+        return 0;
+    int count = 0;
+    for (Time t : it->second)
+        count += (t > now - kDay) ? 1 : 0;
+    return count;
+}
+
+double
+PricingPolicy::quote(const JobSpec &job, Time now,
+                     Time baseline_duration_s) const
+{
+    EF_CHECK(baseline_duration_s > 0.0);
+    double gpu_hours = baseline_duration_s / kHour *
+                       static_cast<double>(job.requested_gpus);
+    // Urgency: deadline at the baseline duration costs 1x; half the
+    // baseline costs 2x; looser-than-baseline deadlines approach 1x.
+    double window = std::max(job.deadline - now, 1.0);
+    double urgency = std::max(1.0, baseline_duration_s / window);
+    return gpu_hours * rate_per_gpu_hour_ * urgency;
+}
+
+bool
+PricingPolicy::approve(const JobSpec &job, Time now,
+                       Time baseline_duration_s)
+{
+    double price = quote(job, now, baseline_duration_s);
+    auto it = budgets_.find(job.user);
+    if (it == budgets_.end() || it->second < price)
+        return false;
+    it->second -= price;
+    return true;
+}
+
+double
+PricingPolicy::remaining_budget(const std::string &user) const
+{
+    auto it = budgets_.find(user);
+    return it == budgets_.end() ? 0.0 : it->second;
+}
+
+}  // namespace ef

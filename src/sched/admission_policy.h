@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Operator admission policies (paper §4.4, "Malicious users and
+ * admission control policies").
+ *
+ * ElasticFlow's admission control is purely feasibility-driven, so a
+ * user could game it — e.g. flood the cluster with tight-deadline jobs
+ * to crowd out everyone else. The paper suggests the operator apply a
+ * quota or pricing policy "before line 9 of Algorithm 1": after
+ * feasibility is established but before the job is actually admitted.
+ * This module provides that hook plus the two policies the paper
+ * names: per-user quotas and deadline-sensitive pricing against a
+ * budget.
+ *
+ * Policies are deliberately stateful (quota consumption, budget
+ * spend) and are charged only for jobs that pass both feasibility and
+ * the policy, mirroring a real billing pipeline.
+ */
+#ifndef EF_SCHED_ADMISSION_POLICY_H_
+#define EF_SCHED_ADMISSION_POLICY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace ef {
+
+/** Operator veto applied after feasibility, before admission. */
+class AdmissionPolicy
+{
+  public:
+    virtual ~AdmissionPolicy() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Decide whether a *feasible* job may be admitted at @p now.
+     * @p baseline_duration_s is the job's standalone duration on its
+     * requested GPUs (the platform computes it from the scaling
+     * curve). Returning true commits the policy's side effects
+     * (quota use, billing).
+     */
+    virtual bool approve(const JobSpec &job, Time now,
+                         Time baseline_duration_s) = 0;
+};
+
+/**
+ * Per-user quota: at most N admitted jobs per user per rolling day
+ * (the paper's "set a maximum number of jobs that can be submitted by
+ * each user per day"). Users are identified by JobSpec::user.
+ */
+class QuotaPolicy : public AdmissionPolicy
+{
+  public:
+    explicit QuotaPolicy(int max_jobs_per_day)
+        : max_jobs_per_day_(max_jobs_per_day)
+    {}
+
+    std::string name() const override { return "quota"; }
+    bool approve(const JobSpec &job, Time now,
+                 Time baseline_duration_s) override;
+
+    /** Jobs a user has admitted within the day ending at @p now. */
+    int used(const std::string &user, Time now) const;
+
+  private:
+    int max_jobs_per_day_;
+    std::map<std::string, std::vector<Time>> admissions_;
+};
+
+/**
+ * Pricing: a job costs (estimated GPU time) x rate x urgency, where
+ * urgency grows as the deadline tightens relative to the requested-
+ * GPU duration (tight deadlines reserve more elastic capacity, so
+ * they cost more — the paper's "the cost depends on the job size and
+ * the deadline"). Jobs are approved while the user has budget.
+ */
+class PricingPolicy : public AdmissionPolicy
+{
+  public:
+    /**
+     * @param rate_per_gpu_hour currency per GPU-hour
+     * @param budgets initial budget per user; unknown users have 0
+     */
+    PricingPolicy(double rate_per_gpu_hour,
+                  std::map<std::string, double> budgets)
+        : rate_per_gpu_hour_(rate_per_gpu_hour),
+          budgets_(std::move(budgets))
+    {}
+
+    std::string name() const override { return "pricing"; }
+    bool approve(const JobSpec &job, Time now,
+                 Time baseline_duration_s) override;
+
+    /**
+     * Price of a job: estimated GPU-hours on its requested GPUs times
+     * the rate, times an urgency multiplier that doubles the price
+     * when the deadline is half the baseline duration (tight
+     * deadlines reserve more elastic capacity).
+     */
+    double quote(const JobSpec &job, Time now,
+                 Time baseline_duration_s) const;
+
+    double remaining_budget(const std::string &user) const;
+
+  private:
+    double rate_per_gpu_hour_;
+    std::map<std::string, double> budgets_;
+};
+
+}  // namespace ef
+
+#endif  // EF_SCHED_ADMISSION_POLICY_H_

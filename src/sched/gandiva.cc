@@ -1,0 +1,47 @@
+#include "sched/gandiva.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ef {
+
+SchedulerDecision
+GandivaScheduler::allocate()
+{
+    EF_CHECK(view_ != nullptr);
+    std::vector<JobId> jobs = view_->active_jobs();
+
+    // Least-recently-served first: suspended jobs starve the longest
+    // and therefore get the next slice; ties go to earlier submission.
+    std::stable_sort(jobs.begin(), jobs.end(), [this](JobId a, JobId b) {
+        Time la = last_served_.count(a) ? last_served_.at(a) : -1.0;
+        Time lb = last_served_.count(b) ? last_served_.at(b) : -1.0;
+        if (la != lb)
+            return la < lb;
+        const JobSpec &sa = view_->spec(a);
+        const JobSpec &sb = view_->spec(b);
+        if (sa.submit_time != sb.submit_time)
+            return sa.submit_time < sb.submit_time;
+        return a < b;
+    });
+
+    SchedulerDecision decision;
+    GpuCount free = view_->total_gpus();
+    for (JobId id : jobs) {
+        if (view_->remaining_iterations(id) <= 0.0)
+            continue;
+        GpuCount req = view_->spec(id).requested_gpus;
+        if (req <= free) {
+            decision.gpus[id] = req;
+            free -= req;
+            last_served_[id] = view_->now();
+        } else {
+            decision.gpus[id] = 0;
+        }
+    }
+    return decision;
+}
+
+}  // namespace ef

@@ -1,0 +1,259 @@
+#include "sched/planning_util.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace ef {
+
+double
+PlanningMargin::inflate(double remaining, const ScalingCurve &curve) const
+{
+    return remaining * (1.0 + relative) +
+           curve.throughput(curve.max_useful()) * overhead_allowance_s;
+}
+
+PlanningJob
+to_planning_job(const ClusterView &view, JobId id,
+                const PlanningMargin &margin)
+{
+    PlanningJob job;
+    job.id = id;
+    job.curve = view.curve(id);
+    job.remaining_iterations =
+        margin.inflate(view.remaining_iterations(id), job.curve);
+    job.deadline = view.spec(id).deadline;
+    job.soft = view.spec(id).has_soft_deadline();
+    return job;
+}
+
+PlanningJob
+to_fixed_planning_job(const ClusterView &view, JobId id,
+                      const PlanningMargin &margin)
+{
+    PlanningJob job = to_planning_job(view, id, margin);
+    job.curve = restrict_to_fixed_size(job.curve,
+                                       view.spec(id).requested_gpus);
+    return job;
+}
+
+PlannerConfig
+planner_config_for(const ClusterView &view, Time slot_seconds,
+                   FillDirection direction)
+{
+    PlannerConfig config;
+    config.total_gpus = view.total_gpus();
+    config.slot_seconds = slot_seconds;
+    config.direction = direction;
+    return config;
+}
+
+bool
+admission_feasible(const ClusterView &view, const PlannerConfig &config,
+                   const PlanningMargin &margin, const JobSpec &candidate,
+                   bool fixed_size)
+{
+    EF_CHECK(!candidate.is_best_effort());
+    std::vector<PlanningJob> jobs;
+    for (JobId id : view.active_jobs()) {
+        const JobSpec &spec = view.spec(id);
+        // Best-effort and soft-deadline jobs never reserve capacity
+        // against a hard admission (§4.4).
+        if (spec.is_best_effort() || spec.has_soft_deadline())
+            continue;
+        if (view.remaining_iterations(id) <= 0.0)
+            continue;
+        jobs.push_back(fixed_size ? to_fixed_planning_job(view, id, margin)
+                                  : to_planning_job(view, id, margin));
+    }
+    PlanningJob cand;
+    cand.id = candidate.id;
+    cand.curve = view.curve_for(candidate);
+    if (fixed_size) {
+        cand.curve =
+            restrict_to_fixed_size(cand.curve, candidate.requested_gpus);
+    }
+    cand.remaining_iterations = margin.inflate(
+        static_cast<double>(candidate.iterations), cand.curve);
+    cand.deadline = candidate.deadline;
+    jobs.push_back(std::move(cand));
+    return run_admission(config, view.now(), std::move(jobs)).feasible;
+}
+
+bool
+edf_admission_feasible(const ClusterView &view,
+                       const PlannerConfig &config,
+                       const JobSpec &candidate)
+{
+    EF_CHECK(!candidate.is_best_effort());
+    std::vector<PlanningJob> jobs;
+    for (JobId id : view.active_jobs()) {
+        const JobSpec &spec = view.spec(id);
+        if (spec.is_best_effort())
+            continue;
+        if (view.remaining_iterations(id) <= 0.0)
+            continue;
+        jobs.push_back(to_planning_job(view, id, {}));
+    }
+    PlanningJob cand;
+    cand.id = candidate.id;
+    cand.curve = view.curve_for(candidate);
+    cand.remaining_iterations = static_cast<double>(candidate.iterations);
+    cand.deadline = candidate.deadline;
+    jobs.push_back(std::move(cand));
+
+    std::stable_sort(jobs.begin(), jobs.end(),
+                     [](const PlanningJob &a, const PlanningJob &b) {
+                         if (a.deadline != b.deadline)
+                             return a.deadline < b.deadline;
+                         return a.id < b.id;
+                     });
+    const Time now = view.now();
+    int horizon = 1;
+    for (const PlanningJob &job : jobs) {
+        horizon = std::max(horizon,
+                           plan_horizon(now, job.deadline,
+                                        config.slot_seconds,
+                                        config.max_slots).slots);
+    }
+    std::vector<GpuCount> available(static_cast<std::size_t>(horizon),
+                                    config.total_gpus);
+    for (const PlanningJob &job : jobs) {
+        PlanHorizon d = plan_horizon(now, job.deadline,
+                                     config.slot_seconds,
+                                     config.max_slots);
+        // EDF greed: grab every useful GPU in every slot until done.
+        double remaining = job.remaining_iterations;
+        bool satisfied = false;
+        for (int t = 0; t < d.slots && !satisfied; ++t) {
+            GpuCount x = job.curve.usable(
+                available[static_cast<std::size_t>(t)]);
+            double capacity = (t == d.slots - 1)
+                                  ? config.slot_seconds * d.last_weight
+                                  : config.slot_seconds;
+            remaining -= job.curve.throughput(x) * capacity;
+            available[static_cast<std::size_t>(t)] -= x;
+            satisfied = remaining <= 1e-7;
+        }
+        if (!satisfied)
+            return false;
+    }
+    return true;
+}
+
+SchedulerDecision
+elastic_allocate(const ClusterView &view, const PlannerConfig &base_config,
+                 const PlanningMargin &margin, bool fixed_size,
+                 int *replan_failures)
+{
+    PlannerConfig config = base_config;
+    const Time now = view.now();
+
+    std::vector<PlanningJob> slo;
+    std::vector<PlanningJob> best_effort;
+    for (JobId id : view.active_jobs()) {
+        if (view.remaining_iterations(id) <= 0.0)
+            continue;
+        if (view.spec(id).is_best_effort()) {
+            // Best-effort jobs never carry the margin (no guarantee).
+            best_effort.push_back(
+                fixed_size ? to_fixed_planning_job(view, id, {})
+                           : to_planning_job(view, id, {}));
+        } else {
+            slo.push_back(fixed_size
+                              ? to_fixed_planning_job(view, id, margin)
+                              : to_planning_job(view, id, margin));
+        }
+    }
+
+    // Minimum satisfactory shares in deadline order (Algorithm 1):
+    // hard jobs first — soft-deadline jobs only reserve what hard jobs
+    // left over (§4.4) — with deadline relaxation for hard jobs that
+    // drifted infeasible so they keep running.
+    std::stable_sort(slo.begin(), slo.end(),
+                     [](const PlanningJob &a, const PlanningJob &b) {
+                         if (a.soft != b.soft)
+                             return !a.soft;
+                         if (a.deadline != b.deadline)
+                             return a.deadline < b.deadline;
+                         return a.id < b.id;
+                     });
+    int horizon = 1;
+    for (const PlanningJob &job : slo) {
+        horizon = std::max(horizon,
+                           plan_horizon(now, job.deadline,
+                                        config.slot_seconds,
+                                        config.max_slots).slots);
+    }
+    std::vector<GpuCount> available(static_cast<std::size_t>(horizon),
+                                    config.total_gpus);
+    std::map<JobId, SlotPlan> min_shares;
+    for (PlanningJob &job : slo) {
+        PlanHorizon d = plan_horizon(now, job.deadline,
+                                     config.slot_seconds,
+                                     config.max_slots);
+        auto fill = progressive_fill(job, available, d, config);
+        if (!fill.has_value() && job.soft) {
+            // A soft deadline that cannot be met is not an incident:
+            // the job simply continues as best-effort (§4.4).
+            min_shares.emplace(job.id, SlotPlan{});
+            job.deadline = kTimeInfinity;
+            continue;
+        }
+        // Relax a slipped deadline in small steps so the job still
+        // finishes as close to its original deadline as the cluster
+        // allows, rather than gliding to a distant one.
+        Time extension = config.slot_seconds;
+        int tries = 0;
+        while (!fill.has_value() && tries < 24) {
+            ++tries;
+            if (tries == 1 && replan_failures != nullptr) {
+                ++*replan_failures;
+                EF_DEBUG("job " << job.id
+                                << " cannot meet its deadline; relaxing");
+            }
+            if (job.deadline == kTimeInfinity)
+                break;
+            job.deadline += extension;
+            extension *= 1.6;
+            d = plan_horizon(now, job.deadline, config.slot_seconds,
+                             config.max_slots);
+            if (d.slots > static_cast<int>(available.size()))
+                available.resize(static_cast<std::size_t>(d.slots),
+                                 config.total_gpus);
+            fill = progressive_fill(job, available, d, config);
+        }
+        if (!fill.has_value()) {
+            min_shares.emplace(job.id, SlotPlan{});
+            job.deadline = kTimeInfinity;  // park as best-effort-like
+            continue;
+        }
+        for (int t = 0; t < fill->horizon(); ++t) {
+            GpuCount &a = available[static_cast<std::size_t>(t)];
+            a -= fill->at(t);
+            EF_CHECK(a >= 0);
+        }
+        min_shares.emplace(job.id, std::move(*fill));
+    }
+
+    // Jobs parked with an infinite deadline move to the best-effort
+    // queue so Algorithm 2 can still feed them leftovers.
+    std::vector<PlanningJob> feasible_slo;
+    for (PlanningJob &job : slo) {
+        if (job.deadline == kTimeInfinity) {
+            min_shares.erase(job.id);
+            best_effort.push_back(std::move(job));
+        } else {
+            feasible_slo.push_back(std::move(job));
+        }
+    }
+
+    AllocationOutcome outcome = run_allocation(config, now, feasible_slo,
+                                               min_shares, best_effort);
+    SchedulerDecision decision;
+    decision.gpus = std::move(outcome.gpus_now);
+    return decision;
+}
+
+}  // namespace ef

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared planning helpers for deadline-aware schedulers.
+ *
+ * ElasticFlow and the Fig. 9 ablation variants (EDF + Admission
+ * Control, EDF + Elastic Scaling) share the same building blocks:
+ * turning the cluster view into PlanningJobs, checking a candidate's
+ * admissibility (Algorithm 1), and computing a full elastic allocation
+ * (Algorithm 1 refresh + Algorithm 2). Chronus reuses the same pieces
+ * with fixed-size curves.
+ */
+#ifndef EF_SCHED_PLANNING_UTIL_H_
+#define EF_SCHED_PLANNING_UTIL_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/allocator.h"
+#include "sched/scheduler.h"
+
+namespace ef {
+
+/**
+ * Safety margin applied when planning SLO jobs: remaining work is
+ * inflated by the relative factor, plus an absolute allowance that
+ * covers the scaling-overhead pauses a job accrues (expressed as
+ * seconds of lost full-speed progress, so short jobs are protected
+ * too).
+ */
+struct PlanningMargin
+{
+    double relative = 0.0;
+    double overhead_allowance_s = 0.0;
+
+    /** Inflated remaining iterations for a job with @p curve. */
+    double inflate(double remaining, const ScalingCurve &curve) const;
+};
+
+/** Planner view of one active job; margin inflates remaining work. */
+PlanningJob to_planning_job(const ClusterView &view, JobId id,
+                            const PlanningMargin &margin);
+
+/**
+ * Planner view of an active job with its curve pinned to a fixed GPU
+ * count (server-centric baselines).
+ */
+PlanningJob to_fixed_planning_job(const ClusterView &view, JobId id,
+                                  const PlanningMargin &margin);
+
+/** Default planner config for a view. */
+PlannerConfig planner_config_for(const ClusterView &view,
+                                 Time slot_seconds,
+                                 FillDirection direction);
+
+/**
+ * Admission check (Algorithm 1) of @p candidate against all active SLO
+ * jobs. With @p fixed_size, jobs use their requested GPU counts
+ * (Chronus semantics); otherwise full elastic curves.
+ */
+bool admission_feasible(const ClusterView &view,
+                        const PlannerConfig &config,
+                        const PlanningMargin &margin,
+                        const JobSpec &candidate, bool fixed_size);
+
+/**
+ * Admission check matching *plain EDF allocation* (Fig. 9's
+ * "EDF + Admission Control" variant): in deadline order, each job
+ * greedily fills as many GPUs as still help it; the candidate is
+ * admitted iff every job then meets its deadline. This mirrors what
+ * the EDF allocator will actually do, unlike the minimum-share check,
+ * which assumes elastic right-sizing.
+ */
+bool edf_admission_feasible(const ClusterView &view,
+                            const PlannerConfig &config,
+                            const JobSpec &candidate);
+
+/**
+ * Full elastic allocation pass: refresh minimum satisfactory shares
+ * for active SLO jobs in deadline order, then run Algorithm 2 with
+ * best-effort jobs appended. Jobs whose deadline became infeasible
+ * (possible without admission control, or through overhead drift) are
+ * kept running under a progressively relaxed deadline and counted in
+ * @p replan_failures. With @p fixed_size, every job's curve is pinned
+ * to its requested GPU count.
+ */
+SchedulerDecision elastic_allocate(const ClusterView &view,
+                                   const PlannerConfig &config,
+                                   const PlanningMargin &margin,
+                                   bool fixed_size,
+                                   int *replan_failures);
+
+}  // namespace ef
+
+#endif  // EF_SCHED_PLANNING_UTIL_H_

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Pollux baseline (Qiao et al., OSDI'21) at the policy granularity the
+ * paper simulates: fully elastic, goodput-driven, not deadline-aware.
+ * Every interval all GPUs are redistributed by a proportional-fair
+ * greedy: the next allocation step goes to the job with the largest
+ * gain in log-throughput per GPU, which reproduces Pollux's
+ * diminishing-returns-aware co-adaptive allocation (the statistical-
+ * efficiency term is out of scope — our jobs have fixed global batch
+ * sizes, so goodput reduces to throughput).
+ */
+#ifndef EF_SCHED_POLLUX_H_
+#define EF_SCHED_POLLUX_H_
+
+#include <string>
+
+#include "sched/scheduler.h"
+
+namespace ef {
+
+/** See file comment. */
+class PolluxScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "pollux"; }
+
+    SchedulerDecision allocate() override;
+
+    Time reschedule_interval() const override { return 600.0; }
+    bool allow_migration() const override { return true; }
+};
+
+}  // namespace ef
+
+#endif  // EF_SCHED_POLLUX_H_

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The scheduler abstraction the simulator drives, plus the factory for
+ * every policy evaluated in the paper.
+ *
+ * A scheduler sees the cluster through ClusterView (job specs, scaling
+ * curves, progress, attained service) and makes two kinds of
+ * decisions: an admission verdict when a job is submitted, and — on
+ * every scheduling event (arrival, completion, periodic tick) — the
+ * desired GPU count for each active job. Concrete GPU selection is the
+ * placement manager's problem; a scheduler only chooses counts and its
+ * placement strategy, mirroring the paper's decoupling of placement
+ * from admission control and resource allocation (§4.3).
+ */
+#ifndef EF_SCHED_SCHEDULER_H_
+#define EF_SCHED_SCHEDULER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "core/scaling_curve.h"
+#include "workload/job.h"
+
+namespace ef {
+
+/** Read-only view of cluster and job state offered to schedulers. */
+class ClusterView
+{
+  public:
+    virtual ~ClusterView() = default;
+
+    virtual GpuCount total_gpus() const = 0;
+    virtual Time now() const = 0;
+
+    /** Admitted jobs that have not finished (includes suspended). */
+    virtual std::vector<JobId> active_jobs() const = 0;
+
+    virtual const JobSpec &spec(JobId job) const = 0;
+
+    /** Compact-placement scaling curve of the job on this cluster. */
+    virtual const ScalingCurve &curve(JobId job) const = 0;
+
+    /**
+     * Curve for an arbitrary spec (used to evaluate a submission that
+     * is not yet active, e.g. during admission control).
+     */
+    virtual ScalingCurve curve_for(const JobSpec &spec) const = 0;
+
+    virtual double remaining_iterations(JobId job) const = 0;
+
+    /** GPUs the job holds right now (0 when suspended). */
+    virtual GpuCount current_gpus(JobId job) const = 0;
+
+    /** Total GPU-seconds the job has consumed so far (Tiresias). */
+    virtual double attained_gpu_seconds(JobId job) const = 0;
+};
+
+/** Desired GPU count per active job; absent means 0 (suspended). */
+struct SchedulerDecision
+{
+    std::map<JobId, GpuCount> gpus;
+
+    GpuCount of(JobId job) const
+    {
+        auto it = gpus.find(job);
+        return it == gpus.end() ? 0 : it->second;
+    }
+};
+
+/** Base class of all scheduling policies. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    virtual std::string name() const = 0;
+
+    /** The simulator binds its view before the run starts. */
+    void bind(const ClusterView *view) { view_ = view; }
+
+    /**
+     * Admission verdict for a submitted job. Default: admit everything
+     * (only deadline-aware policies drop jobs). The candidate is NOT
+     * yet part of active_jobs().
+     */
+    virtual bool admit(const JobSpec &job) { (void)job; return true; }
+
+    /** Desired GPU counts for all active jobs, at a scheduling event. */
+    virtual SchedulerDecision allocate() = 0;
+
+    /** Periodic rescheduling interval; 0 = event-driven only. */
+    virtual Time reschedule_interval() const { return 0.0; }
+
+    /** How the placement manager should select GPUs for this policy. */
+    virtual PlacementStrategy placement_strategy() const
+    {
+        return PlacementStrategy::kBestFitCompact;
+    }
+
+    /** Whether defragmentation migrations may be used. */
+    virtual bool allow_migration() const { return false; }
+
+    /**
+     * Times the policy found an admitted job's deadline no longer
+     * satisfiable during replanning (deadline-aware policies only).
+     */
+    virtual int replan_failures() const { return 0; }
+
+  protected:
+    const ClusterView *view_ = nullptr;
+};
+
+/**
+ * Factory. Known names: "elasticflow", "edf", "edf+admission",
+ * "edf+elastic", "gandiva", "tiresias", "themis", "chronus", "pollux".
+ * Aborts on unknown names.
+ */
+std::unique_ptr<Scheduler> make_scheduler(const std::string &name);
+
+/** All factory names, in the paper's comparison order. */
+const std::vector<std::string> &all_scheduler_names();
+
+}  // namespace ef
+
+#endif  // EF_SCHED_SCHEDULER_H_

@@ -1,0 +1,98 @@
+#include "sched/themis.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ef {
+
+double
+ThemisScheduler::finish_time_fairness(JobId id) const
+{
+    const JobSpec &spec = view_->spec(id);
+    double dedicated_tpt =
+        view_->curve(id).throughput(spec.requested_gpus);
+    EF_CHECK(dedicated_tpt > 0.0);
+
+    // Ideal: running alone on the requested GPUs since submission.
+    double t_ideal =
+        static_cast<double>(spec.iterations) / dedicated_tpt;
+    // Shared projection: time elapsed so far plus the remaining work
+    // at the dedicated rate (the standard optimistic projection).
+    double t_shared = (view_->now() - spec.submit_time) +
+                      view_->remaining_iterations(id) / dedicated_tpt;
+    return t_shared / std::max(t_ideal, 1e-9);
+}
+
+SchedulerDecision
+ThemisScheduler::allocate()
+{
+    EF_CHECK(view_ != nullptr);
+    std::vector<JobId> jobs = view_->active_jobs();
+
+    // Lease semantics: a running job keeps its GPUs until it finishes;
+    // freed GPUs are auctioned to the waiting jobs with the worst
+    // finish-time fairness. A waiting job whose rho is far beyond a
+    // running job's can reclaim that job's lease (fairness trigger).
+    SchedulerDecision decision;
+    GpuCount free = view_->total_gpus();
+    std::vector<JobId> waiting;
+    std::vector<JobId> running;
+    for (JobId id : jobs) {
+        if (view_->remaining_iterations(id) <= 0.0)
+            continue;
+        if (view_->current_gpus(id) > 0)
+            running.push_back(id);
+        else
+            waiting.push_back(id);
+    }
+    for (JobId id : running) {
+        GpuCount req = view_->spec(id).requested_gpus;
+        decision.gpus[id] = req;
+        free -= req;
+    }
+
+    std::stable_sort(waiting.begin(), waiting.end(),
+                     [this](JobId a, JobId b) {
+                         double ra = finish_time_fairness(a);
+                         double rb = finish_time_fairness(b);
+                         if (ra != rb)
+                             return ra > rb;
+                         return a < b;
+                     });
+    std::stable_sort(running.begin(), running.end(),
+                     [this](JobId a, JobId b) {
+                         double ra = finish_time_fairness(a);
+                         double rb = finish_time_fairness(b);
+                         if (ra != rb)
+                             return ra < rb;  // best-treated first
+                         return a < b;
+                     });
+
+    constexpr double kPreemptionFactor = 3.0;
+    std::size_t victim = 0;
+    for (JobId id : waiting) {
+        GpuCount req = view_->spec(id).requested_gpus;
+        double rho = finish_time_fairness(id);
+        // Reclaim leases from the best-treated running jobs while this
+        // starving job is markedly worse off.
+        while (req > free && victim < running.size() &&
+               rho > kPreemptionFactor *
+                         finish_time_fairness(running[victim])) {
+            JobId v = running[victim];
+            free += decision.gpus[v];
+            decision.gpus[v] = 0;
+            ++victim;
+        }
+        if (req <= free) {
+            decision.gpus[id] = req;
+            free -= req;
+        } else {
+            decision.gpus[id] = 0;
+        }
+    }
+    return decision;
+}
+
+}  // namespace ef

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Themis baseline (Mahajan et al., NSDI'20): finish-time fairness.
+ * Each job's rho is its projected finish time under the shared cluster
+ * divided by its finish time had it run alone on its requested GPUs
+ * from submission. Freed GPUs are leased to the waiting jobs with the
+ * worst (largest) rho, and a lease can be reclaimed when a waiting job
+ * is markedly worse off than a running one. Server-centric and not
+ * deadline-aware; follows the simplified open-source formulation the
+ * paper also uses (Narayanan et al.'s Gavel implementation).
+ */
+#ifndef EF_SCHED_THEMIS_H_
+#define EF_SCHED_THEMIS_H_
+
+#include <string>
+
+#include "sched/scheduler.h"
+
+namespace ef {
+
+/** See file comment. */
+class ThemisScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "themis"; }
+
+    SchedulerDecision allocate() override;
+
+    Time reschedule_interval() const override { return 600.0; }
+
+  private:
+    double finish_time_fairness(JobId id) const;
+};
+
+}  // namespace ef
+
+#endif  // EF_SCHED_THEMIS_H_

@@ -1,0 +1,57 @@
+#include "sched/tiresias.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ef {
+
+int
+TiresiasScheduler::queue_of(double attained_gpu_seconds) const
+{
+    int q = 0;
+    for (double threshold : thresholds_) {
+        if (attained_gpu_seconds < threshold)
+            return q;
+        ++q;
+    }
+    return q;
+}
+
+SchedulerDecision
+TiresiasScheduler::allocate()
+{
+    EF_CHECK(view_ != nullptr);
+    std::vector<JobId> jobs = view_->active_jobs();
+
+    // 2D-LAS: queue index first (less attained service wins), FIFO by
+    // submission inside a queue.
+    std::stable_sort(jobs.begin(), jobs.end(), [this](JobId a, JobId b) {
+        int qa = queue_of(view_->attained_gpu_seconds(a));
+        int qb = queue_of(view_->attained_gpu_seconds(b));
+        if (qa != qb)
+            return qa < qb;
+        const JobSpec &sa = view_->spec(a);
+        const JobSpec &sb = view_->spec(b);
+        if (sa.submit_time != sb.submit_time)
+            return sa.submit_time < sb.submit_time;
+        return a < b;
+    });
+
+    SchedulerDecision decision;
+    GpuCount free = view_->total_gpus();
+    for (JobId id : jobs) {
+        if (view_->remaining_iterations(id) <= 0.0)
+            continue;
+        GpuCount req = view_->spec(id).requested_gpus;
+        if (req <= free) {
+            decision.gpus[id] = req;
+            free -= req;
+        } else {
+            decision.gpus[id] = 0;
+        }
+    }
+    return decision;
+}
+
+}  // namespace ef

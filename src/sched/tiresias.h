@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Tiresias baseline (Gu et al., NSDI'19): two-dimensional
+ * least-attained-service scheduling. Jobs are binned into discretized
+ * priority queues by attained service (GPU count x occupied time);
+ * lower attained service means higher priority, FIFO within a queue.
+ * Server-centric (fixed trace GPU counts), preemptive, and not
+ * deadline-aware. Tiresias' profile-guided consolidated placement is
+ * modelled by compact best-fit.
+ */
+#ifndef EF_SCHED_TIRESIAS_H_
+#define EF_SCHED_TIRESIAS_H_
+
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace ef {
+
+/** See file comment. */
+class TiresiasScheduler : public Scheduler
+{
+  public:
+    /** Queue thresholds in GPU-seconds (ascending); K = size + 1. */
+    explicit TiresiasScheduler(
+        std::vector<double> thresholds = {3600.0, 8.0 * 3600.0})
+        : thresholds_(std::move(thresholds))
+    {}
+
+    std::string name() const override { return "tiresias"; }
+
+    SchedulerDecision allocate() override;
+
+    Time reschedule_interval() const override { return 300.0; }
+
+  private:
+    int queue_of(double attained_gpu_seconds) const;
+
+    std::vector<double> thresholds_;
+};
+
+}  // namespace ef
+
+#endif  // EF_SCHED_TIRESIAS_H_

@@ -1,0 +1,118 @@
+#include "sim/metrics.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/table.h"
+
+namespace ef {
+
+double
+RunResult::deadline_ratio() const
+{
+    std::size_t slo = submitted(JobKind::kSlo);
+    if (slo == 0)
+        return 1.0;
+    return static_cast<double>(deadlines_met()) /
+           static_cast<double>(slo);
+}
+
+double
+RunResult::deadline_ratio_of(JobKind kind) const
+{
+    std::size_t total = 0, met = 0;
+    for (const JobOutcome &job : jobs) {
+        if (job.spec.kind != kind)
+            continue;
+        ++total;
+        met += job.met_deadline() ? 1 : 0;
+    }
+    if (total == 0)
+        return 1.0;
+    return static_cast<double>(met) / static_cast<double>(total);
+}
+
+std::size_t
+RunResult::deadlines_met() const
+{
+    std::size_t met = 0;
+    for (const JobOutcome &job : jobs) {
+        if (job.spec.kind == JobKind::kSlo && job.met_deadline())
+            ++met;
+    }
+    return met;
+}
+
+std::size_t
+RunResult::submitted(JobKind kind) const
+{
+    std::size_t n = 0;
+    for (const JobOutcome &job : jobs)
+        n += job.spec.kind == kind ? 1 : 0;
+    return n;
+}
+
+std::size_t
+RunResult::admitted_count() const
+{
+    std::size_t n = 0;
+    for (const JobOutcome &job : jobs)
+        n += job.admitted ? 1 : 0;
+    return n;
+}
+
+std::size_t
+RunResult::dropped_count() const
+{
+    return jobs.size() - admitted_count();
+}
+
+std::size_t
+RunResult::finished_count() const
+{
+    std::size_t n = 0;
+    for (const JobOutcome &job : jobs)
+        n += job.finished ? 1 : 0;
+    return n;
+}
+
+double
+RunResult::average_jct(JobKind kind) const
+{
+    SampleStats stats;
+    for (const JobOutcome &job : jobs) {
+        if (job.spec.kind == kind && job.finished)
+            stats.add(job.jct());
+    }
+    return stats.empty() ? 0.0 : stats.mean();
+}
+
+double
+RunResult::average_cluster_efficiency(Time horizon) const
+{
+    EF_CHECK(horizon > 0.0);
+    return cluster_efficiency.time_average(0.0, horizon);
+}
+
+double
+RunResult::total_gpu_seconds() const
+{
+    double total = 0.0;
+    for (const JobOutcome &job : jobs)
+        total += job.gpu_seconds;
+    return total;
+}
+
+std::string
+summarize(const RunResult &result)
+{
+    std::ostringstream out;
+    out << result.scheduler_name << " on " << result.trace_name << ": "
+        << result.deadlines_met() << "/" << result.submitted(JobKind::kSlo)
+        << " deadlines met (" << format_percent(result.deadline_ratio())
+        << "), " << result.dropped_count() << " dropped, makespan "
+        << format_double(result.makespan / kHour, 1) << " h";
+    return out.str();
+}
+
+}  // namespace ef

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Experiment metrics (paper §6.1): deadline satisfactory ratio (the
+ * headline metric), cluster efficiency (Eq. 8), JCT statistics for
+ * best-effort jobs, makespan, and the timelines behind Figs. 7 and 10.
+ */
+#ifndef EF_SIM_METRICS_H_
+#define EF_SIM_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "workload/job.h"
+
+namespace ef {
+
+/** Everything that happened to one submitted job. */
+struct JobOutcome
+{
+    JobSpec spec;
+    bool admitted = false;   ///< false = dropped at submission
+    bool finished = false;
+    Time finish_time = kTimeInfinity;
+    Time first_run_time = kTimeInfinity;
+    double gpu_seconds = 0.0;  ///< attained service
+    int scaling_events = 0;    ///< allocation size changes
+    int migrations = 0;        ///< defragmentation relocations
+    int failures_suffered = 0; ///< node-failure evictions (§4.4)
+
+    /** Did the job complete by its deadline? (Dropped jobs did not.) */
+    bool met_deadline() const
+    {
+        return finished && finish_time <= spec.deadline;
+    }
+
+    /** Completion time from submission (finished jobs only). */
+    Time jct() const { return finish_time - spec.submit_time; }
+};
+
+/** One placement change, for replay/validation (§6.1 fidelity). */
+struct AllocationEvent
+{
+    Time time = 0.0;
+    JobId job = kInvalidJob;
+    std::vector<GpuCount> gpus;  ///< empty = suspended/released
+};
+
+/** Full result of simulating one (trace, scheduler) pair. */
+struct RunResult
+{
+    std::string scheduler_name;
+    std::string trace_name;
+    GpuCount total_gpus = 0;
+
+    std::vector<JobOutcome> jobs;
+
+    /** Every placement change, in time order (replay input). */
+    std::vector<AllocationEvent> allocation_log;
+
+    StepSeries used_gpus;           ///< allocated GPUs over time (Fig. 7a)
+    StepSeries cluster_efficiency;  ///< Eq. 8 over time (Fig. 10)
+    StepSeries submitted_jobs;      ///< cumulative submissions (Fig. 7b)
+    StepSeries admitted_jobs;       ///< cumulative admissions (Fig. 7b)
+
+    Time makespan = 0.0;  ///< last completion time
+    int replan_failures = 0;
+    int placement_failures = 0;
+
+    /** Jobs that met their deadline / all submitted SLO jobs. */
+    double deadline_ratio() const;
+
+    /** Same ratio restricted to one job kind (soft-deadline stats). */
+    double deadline_ratio_of(JobKind kind) const;
+
+    /** Number of SLO jobs that met their deadline. */
+    std::size_t deadlines_met() const;
+
+    std::size_t submitted(JobKind kind) const;
+    std::size_t admitted_count() const;
+    std::size_t dropped_count() const;
+    std::size_t finished_count() const;
+
+    /** Mean JCT over *finished* jobs of a kind (seconds). */
+    double average_jct(JobKind kind) const;
+
+    /** Time-averaged cluster efficiency over [0, horizon]. */
+    double average_cluster_efficiency(Time horizon) const;
+
+    /** Total GPU-seconds consumed by all jobs. */
+    double total_gpu_seconds() const;
+};
+
+/** One-line human-readable summary for logs and benches. */
+std::string summarize(const RunResult &result);
+
+}  // namespace ef
+
+#endif  // EF_SIM_METRICS_H_

@@ -1,0 +1,29 @@
+#include "sim/overhead_model.h"
+
+#include <algorithm>
+
+namespace ef {
+
+Time
+OverheadModel::scaling_seconds(DnnModel model, GpuCount from,
+                               GpuCount to) const
+{
+    if (!config_.enabled || from == to)
+        return 0.0;
+    const ModelProfile &profile = model_profile(model);
+    GpuCount workers = std::max({from, to, GpuCount(1)});
+    return config_.base_s + config_.per_gb_s * profile.checkpoint_gb +
+           config_.per_gpu_s * static_cast<double>(workers);
+}
+
+Time
+OverheadModel::migration_seconds(DnnModel model, GpuCount gpus) const
+{
+    if (!config_.enabled)
+        return 0.0;
+    const ModelProfile &profile = model_profile(model);
+    return config_.base_s + config_.per_gb_s * profile.checkpoint_gb +
+           config_.per_gpu_s * static_cast<double>(std::max(gpus, 1));
+}
+
+}  // namespace ef

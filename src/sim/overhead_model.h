@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Scaling and migration overhead model (paper §5 "Elastic scaling" and
+ * §6.6, Fig. 12b).
+ *
+ * The prototype scales jobs by checkpointing parameters and restarting
+ * on the new GPU set; the measured cost is dominated by PyTorch's
+ * checkpoint/restore (roughly proportional to model size) plus a
+ * per-worker restart component. The paper notes the overheads of
+ * scaling up, scaling down, and migrating are similar, so one formula
+ * covers all three. The simulator charges this as a pause during which
+ * the job occupies its GPUs but makes no progress — the same fidelity
+ * trick the paper's own simulator uses ("we have also measured the job
+ * scaling overhead and incorporated it into the simulator").
+ */
+#ifndef EF_SIM_OVERHEAD_MODEL_H_
+#define EF_SIM_OVERHEAD_MODEL_H_
+
+#include "common/types.h"
+#include "workload/model_zoo.h"
+
+namespace ef {
+
+/** Cost constants (defaults approximate Fig. 12b magnitudes). */
+struct OverheadConfig
+{
+    bool enabled = true;
+    /** Fixed coordination cost per scaling event (seconds). */
+    double base_s = 3.0;
+    /** Checkpoint + restore seconds per GB of model state. */
+    double per_gb_s = 12.0;
+    /** Process-group / NCCL re-setup seconds per participating GPU. */
+    double per_gpu_s = 0.4;
+};
+
+/** See file comment. */
+class OverheadModel
+{
+  public:
+    OverheadModel() = default;
+    explicit OverheadModel(OverheadConfig config) : config_(config) {}
+
+    const OverheadConfig &config() const { return config_; }
+
+    /**
+     * Pause incurred when a job moves from @p from to @p to GPUs
+     * (either may be 0 for suspend/resume). Zero when nothing changes
+     * or the model is disabled.
+     */
+    Time scaling_seconds(DnnModel model, GpuCount from, GpuCount to) const;
+
+    /** Pause incurred by relocating a job across GPUs at equal size. */
+    Time migration_seconds(DnnModel model, GpuCount gpus) const;
+
+  private:
+    OverheadConfig config_;
+};
+
+}  // namespace ef
+
+#endif  // EF_SIM_OVERHEAD_MODEL_H_

@@ -1,0 +1,118 @@
+#include "sim/report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace ef {
+
+std::string
+jobs_report_csv(const RunResult &result)
+{
+    std::vector<std::string> header = {
+        "id",          "name",        "user",
+        "kind",        "model",       "global_batch",
+        "iterations",  "submit_time", "deadline",
+        "admitted",    "finished",    "finish_time",
+        "met_deadline", "first_run",  "gpu_seconds",
+        "scalings",    "migrations",  "failures",
+    };
+    std::vector<std::vector<std::string>> rows;
+    for (const JobOutcome &job : result.jobs) {
+        const JobSpec &spec = job.spec;
+        rows.push_back({
+            std::to_string(spec.id),
+            spec.name,
+            spec.user,
+            job_kind_name(spec.kind),
+            model_name(spec.model),
+            std::to_string(spec.global_batch),
+            std::to_string(spec.iterations),
+            format_double(spec.submit_time, 3),
+            spec.deadline == kTimeInfinity
+                ? "inf"
+                : format_double(spec.deadline, 3),
+            job.admitted ? "1" : "0",
+            job.finished ? "1" : "0",
+            job.finished ? format_double(job.finish_time, 3) : "inf",
+            job.met_deadline() ? "1" : "0",
+            job.first_run_time == kTimeInfinity
+                ? "inf"
+                : format_double(job.first_run_time, 3),
+            format_double(job.gpu_seconds, 1),
+            std::to_string(job.scaling_events),
+            std::to_string(job.migrations),
+            std::to_string(job.failures_suffered),
+        });
+    }
+    return to_csv(header, rows);
+}
+
+std::string
+allocation_report_csv(const RunResult &result)
+{
+    std::vector<std::string> header = {"time", "job", "gpus",
+                                       "gpu_ids"};
+    std::vector<std::vector<std::string>> rows;
+    for (const AllocationEvent &event : result.allocation_log) {
+        std::string ids;
+        for (std::size_t i = 0; i < event.gpus.size(); ++i) {
+            if (i)
+                ids += " ";
+            ids += std::to_string(event.gpus[i]);
+        }
+        rows.push_back({format_double(event.time, 3),
+                        std::to_string(event.job),
+                        std::to_string(event.gpus.size()), ids});
+    }
+    return to_csv(header, rows);
+}
+
+std::string
+summary_report(const RunResult &result)
+{
+    std::ostringstream out;
+    out << "scheduler=" << result.scheduler_name << "\n"
+        << "trace=" << result.trace_name << "\n"
+        << "total_gpus=" << result.total_gpus << "\n"
+        << "jobs=" << result.jobs.size() << "\n"
+        << "admitted=" << result.admitted_count() << "\n"
+        << "dropped=" << result.dropped_count() << "\n"
+        << "finished=" << result.finished_count() << "\n"
+        << "deadlines_met=" << result.deadlines_met() << "\n"
+        << "deadline_ratio="
+        << format_double(result.deadline_ratio(), 6) << "\n"
+        << "soft_deadline_ratio="
+        << format_double(
+               result.deadline_ratio_of(JobKind::kSoftDeadline), 6)
+        << "\n"
+        << "avg_best_effort_jct_s="
+        << format_double(result.average_jct(JobKind::kBestEffort), 1)
+        << "\n"
+        << "makespan_s=" << format_double(result.makespan, 1) << "\n"
+        << "gpu_seconds="
+        << format_double(result.total_gpu_seconds(), 1) << "\n"
+        << "replan_failures=" << result.replan_failures << "\n"
+        << "placement_failures=" << result.placement_failures << "\n";
+    return out.str();
+}
+
+std::string
+save_run_report(const std::string &prefix, const RunResult &result)
+{
+    auto write = [](const std::string &path, const std::string &text) {
+        std::ofstream out(path);
+        EF_FATAL_IF(!out, "cannot write report file: " << path);
+        out << text;
+    };
+    write(prefix + ".jobs.csv", jobs_report_csv(result));
+    write(prefix + ".alloc.csv", allocation_report_csv(result));
+    std::string summary = summary_report(result);
+    write(prefix + ".summary", summary);
+    return summary;
+}
+
+}  // namespace ef

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Run-report export: persist a RunResult as machine-readable artifacts
+ * (a per-job CSV and a summary in key=value form) so external tooling
+ * can plot the figures the benches print. The format is stable and
+ * round-trips through the common CSV reader.
+ */
+#ifndef EF_SIM_REPORT_H_
+#define EF_SIM_REPORT_H_
+
+#include <string>
+
+#include "sim/metrics.h"
+
+namespace ef {
+
+/** Per-job CSV: one row per submitted job. */
+std::string jobs_report_csv(const RunResult &result);
+
+/** Allocation timeline CSV: one row per placement change. */
+std::string allocation_report_csv(const RunResult &result);
+
+/** Headline metrics as "key=value" lines (grep-friendly). */
+std::string summary_report(const RunResult &result);
+
+/**
+ * Write <prefix>.jobs.csv, <prefix>.alloc.csv, and <prefix>.summary
+ * (overwriting). Returns the summary text.
+ */
+std::string save_run_report(const std::string &prefix,
+                            const RunResult &result);
+
+}  // namespace ef
+
+#endif  // EF_SIM_REPORT_H_

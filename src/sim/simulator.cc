@@ -1,0 +1,595 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/table.h"
+
+namespace ef {
+namespace {
+
+constexpr double kIterEpsilon = 1e-6;
+
+}  // namespace
+
+/** Runtime record of one job. */
+struct Simulator::JobRt
+{
+    JobSpec spec;
+    ScalingCurve curve;
+    bool arrived = false;
+    JobState state = JobState::kWaiting;
+
+    double executed = 0.0;          ///< iterations completed
+    Time last_update = 0.0;         ///< progress accounted up to here
+    Time progress_resume = 0.0;     ///< paused (overhead) until here
+    double attained_gpu_seconds = 0.0;
+
+    GpuCount gpus = 0;              ///< currently held GPUs
+    double current_tpt = 0.0;       ///< iterations/sec on the placement
+    double noise_factor = 1.0;      ///< executor-vs-profile mismatch
+    double checkpoint_iters = 0.0;  ///< progress safe from failures
+
+    JobOutcome outcome;
+
+    double remaining() const
+    {
+        return std::max(0.0, static_cast<double>(spec.iterations) -
+                                 executed);
+    }
+    bool active() const
+    {
+        return arrived && (state == JobState::kWaiting ||
+                           state == JobState::kRunning);
+    }
+};
+
+/** Queue entry; min-heap by (time, seq). */
+struct Simulator::Event
+{
+    enum Kind { kArrival, kCompletion, kTick, kServerDown, kServerUp };
+    Time time = 0.0;
+    std::uint64_t seq = 0;
+    Kind kind = kArrival;
+    JobId job = kInvalidJob;  ///< server index for failure events
+};
+
+bool
+Simulator::event_after(const Event &a, const Event &b)
+{
+    if (a.time != b.time)
+        return a.time > b.time;
+    return a.seq > b.seq;
+}
+
+Simulator::Simulator(const Trace &trace, Scheduler *scheduler,
+                     SimConfig config)
+    : trace_(trace),
+      scheduler_(scheduler),
+      config_(config),
+      topology_(trace.topology),
+      perf_(&topology_),
+      placement_(&topology_),
+      overhead_(config.overhead),
+      events_(event_after)
+{
+    EF_CHECK(scheduler_ != nullptr);
+    scheduler_->bind(this);
+
+    result_.scheduler_name = scheduler_->name();
+    result_.trace_name = trace_.name;
+    result_.total_gpus = topology_.total_gpus();
+
+    for (const JobSpec &spec : trace_.jobs) {
+        EF_FATAL_IF(jobs_.count(spec.id) > 0,
+                    "duplicate job id " << spec.id << " in trace");
+        auto job = std::make_unique<JobRt>();
+        job->spec = spec;
+        job->curve = curve_for(spec);
+        job->outcome.spec = spec;
+        if (config_.noise.throughput_error > 0.0) {
+            // Deterministic per-job factor in [1 - e, 1 + e].
+            Rng noise_rng(0x9e3779b9u ^
+                          static_cast<std::uint64_t>(spec.id) * 2654435761u);
+            job->noise_factor = 1.0 + noise_rng.uniform_real(
+                                          -config_.noise.throughput_error,
+                                          config_.noise.throughput_error);
+        }
+        jobs_.emplace(spec.id, std::move(job));
+        submit_order_.push_back(spec.id);
+    }
+    if (config_.failures.enabled) {
+        EF_FATAL_IF(config_.failures.server_mtbf_s <= 0.0,
+                    "failure MTBF must be positive");
+        failure_rng_ = std::make_unique<Rng>(config_.failures.seed);
+    }
+}
+
+Simulator::~Simulator() = default;
+
+Simulator::JobRt &
+Simulator::rt(JobId id)
+{
+    auto it = jobs_.find(id);
+    EF_CHECK_MSG(it != jobs_.end(), "unknown job " << id);
+    return *it->second;
+}
+
+const Simulator::JobRt &
+Simulator::rt(JobId id) const
+{
+    auto it = jobs_.find(id);
+    EF_CHECK_MSG(it != jobs_.end(), "unknown job " << id);
+    return *it->second;
+}
+
+GpuCount
+Simulator::total_gpus() const
+{
+    // Schedulers see the capacity that is actually up (§4.4).
+    return placement_.available_gpus();
+}
+
+std::vector<JobId>
+Simulator::active_jobs() const
+{
+    std::vector<JobId> active;
+    for (JobId id : submit_order_) {
+        if (rt(id).active())
+            active.push_back(id);
+    }
+    return active;
+}
+
+const JobSpec &
+Simulator::spec(JobId job) const
+{
+    return rt(job).spec;
+}
+
+const ScalingCurve &
+Simulator::curve(JobId job) const
+{
+    return rt(job).curve;
+}
+
+ScalingCurve
+Simulator::curve_for(const JobSpec &spec) const
+{
+    std::vector<double> table = perf_.compact_pow2_throughputs(
+        spec.model, spec.global_batch, topology_.total_gpus());
+    return ScalingCurve::from_pow2_table(std::move(table));
+}
+
+double
+Simulator::remaining_iterations(JobId job) const
+{
+    return rt(job).remaining();
+}
+
+GpuCount
+Simulator::current_gpus(JobId job) const
+{
+    return rt(job).gpus;
+}
+
+double
+Simulator::attained_gpu_seconds(JobId job) const
+{
+    return rt(job).attained_gpu_seconds;
+}
+
+void
+Simulator::advance_progress(Time to)
+{
+    EF_CHECK(to >= now_);
+    for (auto &[id, job_ptr] : jobs_) {
+        JobRt &job = *job_ptr;
+        Time t0 = job.last_update;
+        if (to <= t0) {
+            continue;
+        }
+        if (job.gpus > 0) {
+            job.attained_gpu_seconds +=
+                static_cast<double>(job.gpus) * (to - t0);
+            job.outcome.gpu_seconds = job.attained_gpu_seconds;
+        }
+        if (job.state == JobState::kRunning && job.gpus > 0) {
+            Time start = std::max(t0, job.progress_resume);
+            if (to > start) {
+                job.executed += job.current_tpt * (to - start);
+                job.executed = std::min(
+                    job.executed, static_cast<double>(job.spec.iterations));
+                // Periodic auto-checkpointing: progress older than one
+                // checkpoint interval is safe from node failures.
+                double interval_iters =
+                    job.current_tpt *
+                    config_.failures.checkpoint_interval_s;
+                if (job.executed - job.checkpoint_iters >
+                    interval_iters) {
+                    job.checkpoint_iters = job.executed - interval_iters;
+                }
+            }
+        }
+        job.last_update = to;
+    }
+}
+
+void
+Simulator::charge_pause(JobRt &job, Time seconds)
+{
+    if (seconds <= 0.0)
+        return;
+    job.progress_resume =
+        std::max(job.progress_resume, now_ + seconds);
+}
+
+void
+Simulator::refresh_throughput(JobRt &job)
+{
+    if (job.gpus <= 0 || job.state != JobState::kRunning) {
+        job.current_tpt = 0.0;
+        return;
+    }
+    PlacementShape shape =
+        perf_.shape_of(placement_.gpus_of(job.spec.id));
+    job.current_tpt =
+        perf_.throughput(job.spec.model, job.spec.global_batch, shape) *
+        job.noise_factor;
+    EF_CHECK_MSG(job.current_tpt > 0.0,
+                 "job " << job.spec.id << " placed on an infeasible "
+                        << job.gpus << "-GPU configuration");
+    schedule_completion(job);
+}
+
+void
+Simulator::schedule_completion(JobRt &job)
+{
+    if (job.state != JobState::kRunning || job.current_tpt <= 0.0)
+        return;
+    Time start = std::max(now_, job.progress_resume);
+    Time done = start + job.remaining() / job.current_tpt;
+    events_.push(Event{done, next_seq_++, Event::kCompletion,
+                       job.spec.id});
+}
+
+void
+Simulator::apply_resize(JobRt &job, GpuCount desired)
+{
+    const JobId id = job.spec.id;
+    const GpuCount old = job.gpus;
+    if (desired == old)
+        return;
+
+    if (desired == 0) {
+        placement_.release(id);
+        job.gpus = 0;
+        job.current_tpt = 0.0;
+        job.state = JobState::kWaiting;
+        ++job.outcome.scaling_events;
+        result_.allocation_log.push_back(
+            AllocationEvent{now_, id, {}});
+        return;
+    }
+
+    PlacementResult res;
+    if (old == 0) {
+        res = placement_.place(id, desired,
+                               scheduler_->placement_strategy(),
+                               scheduler_->allow_migration());
+    } else {
+        res = placement_.resize(id, desired,
+                                scheduler_->placement_strategy(),
+                                scheduler_->allow_migration());
+    }
+    if (!res.ok) {
+        ++result_.placement_failures;
+        EF_DEBUG("placement failed for job " << id << " (" << desired
+                                             << " GPUs)");
+        return;  // keep the previous allocation
+    }
+
+    // Defragmentation relocations pause their victims too.
+    for (const Migration &m : res.migrations) {
+        if (m.job == id)
+            continue;
+        JobRt &other = rt(m.job);
+        ++other.outcome.migrations;
+        charge_pause(other, overhead_.migration_seconds(
+                                other.spec.model, other.gpus));
+        if (other.state == JobState::kRunning)
+            refresh_throughput(other);
+        result_.allocation_log.push_back(
+            AllocationEvent{now_, m.job, m.to});
+    }
+
+    job.gpus = desired;
+    job.state = JobState::kRunning;
+    ++job.outcome.scaling_events;
+    job.checkpoint_iters = job.executed;  // scaling checkpoints state
+    result_.allocation_log.push_back(
+        AllocationEvent{now_, id, placement_.gpus_of(id)});
+    if (job.outcome.first_run_time == kTimeInfinity)
+        job.outcome.first_run_time = now_;
+    charge_pause(job, overhead_.scaling_seconds(job.spec.model, old,
+                                                desired));
+    refresh_throughput(job);
+}
+
+void
+Simulator::apply_decision(const SchedulerDecision &decision)
+{
+    GpuCount desired_total = 0;
+    for (const auto &[id, g] : decision.gpus) {
+        EF_CHECK_MSG(g >= 0, "negative allocation for job " << id);
+        desired_total += g;
+    }
+    EF_CHECK_MSG(desired_total <= topology_.total_gpus(),
+                 scheduler_->name() << " requested " << desired_total
+                                    << " GPUs on a "
+                                    << topology_.total_gpus()
+                                    << "-GPU cluster");
+
+    // Shrinks and suspensions first to free capacity, then growths
+    // (largest first so compact placements are found while space is
+    // contiguous).
+    std::vector<JobId> grows;
+    for (JobId id : active_jobs()) {
+        JobRt &job = rt(id);
+        GpuCount desired = decision.of(id);
+        if (desired < job.gpus)
+            apply_resize(job, desired);
+        else if (desired > job.gpus)
+            grows.push_back(id);
+    }
+    std::stable_sort(grows.begin(), grows.end(),
+                     [&decision](JobId a, JobId b) {
+                         return decision.of(a) > decision.of(b);
+                     });
+    for (JobId id : grows)
+        apply_resize(rt(id), decision.of(id));
+}
+
+void
+Simulator::record_timelines()
+{
+    result_.used_gpus.record(now_, placement_.used_gpus());
+    if (!config_.record_efficiency)
+        return;
+    double ce = 0.0;
+    for (const auto &[id, job_ptr] : jobs_) {
+        const JobRt &job = *job_ptr;
+        if (job.state != JobState::kRunning || job.gpus <= 0)
+            continue;
+        GpuCount base = job.curve.min_workers();
+        double per_gpu_base =
+            job.curve.throughput(base) / static_cast<double>(base);
+        // Eq. 8: each of the job's GPUs contributes its per-GPU
+        // throughput relative to the 1-GPU rate; summed over the job
+        // that is simply T_actual(g) / T(1).
+        ce += job.current_tpt / per_gpu_base;
+    }
+    result_.cluster_efficiency.record(
+        now_, ce / static_cast<double>(topology_.total_gpus()));
+}
+
+bool
+Simulator::any_nonterminal_jobs() const
+{
+    for (const auto &[id, job] : jobs_) {
+        if (job->active())
+            return true;
+    }
+    return false;
+}
+
+void
+Simulator::arm_tick()
+{
+    Time interval = scheduler_->reschedule_interval();
+    if (interval <= 0.0 || tick_armed_)
+        return;
+    if (!any_nonterminal_jobs())
+        return;
+    events_.push(Event{now_ + interval, next_seq_++, Event::kTick,
+                       kInvalidJob});
+    tick_armed_ = true;
+}
+
+void
+Simulator::schedule_next_failure(int server)
+{
+    if (!config_.failures.enabled)
+        return;
+    Time delay =
+        failure_rng_->exponential(1.0 / config_.failures.server_mtbf_s);
+    events_.push(Event{now_ + delay, next_seq_++, Event::kServerDown,
+                       static_cast<JobId>(server)});
+}
+
+void
+Simulator::handle_server_down(int server)
+{
+    if (!placement_.server_available(server))
+        return;  // already down (stale event)
+    // Evict every job with a worker on the failed server: it loses its
+    // GPUs and rolls back to its last checkpoint.
+    std::vector<JobId> victims;
+    for (JobId id : placement_.placed_jobs()) {
+        for (GpuCount g : placement_.gpus_of(id)) {
+            if (topology_.server_of(g) == server) {
+                victims.push_back(id);
+                break;
+            }
+        }
+    }
+    for (JobId id : victims) {
+        JobRt &job = rt(id);
+        placement_.release(id);
+        job.gpus = 0;
+        job.current_tpt = 0.0;
+        job.state = JobState::kWaiting;
+        job.executed = std::min(job.executed, job.checkpoint_iters);
+        ++job.outcome.failures_suffered;
+        result_.allocation_log.push_back(
+            AllocationEvent{now_, id, {}});
+    }
+    placement_.set_server_available(server, false);
+    EF_INFO("server " << server << " failed at "
+                      << format_double(now_ / kHour, 2) << " h ("
+                      << victims.size() << " jobs evicted)");
+    events_.push(Event{now_ + config_.failures.repair_s, next_seq_++,
+                       Event::kServerUp, static_cast<JobId>(server)});
+    if (any_nonterminal_jobs())
+        reschedule();
+}
+
+void
+Simulator::handle_server_up(int server)
+{
+    if (placement_.server_available(server))
+        return;
+    placement_.set_server_available(server, true);
+    schedule_next_failure(server);
+    if (any_nonterminal_jobs())
+        reschedule();
+}
+
+void
+Simulator::reschedule()
+{
+    SchedulerDecision decision = scheduler_->allocate();
+    apply_decision(decision);
+    record_timelines();
+    arm_tick();
+}
+
+void
+Simulator::handle_arrival(JobId id)
+{
+    JobRt &job = rt(id);
+    bool ok = scheduler_->admit(job.spec);
+    job.arrived = true;
+    job.outcome.admitted = ok;
+    if (!ok) {
+        job.state = JobState::kDropped;
+        EF_DEBUG("job " << id << " dropped at submission");
+    } else {
+        job.state = JobState::kWaiting;
+    }
+
+    std::size_t submitted = 0, admitted = 0;
+    for (const auto &[jid, j] : jobs_) {
+        if (j->arrived) {
+            ++submitted;
+            admitted += j->outcome.admitted ? 1 : 0;
+        }
+    }
+    result_.submitted_jobs.record(now_, static_cast<double>(submitted));
+    result_.admitted_jobs.record(now_, static_cast<double>(admitted));
+
+    if (ok)
+        reschedule();
+}
+
+void
+Simulator::handle_completion_check(JobId id)
+{
+    JobRt &job = rt(id);
+    if (job.state != JobState::kRunning)
+        return;  // stale event
+    if (job.remaining() > kIterEpsilon)
+        return;  // stale event: the job was slowed after scheduling
+
+    job.executed = static_cast<double>(job.spec.iterations);
+    job.state = JobState::kFinished;
+    job.outcome.finished = true;
+    job.outcome.finish_time = now_;
+    placement_.release(id);
+    job.gpus = 0;
+    job.current_tpt = 0.0;
+    reschedule();
+}
+
+void
+Simulator::handle_tick()
+{
+    tick_armed_ = false;
+    if (any_nonterminal_jobs())
+        reschedule();
+}
+
+bool
+Simulator::work_pending() const
+{
+    for (const auto &[id, job] : jobs_) {
+        if (!job->arrived || job->active())
+            return true;
+    }
+    return false;
+}
+
+RunResult
+Simulator::run()
+{
+    for (JobId id : submit_order_) {
+        events_.push(Event{rt(id).spec.submit_time, next_seq_++,
+                           Event::kArrival, id});
+    }
+    if (config_.failures.enabled) {
+        for (int server = 0; server < topology_.num_servers(); ++server)
+            schedule_next_failure(server);
+    }
+
+    while (!events_.empty()) {
+        Event event = events_.top();
+        events_.pop();
+        if ((event.kind == Event::kServerDown ||
+             event.kind == Event::kServerUp) &&
+            !work_pending()) {
+            continue;  // drain the failure stream once all jobs ended
+        }
+        if (event.time > config_.max_time) {
+            EF_WARN("simulation hit max_time with "
+                    << (any_nonterminal_jobs() ? "unfinished" : "no")
+                    << " jobs");
+            break;
+        }
+        advance_progress(event.time);
+        now_ = event.time;
+        switch (event.kind) {
+          case Event::kArrival:
+            handle_arrival(event.job);
+            break;
+          case Event::kCompletion:
+            handle_completion_check(event.job);
+            break;
+          case Event::kTick:
+            handle_tick();
+            break;
+          case Event::kServerDown:
+            handle_server_down(static_cast<int>(event.job));
+            break;
+          case Event::kServerUp:
+            handle_server_up(static_cast<int>(event.job));
+            break;
+        }
+    }
+
+    result_.jobs.clear();
+    for (JobId id : submit_order_) {
+        JobRt &job = rt(id);
+        job.outcome.gpu_seconds = job.attained_gpu_seconds;
+        result_.jobs.push_back(job.outcome);
+        if (job.outcome.finished) {
+            result_.makespan =
+                std::max(result_.makespan, job.outcome.finish_time);
+        }
+    }
+    result_.replan_failures = scheduler_->replan_failures();
+    return result_;
+}
+
+}  // namespace ef

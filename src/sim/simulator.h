@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Event-driven cluster simulator (paper §6.1 "Simulator").
+ *
+ * The simulator advances continuous time between job-level events
+ * (arrival, completion, periodic scheduler ticks). Between events,
+ * every running job makes fluid progress at the throughput the
+ * performance model predicts for its *actual* placement, so
+ * topology-induced slowdowns (Fig. 2b) hit schedulers that fragment.
+ * Allocation changes pause the affected job for the modelled scaling /
+ * migration overhead (Fig. 12b), exactly as the paper's simulator
+ * "assigns the overhead to each job on each scheduling event".
+ *
+ * The simulator implements ClusterView, so schedulers observe job
+ * progress and attained service through the same interface the real
+ * platform's monitor module provides (Fig. 1).
+ */
+#ifndef EF_SIM_SIMULATOR_H_
+#define EF_SIM_SIMULATOR_H_
+
+#include <map>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "common/rng.h"
+#include "sched/scheduler.h"
+#include "sim/metrics.h"
+#include "sim/overhead_model.h"
+#include "workload/perf_model.h"
+#include "workload/trace.h"
+
+namespace ef {
+
+/** Random server failures (§4.4 "Node failures"). */
+struct FailureConfig
+{
+    bool enabled = false;
+    /** Mean time between failures of one server (seconds). */
+    Time server_mtbf_s = 30.0 * kDay;
+    /** Time a failed server stays down. */
+    Time repair_s = 2.0 * kHour;
+    /**
+     * Jobs auto-checkpoint this often; a failure rolls a victim back
+     * to its last checkpoint (in addition to losing its GPUs).
+     */
+    Time checkpoint_interval_s = 1800.0;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Per-job deterministic throughput misestimation: the executor runs
+ * each job at nominal throughput x (1 +/- noise), while schedulers
+ * still see the nominal curve — models profiling error.
+ */
+struct NoiseConfig
+{
+    double throughput_error = 0.0;  ///< e.g. 0.02 = up to +/-2%
+};
+
+/** Simulator knobs. */
+struct SimConfig
+{
+    /** Hard stop (guards schedulers that never finish a job). */
+    Time max_time = 400.0 * kDay;
+    OverheadConfig overhead;
+    FailureConfig failures;
+    NoiseConfig noise;
+    /** Record cluster-efficiency samples (Fig. 10). */
+    bool record_efficiency = true;
+};
+
+/** Lifecycle of a job inside the simulator. */
+enum class JobState {
+    kDropped,    ///< rejected at submission
+    kWaiting,    ///< admitted, not yet (or currently not) running
+    kRunning,    ///< holds GPUs and makes progress (or is paused)
+    kFinished,   ///< termination condition reached
+};
+
+/** See file comment. */
+class Simulator : public ClusterView
+{
+  public:
+    Simulator(const Trace &trace, Scheduler *scheduler,
+              SimConfig config = {});
+    ~Simulator() override;
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Run to completion and return the metrics. */
+    RunResult run();
+
+    // --- ClusterView ----------------------------------------------------
+    GpuCount total_gpus() const override;
+    Time now() const override { return now_; }
+    std::vector<JobId> active_jobs() const override;
+    const JobSpec &spec(JobId job) const override;
+    const ScalingCurve &curve(JobId job) const override;
+    ScalingCurve curve_for(const JobSpec &spec) const override;
+    double remaining_iterations(JobId job) const override;
+    GpuCount current_gpus(JobId job) const override;
+    double attained_gpu_seconds(JobId job) const override;
+
+  private:
+    struct JobRt;
+    struct Event;
+    static bool event_after(const Event &a, const Event &b);
+
+    void handle_arrival(JobId id);
+    void handle_completion_check(JobId id);
+    void handle_tick();
+    void handle_server_down(int server);
+    void handle_server_up(int server);
+    void schedule_next_failure(int server);
+
+    /** Run the scheduler and apply its decision. */
+    void reschedule();
+    void apply_decision(const SchedulerDecision &decision);
+    void apply_resize(JobRt &job, GpuCount desired);
+    void charge_pause(JobRt &job, Time seconds);
+    void refresh_throughput(JobRt &job);
+    void schedule_completion(JobRt &job);
+    void advance_progress(Time to);
+    void record_timelines();
+    bool any_nonterminal_jobs() const;
+    bool work_pending() const;
+    void arm_tick();
+
+    JobRt &rt(JobId id);
+    const JobRt &rt(JobId id) const;
+
+    Trace trace_;
+    Scheduler *scheduler_;
+    SimConfig config_;
+
+    Topology topology_;
+    PerfModel perf_;
+    PlacementManager placement_;
+    OverheadModel overhead_;
+
+    Time now_ = 0.0;
+    std::uint64_t next_seq_ = 0;
+    std::priority_queue<Event, std::vector<Event>,
+                        bool (*)(const Event &, const Event &)> events_;
+
+    std::map<JobId, std::unique_ptr<JobRt>> jobs_;
+    std::vector<JobId> submit_order_;
+
+    bool tick_armed_ = false;
+    std::unique_ptr<Rng> failure_rng_;
+
+    RunResult result_;
+};
+
+}  // namespace ef
+
+#endif  // EF_SIM_SIMULATOR_H_

@@ -1,0 +1,16 @@
+#include "workload/job.h"
+
+namespace ef {
+
+std::string
+job_kind_name(JobKind kind)
+{
+    switch (kind) {
+      case JobKind::kSlo: return "slo";
+      case JobKind::kSoftDeadline: return "soft";
+      case JobKind::kBestEffort: return "best-effort";
+    }
+    return "?";
+}
+
+}  // namespace ef

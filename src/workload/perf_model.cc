@@ -1,0 +1,152 @@
+#include "workload/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace ef {
+namespace {
+
+/** Growth of the per-iteration overhead with worker count. */
+constexpr double kOverheadGrowthPerDoubling = 0.3;
+
+}  // namespace
+
+PerfModel::PerfModel(const Topology *topology, PerfModelConfig config)
+    : topology_(topology), config_(config)
+{
+    EF_CHECK(topology_ != nullptr);
+}
+
+PlacementShape
+PerfModel::compact_shape(GpuCount workers) const
+{
+    EF_CHECK(workers >= 1);
+    PlacementShape shape;
+    shape.workers = workers;
+    int per_server = topology_->gpus_per_server();
+    shape.server_span = (workers + per_server - 1) / per_server;
+    int per_rack = topology_->spec().servers_per_rack;
+    shape.rack_span = (shape.server_span + per_rack - 1) / per_rack;
+    return shape;
+}
+
+PlacementShape
+PerfModel::shape_of(const std::vector<GpuCount> &gpus) const
+{
+    EF_CHECK(!gpus.empty());
+    PlacementShape shape;
+    shape.workers = static_cast<GpuCount>(gpus.size());
+    shape.server_span = topology_->server_span(gpus);
+    shape.rack_span = topology_->rack_span(gpus);
+    return shape;
+}
+
+double
+PerfModel::iteration_seconds(DnnModel model, int global_batch,
+                             const PlacementShape &shape) const
+{
+    const ModelProfile &profile = model_profile(model);
+    const GpuCount g = shape.workers;
+    EF_CHECK_MSG(g >= 1, "iteration_seconds needs at least one worker");
+    EF_CHECK_MSG(global_batch >= 1, "invalid global batch");
+
+    int local_batch = (global_batch + g - 1) / g;
+    int micro_steps = 1;
+    if (local_batch > profile.max_local_batch) {
+        EF_CHECK_MSG(config_.allow_grad_accumulation,
+                     profile.name << " local batch " << local_batch
+                                  << " overflows GPU memory (max "
+                                  << profile.max_local_batch << ")");
+        micro_steps = (local_batch + profile.max_local_batch - 1) /
+                      profile.max_local_batch;
+    }
+
+    double compute = profile.per_sample_s * local_batch;
+    double overhead =
+        profile.fixed_overhead_s *
+            (1.0 + kOverheadGrowthPerDoubling *
+                       std::log2(static_cast<double>(g))) +
+        config_.accumulation_overhead_s * (micro_steps - 1);
+
+    double comm = 0.0;
+    double latency_steps = 0.0;
+    if (g > 1) {
+        const int m = std::max(shape.server_span, 1);
+        const double k = static_cast<double>(g) / m;  // GPUs per server
+        const double payload = profile.param_gb;
+        if (k > 1.0) {
+            comm += 2.0 * (k - 1.0) / k * payload /
+                    topology_->spec().intra_server_gbps;
+            latency_steps += 2.0 * (k - 1.0);
+        }
+        if (m > 1) {
+            CommLevel level = shape.rack_span > 1 ? CommLevel::kCrossRack
+                                                  : CommLevel::kIntraRack;
+            double bw = topology_->bandwidth_gbps(level, k);
+            comm += 2.0 * (m - 1.0) / m * payload / bw;
+            latency_steps += 2.0 * (m - 1.0);
+        }
+    }
+    double latency = latency_steps * topology_->spec().per_step_latency_s;
+
+    return compute + overhead + comm + latency;
+}
+
+double
+PerfModel::throughput(DnnModel model, int global_batch,
+                      const PlacementShape &shape) const
+{
+    if (shape.workers <= 0)
+        return 0.0;
+    if (shape.workers < min_workers(model, global_batch))
+        return 0.0;  // local batch would overflow GPU memory
+    if (shape.workers > global_batch)
+        return 0.0;  // cannot shard below one sample per worker
+    return 1.0 / iteration_seconds(model, global_batch, shape);
+}
+
+double
+PerfModel::compact_throughput(DnnModel model, int global_batch,
+                              GpuCount workers) const
+{
+    if (workers <= 0)
+        return 0.0;
+    PlacementShape shape = compact_shape(workers);
+    return throughput(model, global_batch, shape);
+}
+
+std::vector<double>
+PerfModel::compact_pow2_throughputs(DnnModel model, int global_batch,
+                                    GpuCount max_workers) const
+{
+    GpuCount cap = this->max_workers(model, global_batch, max_workers);
+    std::vector<double> table;
+    for (GpuCount g = 1; g <= cap; g *= 2)
+        table.push_back(compact_throughput(model, global_batch, g));
+    return table;
+}
+
+GpuCount
+PerfModel::min_workers(DnnModel model, int global_batch) const
+{
+    if (config_.allow_grad_accumulation)
+        return 1;  // accumulation removes the memory bound
+    const ModelProfile &profile = model_profile(model);
+    GpuCount needed = (global_batch + profile.max_local_batch - 1) /
+                      profile.max_local_batch;
+    return ceil_power_of_two(needed);
+}
+
+GpuCount
+PerfModel::max_workers(DnnModel model, int global_batch,
+                       GpuCount cluster_limit) const
+{
+    GpuCount cap = std::min<GpuCount>(floor_power_of_two(global_batch),
+                                      floor_power_of_two(cluster_limit));
+    return std::max(cap, min_workers(model, global_batch));
+}
+
+}  // namespace ef

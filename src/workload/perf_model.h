@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Analytic distributed-training performance model.
+ *
+ * Substitutes for the paper's testbed profiling (§5, "Throughput
+ * profiling"): given a model, a global batch size, and the *shape* of a
+ * placement (worker count, server span, rack span), it predicts the
+ * iteration time as
+ *
+ *   t = compute(local batch) + per-iteration overhead
+ *       + hierarchical all-reduce time (intra-server ring +
+ *         inter-server ring over the NICs the job can drive)
+ *
+ * which yields the paper's two key characteristics by construction:
+ * concave scaling curves (Fig. 2a) and topology-dependent throughput
+ * (Fig. 2b). Calibration targets pinned by tests: VGG16 at 8
+ * intra-server GPUs reaches ~70-85% of linear scaling (paper: 76.07%),
+ * and ResNet50's same-server vs. 8-server throughput ratio is ~1.8-2.6x
+ * (paper: 2.17x).
+ */
+#ifndef EF_WORKLOAD_PERF_MODEL_H_
+#define EF_WORKLOAD_PERF_MODEL_H_
+
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/types.h"
+#include "workload/model_zoo.h"
+
+namespace ef {
+
+/** The placement properties throughput depends on. */
+struct PlacementShape
+{
+    GpuCount workers = 1;
+    int server_span = 1;
+    int rack_span = 1;
+};
+
+/** Optional behaviours of the performance model. */
+struct PerfModelConfig
+{
+    /**
+     * Gradient accumulation (extension beyond the paper): when the
+     * local batch exceeds GPU memory, split it into micro-batches and
+     * accumulate gradients instead of refusing the configuration.
+     * Removes the memory-bound minimum worker count at the cost of
+     * extra per-micro-step overhead.
+     */
+    bool allow_grad_accumulation = false;
+
+    /** Extra per-iteration overhead per additional micro-step. */
+    double accumulation_overhead_s = 2.0e-3;
+};
+
+/** Predicts training throughput from model, batch, and placement. */
+class PerfModel
+{
+  public:
+    explicit PerfModel(const Topology *topology,
+                       PerfModelConfig config = {});
+
+    const Topology &topology() const { return *topology_; }
+
+    /** Shape of the most compact placement of @p workers GPUs. */
+    PlacementShape compact_shape(GpuCount workers) const;
+
+    /** Shape of a concrete GPU set. */
+    PlacementShape shape_of(const std::vector<GpuCount> &gpus) const;
+
+    /**
+     * Seconds per training iteration. Aborts if the local batch would
+     * overflow GPU memory (callers must respect min_workers).
+     */
+    double iteration_seconds(DnnModel model, int global_batch,
+                             const PlacementShape &shape) const;
+
+    /**
+     * Iterations per second; 0 when @p shape.workers is 0 or below the
+     * memory-bound minimum (the job cannot run in that configuration).
+     */
+    double throughput(DnnModel model, int global_batch,
+                      const PlacementShape &shape) const;
+
+    /** Throughput of the most compact placement of @p workers GPUs. */
+    double compact_throughput(DnnModel model, int global_batch,
+                              GpuCount workers) const;
+
+    /**
+     * Throughput table at power-of-two worker counts for compact
+     * placements: entry k is the throughput with 2^k workers, up to the
+     * largest power of two <= min(max_workers, global batch).
+     * Entries below min_workers are 0.
+     */
+    std::vector<double> compact_pow2_throughputs(DnnModel model,
+                                                 int global_batch,
+                                                 GpuCount max_workers) const;
+
+    /** Smallest power-of-two worker count whose local batch fits. */
+    GpuCount min_workers(DnnModel model, int global_batch) const;
+
+    /**
+     * Largest power-of-two worker count that is meaningful: bounded by
+     * the global batch (at least one sample per worker) and
+     * @p cluster_limit.
+     */
+    GpuCount max_workers(DnnModel model, int global_batch,
+                         GpuCount cluster_limit) const;
+
+    const PerfModelConfig &config() const { return config_; }
+
+  private:
+    const Topology *topology_;
+    PerfModelConfig config_;
+};
+
+}  // namespace ef
+
+#endif  // EF_WORKLOAD_PERF_MODEL_H_

@@ -1,0 +1,80 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "workload/perf_model.h"
+
+namespace ef {
+
+void
+Trace::sort_by_submit_time()
+{
+    std::stable_sort(jobs.begin(), jobs.end(),
+                     [](const JobSpec &a, const JobSpec &b) {
+                         if (a.submit_time != b.submit_time)
+                             return a.submit_time < b.submit_time;
+                         return a.id < b.id;
+                     });
+}
+
+Time
+Trace::last_submit_time() const
+{
+    Time last = 0.0;
+    for (const JobSpec &job : jobs)
+        last = std::max(last, job.submit_time);
+    return last;
+}
+
+std::size_t
+Trace::count_kind(JobKind kind) const
+{
+    std::size_t n = 0;
+    for (const JobSpec &job : jobs)
+        n += job.kind == kind ? 1 : 0;
+    return n;
+}
+
+Time
+standalone_duration(const PerfModel &perf, const JobSpec &job)
+{
+    double tpt = perf.compact_throughput(job.model, job.global_batch,
+                                         job.requested_gpus);
+    EF_CHECK_MSG(tpt > 0.0, "job " << job.id << " cannot run on "
+                                   << job.requested_gpus << " GPUs");
+    return static_cast<Time>(job.iterations) / tpt;
+}
+
+std::int64_t
+iterations_for_duration(const PerfModel &perf, const JobSpec &job,
+                        Time duration)
+{
+    double tpt = perf.compact_throughput(job.model, job.global_batch,
+                                         job.requested_gpus);
+    EF_CHECK_MSG(tpt > 0.0, "job " << job.id << " cannot run on "
+                                   << job.requested_gpus << " GPUs");
+    return std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(duration * tpt)));
+}
+
+void
+assign_deadlines(Trace *trace, const PerfModel &perf, double lo, double hi,
+                 Rng *rng)
+{
+    EF_CHECK(trace != nullptr && rng != nullptr);
+    EF_CHECK(0.0 < lo && lo <= hi);
+    for (JobSpec &job : trace->jobs) {
+        if (job.is_best_effort()) {
+            job.deadline = kTimeInfinity;
+            continue;
+        }
+        double lambda = rng->uniform_real(lo, hi);
+        job.deadline =
+            job.submit_time + lambda * standalone_duration(perf, job);
+    }
+}
+
+}  // namespace ef

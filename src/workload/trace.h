@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A trace is the unit of an experiment: a cluster spec plus a list of
+ * job submissions. Mirrors the paper's methodology (§6.1): real traces
+ * provide submission time, GPU count, and duration; the model and batch
+ * size are sampled from the Table 1 pool; the iteration count is
+ * derived from the duration and the profiled throughput; deadlines are
+ * submit + lambda * duration with lambda ~ U[0.5, 1.5].
+ */
+#ifndef EF_WORKLOAD_TRACE_H_
+#define EF_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "workload/job.h"
+
+namespace ef {
+
+class PerfModel;
+
+/** One experiment input: a cluster and its job submissions. */
+struct Trace
+{
+    std::string name;
+    TopologySpec topology;
+    std::vector<JobSpec> jobs;  ///< sorted by submit_time
+
+    std::size_t size() const { return jobs.size(); }
+
+    /** Sort jobs by submission time (stable; ids break ties). */
+    void sort_by_submit_time();
+
+    /** Latest submission time (0 for an empty trace). */
+    Time last_submit_time() const;
+
+    /** Count of jobs of a kind. */
+    std::size_t count_kind(JobKind kind) const;
+};
+
+/**
+ * Standalone duration of a job: the time it needs on its requested GPU
+ * count with a compact placement (this is the "duration" column of a
+ * server-centric trace).
+ */
+Time standalone_duration(const PerfModel &perf, const JobSpec &job);
+
+/**
+ * Derive the iteration count from a trace duration, inverting
+ * standalone_duration (paper §6.1: "use the duration in the trace and
+ * the pre-measured throughput to calculate the number of iterations").
+ */
+std::int64_t iterations_for_duration(const PerfModel &perf,
+                                     const JobSpec &job, Time duration);
+
+/**
+ * Assign deadlines to all SLO jobs in @p trace:
+ * deadline = submit + lambda * standalone duration,
+ * lambda ~ U[tightness_lo, tightness_hi].
+ */
+void assign_deadlines(Trace *trace, const PerfModel &perf, double lo,
+                      double hi, class Rng *rng);
+
+}  // namespace ef
+
+#endif  // EF_WORKLOAD_TRACE_H_

@@ -1,0 +1,187 @@
+#include "workload/trace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "workload/perf_model.h"
+
+namespace ef {
+namespace {
+
+/** Sample a (model, batch) pair from the Table 1 pool. */
+std::pair<DnnModel, int>
+sample_model_and_batch(Rng *rng)
+{
+    // Flatten Table 1 into (model, batch) settings, sampled uniformly
+    // like the paper ("randomly choose a DNN model with a batch size
+    // from a pool of representative settings").
+    static const std::vector<std::pair<DnnModel, int>> kPool = [] {
+        std::vector<std::pair<DnnModel, int>> pool;
+        for (DnnModel model : all_models()) {
+            for (int batch : model_profile(model).batch_sizes)
+                pool.emplace_back(model, batch);
+        }
+        return pool;
+    }();
+    auto idx = static_cast<std::size_t>(
+        rng->uniform_int(0, static_cast<std::int64_t>(kPool.size()) - 1));
+    return kPool[idx];
+}
+
+}  // namespace
+
+Trace
+TraceGenerator::generate(const TraceGenConfig &config)
+{
+    EF_FATAL_IF(config.num_jobs < 1, "trace needs at least one job");
+    Rng rng(config.seed);
+    Topology topology(config.topology);
+    PerfModel perf(&topology);
+
+    Trace trace;
+    trace.name = config.name;
+    trace.topology = config.topology;
+
+    const GpuCount cluster_gpus = topology.total_gpus();
+
+    Time now = 0.0;
+    JobId next_id = 0;
+    int burst_remaining = 0;
+    while (static_cast<int>(trace.jobs.size()) < config.num_jobs) {
+        if (burst_remaining > 0) {
+            // Bursts arrive back to back (seconds apart).
+            now += rng.uniform_real(1.0, 30.0);
+            --burst_remaining;
+        } else {
+            // Diurnal modulation of the arrival rate: slower at night.
+            double phase = 2.0 * M_PI * std::fmod(now, kDay) / kDay;
+            double modulation =
+                1.0 + config.diurnal_depth * std::sin(phase);
+            modulation = std::max(modulation, 0.05);
+            now += rng.exponential(modulation / config.mean_interarrival_s);
+            if (config.burst_probability > 0.0 &&
+                rng.flip(config.burst_probability)) {
+                burst_remaining =
+                    static_cast<int>(rng.uniform_int(
+                        2, std::max(2, config.burst_max_jobs)));
+            }
+        }
+
+        JobSpec job;
+        job.id = next_id++;
+        job.submit_time = now;
+        auto [model, batch] = sample_model_and_batch(&rng);
+        job.model = model;
+        job.global_batch = batch;
+        job.name = model_name(model) + "-b" + std::to_string(batch) + "-" +
+                   std::to_string(job.id);
+        job.user = "user-" + std::to_string(rng.uniform_int(
+                                 0, std::max(0, config.num_users - 1)));
+
+        // Requested GPU count: skewed power-of-two distribution, kept
+        // inside the job's feasible range on this cluster.
+        GpuCount lo = perf.min_workers(model, batch);
+        GpuCount hi = perf.max_workers(model, batch, cluster_gpus);
+        auto idx = rng.weighted_index(config.gpu_size_weights);
+        GpuCount req = GpuCount(1) << idx;
+        req = std::clamp(req, lo, hi);
+        job.requested_gpus = req;
+
+        double duration = clamp(
+            rng.log_normal(config.duration_log_mean,
+                           config.duration_log_sigma),
+            config.min_duration_s, config.max_duration_s);
+        job.iterations = iterations_for_duration(perf, job, duration);
+
+        if (rng.flip(config.best_effort_fraction)) {
+            job.kind = JobKind::kBestEffort;
+        } else if (config.soft_deadline_fraction > 0.0 &&
+                   rng.flip(config.soft_deadline_fraction)) {
+            job.kind = JobKind::kSoftDeadline;
+        } else {
+            job.kind = JobKind::kSlo;
+        }
+
+        trace.jobs.push_back(std::move(job));
+    }
+
+    assign_deadlines(&trace, perf, config.tightness_lo,
+                     config.tightness_hi, &rng);
+    trace.sort_by_submit_time();
+    return trace;
+}
+
+TraceGenConfig
+cluster_preset(int index)
+{
+    EF_FATAL_IF(index < 1 || index > 10,
+                "cluster preset index must be in [1, 10], got " << index);
+    TraceGenConfig config;
+    config.name = "cluster#" + std::to_string(index);
+    config.seed = 1000 + static_cast<std::uint64_t>(index);
+
+    // Cluster sizes and loads spanning the paper's range (scaled down).
+    // Interarrival shrinks with preset index faster than capacity grows,
+    // so later presets are more contended — except #9/#10, which model
+    // the paper's observation that some clusters are large enough for
+    // EDF to do well.
+    struct Preset { int gpus; int jobs; double interarrival; };
+    static const Preset kPresets[10] = {
+        {64, 80, 900.0},   {64, 120, 500.0},  {96, 120, 600.0},
+        {128, 160, 450.0}, {128, 200, 300.0}, {192, 220, 350.0},
+        {256, 260, 280.0}, {256, 320, 200.0}, {384, 150, 900.0},
+        {512, 160, 1100.0},
+    };
+    const Preset &p = kPresets[index - 1];
+    config.topology = TopologySpec::with_total_gpus(p.gpus);
+    config.num_jobs = p.jobs;
+    config.mean_interarrival_s = p.interarrival;
+    return config;
+}
+
+TraceGenConfig
+philly_preset()
+{
+    TraceGenConfig config;
+    config.name = "philly";
+    config.seed = 4242;
+    config.topology = TopologySpec::with_total_gpus(256);
+    config.num_jobs = 300;
+    config.mean_interarrival_s = 240.0;
+    // Philly jobs skew small and short with heavy bursts.
+    config.gpu_size_weights = {0.45, 0.20, 0.15, 0.15, 0.04, 0.01};
+    config.duration_log_mean = 7.8;
+    config.duration_log_sigma = 1.5;
+    config.burst_probability = 0.10;
+    config.burst_max_jobs = 10;
+    return config;
+}
+
+TraceGenConfig
+testbed_small_preset()
+{
+    TraceGenConfig config;
+    config.name = "testbed-32gpu-25jobs";
+    config.seed = 7;
+    config.topology = TopologySpec::testbed_32();
+    config.num_jobs = 25;
+    config.mean_interarrival_s = 1200.0;
+    return config;
+}
+
+TraceGenConfig
+testbed_large_preset()
+{
+    TraceGenConfig config;
+    config.name = "testbed-128gpu-195jobs";
+    config.seed = 11;
+    config.topology = TopologySpec::testbed_128();
+    config.num_jobs = 195;
+    config.mean_interarrival_s = 300.0;
+    return config;
+}
+
+}  // namespace ef

@@ -1,0 +1,120 @@
+#include "workload/trace_io.h"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/check.h"
+#include "common/csv.h"
+
+namespace ef {
+namespace {
+
+std::string
+format_time(Time t)
+{
+    if (t == kTimeInfinity)
+        return "inf";
+    std::ostringstream out;
+    out.precision(9);
+    out << t;
+    return out.str();
+}
+
+Time
+parse_time(const std::string &s)
+{
+    if (s == "inf")
+        return kTimeInfinity;
+    return std::stod(s);
+}
+
+}  // namespace
+
+std::string
+trace_to_csv(const Trace &trace)
+{
+    std::vector<std::string> header = {
+        "id", "name", "user", "model", "global_batch", "iterations",
+        "submit_time", "deadline", "kind", "requested_gpus",
+    };
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(trace.jobs.size());
+    for (const JobSpec &job : trace.jobs) {
+        rows.push_back({
+            std::to_string(job.id),
+            job.name,
+            job.user,
+            model_name(job.model),
+            std::to_string(job.global_batch),
+            std::to_string(job.iterations),
+            format_time(job.submit_time),
+            format_time(job.deadline),
+            job_kind_name(job.kind),
+            std::to_string(job.requested_gpus),
+        });
+    }
+    return to_csv(header, rows);
+}
+
+void
+save_trace_csv(const std::string &path, const Trace &trace)
+{
+    std::ofstream out(path);
+    EF_FATAL_IF(!out, "cannot write trace file: " << path);
+    out << trace_to_csv(trace);
+}
+
+Trace
+parse_trace_csv(const std::string &text, const TopologySpec &topology,
+                const std::string &name)
+{
+    CsvTable table = parse_csv(text);
+    Trace trace;
+    trace.name = name;
+    trace.topology = topology;
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+        JobSpec job;
+        job.id = std::stoll(table.cell(r, "id"));
+        job.name = table.cell(r, "name");
+        if (table.column_index("user") >= 0)
+            job.user = table.cell(r, "user");
+        job.model = model_from_name(table.cell(r, "model"));
+        job.global_batch = std::stoi(table.cell(r, "global_batch"));
+        job.iterations = std::stoll(table.cell(r, "iterations"));
+        job.submit_time = parse_time(table.cell(r, "submit_time"));
+        job.deadline = parse_time(table.cell(r, "deadline"));
+        const std::string &kind = table.cell(r, "kind");
+        if (kind == "slo") {
+            job.kind = JobKind::kSlo;
+        } else if (kind == "soft") {
+            job.kind = JobKind::kSoftDeadline;
+        } else if (kind == "best-effort") {
+            job.kind = JobKind::kBestEffort;
+        } else {
+            EF_FATAL_IF(true, "unknown job kind '" << kind << "'");
+        }
+        job.requested_gpus = std::stoi(table.cell(r, "requested_gpus"));
+        EF_FATAL_IF(job.iterations <= 0,
+                    "job " << job.id << " has non-positive iterations");
+        EF_FATAL_IF(job.global_batch <= 0,
+                    "job " << job.id << " has non-positive batch");
+        EF_FATAL_IF(job.requested_gpus <= 0,
+                    "job " << job.id << " has non-positive GPU request");
+        trace.jobs.push_back(std::move(job));
+    }
+    trace.sort_by_submit_time();
+    return trace;
+}
+
+Trace
+load_trace_csv(const std::string &path, const TopologySpec &topology,
+               const std::string &name)
+{
+    std::ifstream in(path);
+    EF_FATAL_IF(!in, "cannot open trace file: " << path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse_trace_csv(buffer.str(), topology, name);
+}
+
+}  // namespace ef

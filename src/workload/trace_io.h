@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CSV import/export of traces, so real production traces (submission
+ * time, GPU count, duration-derived iterations) can be fed to the
+ * schedulers and generated traces can be archived with results.
+ *
+ * Columns: id,name,model,global_batch,iterations,submit_time,deadline,
+ * kind,requested_gpus. Deadline is the literal "inf" for best-effort
+ * jobs. A trace CSV holds only jobs; the cluster topology is supplied
+ * separately by the caller.
+ */
+#ifndef EF_WORKLOAD_TRACE_IO_H_
+#define EF_WORKLOAD_TRACE_IO_H_
+
+#include <string>
+
+#include "workload/trace.h"
+
+namespace ef {
+
+/** Serialize the jobs of a trace to CSV text. */
+std::string trace_to_csv(const Trace &trace);
+
+/** Write a trace's jobs to a CSV file. */
+void save_trace_csv(const std::string &path, const Trace &trace);
+
+/**
+ * Load jobs from CSV into a trace with the given topology. Aborts on
+ * malformed rows (missing columns, unknown model names, negative
+ * iteration counts).
+ */
+Trace load_trace_csv(const std::string &path, const TopologySpec &topology,
+                     const std::string &name = "csv-trace");
+
+/** Parse CSV text (same format as load_trace_csv). */
+Trace parse_trace_csv(const std::string &text, const TopologySpec &topology,
+                      const std::string &name = "csv-trace");
+
+}  // namespace ef
+
+#endif  // EF_WORKLOAD_TRACE_IO_H_

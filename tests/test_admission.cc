@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for admission control (Algorithm 1): the paper's Figure 4
+ * walkthrough, progressive-filling semantics, and the Theorem 1
+ * relationship with the linear-curve closed form.
+ */
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "core/admission.h"
+
+namespace ef {
+namespace {
+
+ScalingCurve
+fig4_curve()
+{
+    return ScalingCurve::from_pow2_table({1.0, 1.5, 2.0});
+}
+
+PlannerConfig
+unit_config(GpuCount gpus)
+{
+    PlannerConfig config;
+    config.total_gpus = gpus;
+    config.slot_seconds = 1.0;
+    return config;
+}
+
+PlanningJob
+make_job(JobId id, ScalingCurve curve, double remaining, Time deadline)
+{
+    PlanningJob job;
+    job.id = id;
+    job.curve = std::move(curve);
+    job.remaining_iterations = remaining;
+    job.deadline = deadline;
+    return job;
+}
+
+TEST(Admission, PaperFigure4Example)
+{
+    // Jobs A and B occupy 3 GPUs in slot 0; job C (D=2, M=3) must use
+    // 1 GPU in slot 0 and 4 GPUs in slot 1 (paper §4.1).
+    std::vector<PlanningJob> jobs = {
+        make_job(1, fig4_curve(), 1.0, 1.0),  // A: 1 GPU for slot 0
+        make_job(2, fig4_curve(), 1.5, 1.0),  // B: 2 GPUs for slot 0
+        make_job(3, fig4_curve(), 3.0, 2.0),  // C
+    };
+    AdmissionOutcome outcome = run_admission(unit_config(4), 0.0, jobs);
+    ASSERT_TRUE(outcome.feasible);
+    EXPECT_EQ(outcome.plans.at(1).gpus, (std::vector<GpuCount>{1}));
+    EXPECT_EQ(outcome.plans.at(2).gpus, (std::vector<GpuCount>{2}));
+    EXPECT_EQ(outcome.plans.at(3).gpus, (std::vector<GpuCount>{1, 4}));
+}
+
+TEST(Admission, DropsWhenNoLevelSuffices)
+{
+    // Same scenario but job C must finish in slot 1 alone: max level 4
+    // yields T(1) + nothing = impossible within one slot.
+    std::vector<PlanningJob> jobs = {
+        make_job(1, fig4_curve(), 1.0, 1.0),
+        make_job(2, fig4_curve(), 1.5, 1.0),
+        make_job(3, fig4_curve(), 3.0, 1.0),
+    };
+    EXPECT_FALSE(run_admission(unit_config(4), 0.0, jobs).feasible);
+}
+
+TEST(Admission, MinimumSatisfactoryShareUsesSmallestLevel)
+{
+    // Deadline 4, M = 3, curve T(1)=1: one GPU suffices; the paper's
+    // diminishing-returns argument says never allocate more.
+    std::vector<PlanningJob> jobs = {
+        make_job(1, fig4_curve(), 3.0, 4.0),
+    };
+    AdmissionOutcome outcome = run_admission(unit_config(4), 0.0, jobs);
+    ASSERT_TRUE(outcome.feasible);
+    EXPECT_EQ(outcome.plans.at(1).gpus,
+              (std::vector<GpuCount>{1, 1, 1}));
+}
+
+TEST(Admission, TighterDeadlineRaisesShare)
+{
+    // Deadline 1.5 time units, M = 2: needs T(2)=1.5 in slot 0 plus
+    // the half slot... level 2 gives 1.5 + 0.75 = 2.25 >= 2.
+    std::vector<PlanningJob> jobs = {
+        make_job(1, fig4_curve(), 2.0, 1.5),
+    };
+    AdmissionOutcome outcome = run_admission(unit_config(4), 0.0, jobs);
+    ASSERT_TRUE(outcome.feasible);
+    EXPECT_EQ(outcome.plans.at(1).at(0), 2);
+}
+
+TEST(Admission, ZeroRemainingJobGetsEmptyPlan)
+{
+    std::vector<PlanningJob> jobs = {
+        make_job(1, fig4_curve(), 0.0, 1.0),
+    };
+    AdmissionOutcome outcome = run_admission(unit_config(4), 0.0, jobs);
+    ASSERT_TRUE(outcome.feasible);
+    EXPECT_EQ(outcome.plans.at(1).horizon(), 0);
+}
+
+TEST(Admission, PastDeadlineInfeasible)
+{
+    std::vector<PlanningJob> jobs = {
+        make_job(1, fig4_curve(), 1.0, -5.0),
+    };
+    EXPECT_FALSE(run_admission(unit_config(4), 10.0, jobs).feasible);
+}
+
+TEST(Admission, BestEffortJobRejectedByContract)
+{
+    std::vector<PlanningJob> jobs = {
+        make_job(1, fig4_curve(), 1.0, kTimeInfinity),
+    };
+    EXPECT_DEATH(run_admission(unit_config(4), 0.0, jobs),
+                 "best-effort");
+}
+
+TEST(ProgressiveFill, LatestDirectionPacksLate)
+{
+    PlannerConfig config = unit_config(4);
+    config.direction = FillDirection::kLatest;
+    PlanningJob job = make_job(1, fig4_curve(), 2.0, 4.0);
+    std::vector<GpuCount> avail(4, 4);
+    auto plan = progressive_fill(job, avail, PlanHorizon{4, 1.0},
+                                 config);
+    ASSERT_TRUE(plan.has_value());
+    // Two iterations at level 1 occupy the last two slots.
+    EXPECT_EQ(plan->gpus, (std::vector<GpuCount>{0, 0, 1, 1}));
+}
+
+TEST(ProgressiveFill, EarliestDirectionPacksEarly)
+{
+    PlannerConfig config = unit_config(4);
+    PlanningJob job = make_job(1, fig4_curve(), 2.0, 4.0);
+    std::vector<GpuCount> avail(4, 4);
+    auto plan = progressive_fill(job, avail, PlanHorizon{4, 1.0},
+                                 config);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->gpus, (std::vector<GpuCount>{1, 1}));
+}
+
+TEST(ProgressiveFill, StartSlotLeavesPrefixUntouched)
+{
+    PlannerConfig config = unit_config(4);
+    PlanningJob job = make_job(1, fig4_curve(), 2.0, 4.0);
+    std::vector<GpuCount> avail(4, 4);
+    auto plan = progressive_fill(job, avail, PlanHorizon{4, 1.0},
+                                 config, /*start_slot=*/2);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->at(0), 0);
+    EXPECT_EQ(plan->at(1), 0);
+    EXPECT_EQ(plan->at(2), 1);
+    EXPECT_EQ(plan->at(3), 1);
+}
+
+TEST(ProgressiveFill, FractionalLastSlotCountsPartially)
+{
+    PlannerConfig config = unit_config(4);
+    PlanningJob job = make_job(1, fig4_curve(), 1.0, 0.0);
+    std::vector<GpuCount> avail(1, 4);
+    // Half a slot at level 1 yields 0.5 < 1 -> level 2 yields 0.75 <
+    // 1 -> level 4 yields 1.0 >= 1.
+    auto plan = progressive_fill(job, avail, PlanHorizon{1, 0.5},
+                                 config);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->at(0), 4);
+}
+
+/**
+ * Theorem 1 (contrapositive direction): whenever the closed-form
+ * linear-curve condition fails, progressive filling must also report
+ * infeasible; whenever progressive filling succeeds, the condition
+ * must hold (an explicit allocation is a witness of the GPU-time
+ * bound).
+ */
+TEST(Admission, Theorem1PropertySweep)
+{
+    Rng rng(2024);
+    for (int trial = 0; trial < 300; ++trial) {
+        GpuCount gpus = GpuCount(1) << rng.uniform_int(1, 4);
+        // Linear curves: throughput k per GPU up to the cluster size.
+        int levels = log2_exact(gpus) + 1;
+        std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 5));
+        std::vector<PlanningJob> jobs;
+        for (std::size_t i = 0; i < n; ++i) {
+            double k = rng.uniform_real(0.5, 2.0);
+            std::vector<double> table;
+            for (int level = 0; level < levels; ++level)
+                table.push_back(k * static_cast<double>(1 << level));
+            jobs.push_back(make_job(
+                static_cast<JobId>(i),
+                ScalingCurve::from_pow2_table(table),
+                rng.uniform_real(0.5, 20.0),
+                rng.uniform_real(1.0, 12.0)));
+        }
+        bool progressive =
+            run_admission(unit_config(gpus), 0.0, jobs).feasible;
+        bool closed_form = linear_feasibility(gpus, 0.0, jobs);
+        if (progressive) {
+            EXPECT_TRUE(closed_form) << "trial " << trial;
+        }
+        if (!closed_form) {
+            EXPECT_FALSE(progressive) << "trial " << trial;
+        }
+    }
+}
+
+/** Invariant sweep: plans never exceed capacity and always satisfy
+ *  remaining work before the deadline. */
+TEST(Admission, FeasiblePlansRespectInvariants)
+{
+    Rng rng(555);
+    for (int trial = 0; trial < 200; ++trial) {
+        GpuCount gpus = 8;
+        std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 6));
+        std::vector<PlanningJob> jobs;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::vector<double> table = {1.0};
+            double prev = 1.0, inc = 0.8;
+            for (int level = 1; level <= 3; ++level) {
+                prev += inc * rng.uniform_real(0.3, 1.0);
+                inc *= 0.7;
+                table.push_back(prev);
+            }
+            jobs.push_back(make_job(
+                static_cast<JobId>(i),
+                ScalingCurve::from_pow2_table(table),
+                rng.uniform_real(0.5, 15.0),
+                rng.uniform_real(1.0, 10.0)));
+        }
+        PlannerConfig config = unit_config(gpus);
+        AdmissionOutcome outcome = run_admission(config, 0.0, jobs);
+        if (!outcome.feasible)
+            continue;
+        int horizon = 0;
+        for (const auto &[id, plan] : outcome.plans)
+            horizon = std::max(horizon, plan.horizon());
+        for (int t = 0; t < horizon; ++t) {
+            GpuCount used = 0;
+            for (const auto &[id, plan] : outcome.plans)
+                used += plan.at(t);
+            EXPECT_LE(used, gpus) << "trial " << trial << " slot " << t;
+        }
+        for (const PlanningJob &job : jobs) {
+            const SlotPlan &plan = outcome.plans.at(job.id);
+            EXPECT_GE(plan_iterations(job.curve, plan, 1.0),
+                      job.remaining_iterations - 1e-6)
+                << "trial " << trial << " job " << job.id;
+            EXPECT_LE(plan_finish_seconds(job.curve, plan,
+                                          job.remaining_iterations, 1.0),
+                      job.deadline + 1e-6)
+                << "trial " << trial << " job " << job.id;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace ef

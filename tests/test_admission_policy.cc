@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for operator admission policies (§4.4): per-user quotas,
+ * deadline-sensitive pricing, and their integration with ElasticFlow's
+ * admission control.
+ */
+#include <gtest/gtest.h>
+
+#include "sched/admission_policy.h"
+#include "sched/elastic_flow.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace ef {
+namespace {
+
+using testutil::TraceBuilder;
+
+JobSpec
+job_from(const std::string &user, Time deadline_in = kHour)
+{
+    JobSpec job;
+    job.id = 1;
+    job.user = user;
+    job.requested_gpus = 4;
+    job.iterations = 1000;
+    job.deadline = deadline_in;
+    return job;
+}
+
+TEST(QuotaPolicy, EnforcesDailyCap)
+{
+    QuotaPolicy policy(2);
+    EXPECT_TRUE(policy.approve(job_from("alice"), 0.0, kHour));
+    EXPECT_TRUE(policy.approve(job_from("alice"), kHour, kHour));
+    EXPECT_FALSE(policy.approve(job_from("alice"), 2 * kHour, kHour));
+    // Other users are unaffected.
+    EXPECT_TRUE(policy.approve(job_from("bob"), 2 * kHour, kHour));
+    EXPECT_EQ(policy.used("alice", 2 * kHour), 2);
+}
+
+TEST(QuotaPolicy, WindowRolls)
+{
+    QuotaPolicy policy(1);
+    EXPECT_TRUE(policy.approve(job_from("alice"), 0.0, kHour));
+    EXPECT_FALSE(policy.approve(job_from("alice"), kHour, kHour));
+    // A day later the quota is free again.
+    EXPECT_TRUE(policy.approve(job_from("alice"), 25 * kHour, kHour));
+}
+
+TEST(PricingPolicy, QuoteScalesWithSizeAndUrgency)
+{
+    PricingPolicy policy(2.0, {{"alice", 1e9}});
+    JobSpec relaxed = job_from("alice", 2.0 * kHour);
+    JobSpec urgent = job_from("alice", 0.5 * kHour);
+    // Baseline duration 1 hour on 4 GPUs at 2/GPU-hour = 8.
+    EXPECT_NEAR(policy.quote(relaxed, 0.0, kHour), 8.0, 1e-9);
+    // Half the baseline window doubles the price.
+    EXPECT_NEAR(policy.quote(urgent, 0.0, kHour), 16.0, 1e-9);
+    // More GPUs cost proportionally more.
+    JobSpec big = relaxed;
+    big.requested_gpus = 8;
+    EXPECT_NEAR(policy.quote(big, 0.0, kHour), 16.0, 1e-9);
+}
+
+TEST(PricingPolicy, ChargesBudgetOnApproval)
+{
+    PricingPolicy policy(1.0, {{"alice", 10.0}});
+    JobSpec job = job_from("alice", 2.0 * kHour);  // costs 4
+    EXPECT_TRUE(policy.approve(job, 0.0, kHour));
+    EXPECT_NEAR(policy.remaining_budget("alice"), 6.0, 1e-9);
+    EXPECT_TRUE(policy.approve(job, 0.0, kHour));
+    EXPECT_NEAR(policy.remaining_budget("alice"), 2.0, 1e-9);
+    // Third one exceeds the remaining budget: rejected, not charged.
+    EXPECT_FALSE(policy.approve(job, 0.0, kHour));
+    EXPECT_NEAR(policy.remaining_budget("alice"), 2.0, 1e-9);
+    // Unknown users have no budget.
+    EXPECT_FALSE(policy.approve(job_from("mallory"), 0.0, kHour));
+}
+
+TEST(PolicyIntegration, QuotaStopsAFloodingUser)
+{
+    // Mallory floods the cluster; with a quota of 2/day the rest of
+    // her feasible jobs are rejected even though capacity exists.
+    TraceBuilder builder(TopologySpec::testbed_32());
+    for (int i = 0; i < 6; ++i) {
+        builder.slo(DnnModel::kResNet50, 128, 2,
+                    i * 10.0, kHour, 1.5);
+    }
+    Trace trace = builder.build();
+    for (JobSpec &job : trace.jobs)
+        job.user = "mallory";
+
+    QuotaPolicy policy(2);
+    ElasticFlowScheduler scheduler;
+    scheduler.set_admission_policy(&policy);
+    Simulator sim(trace, &scheduler);
+    RunResult result = sim.run();
+    EXPECT_EQ(result.admitted_count(), 2u);
+    EXPECT_EQ(result.dropped_count(), 4u);
+    // The admitted two still carry the full guarantee.
+    for (const JobOutcome &job : result.jobs) {
+        if (job.admitted) {
+            EXPECT_TRUE(job.met_deadline());
+        }
+    }
+}
+
+TEST(PolicyIntegration, PolicyOnlyChargedAfterFeasibility)
+{
+    // An infeasible job is dropped by Algorithm 1 before the policy
+    // sees it — its quota is not consumed (the paper's "before line 9"
+    // placement of the hook).
+    Trace trace =
+        TraceBuilder(TopologySpec::testbed_32())
+            .slo(DnnModel::kVgg16, 64, 32, 0.0, 10.0 * kHour, 0.2)
+            .slo(DnnModel::kResNet50, 128, 2, 60.0, kHour, 1.5)
+            .build();
+    for (JobSpec &job : trace.jobs)
+        job.user = "alice";
+    QuotaPolicy policy(1);
+    ElasticFlowScheduler scheduler;
+    scheduler.set_admission_policy(&policy);
+    Simulator sim(trace, &scheduler);
+    RunResult result = sim.run();
+    // Infeasible job dropped by feasibility; the feasible one still
+    // fits in alice's quota of one.
+    EXPECT_FALSE(result.jobs[0].admitted);
+    EXPECT_TRUE(result.jobs[1].admitted);
+}
+
+}  // namespace
+}  // namespace ef

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for slot plans, iteration accounting, finish-time computation,
+ * and the fractional planning horizon.
+ */
+#include <gtest/gtest.h>
+
+#include "core/allocation_plan.h"
+
+namespace ef {
+namespace {
+
+ScalingCurve
+fig4_curve()
+{
+    return ScalingCurve::from_pow2_table({1.0, 1.5, 2.0});
+}
+
+TEST(SlotPlan, AccessorsAndGpuSeconds)
+{
+    SlotPlan plan;
+    plan.gpus = {2, 0, 4};
+    EXPECT_EQ(plan.at(0), 2);
+    EXPECT_EQ(plan.at(1), 0);
+    EXPECT_EQ(plan.at(2), 4);
+    EXPECT_EQ(plan.at(99), 0);
+    EXPECT_DOUBLE_EQ(plan.gpu_seconds(10.0), 60.0);
+}
+
+TEST(SlotPlan, TrimRemovesTrailingZeros)
+{
+    SlotPlan plan;
+    plan.gpus = {0, 2, 0, 0};
+    plan.trim();
+    EXPECT_EQ(plan.horizon(), 2);
+    EXPECT_EQ(plan.at(0), 0);
+    EXPECT_EQ(plan.at(1), 2);
+}
+
+TEST(Plan, IterationsSumThroughputTimesSlot)
+{
+    SlotPlan plan;
+    plan.gpus = {1, 2, 4};
+    // T = 1, 1.5, 2 -> 4.5 iterations at dt = 1.
+    EXPECT_DOUBLE_EQ(plan_iterations(fig4_curve(), plan, 1.0), 4.5);
+}
+
+TEST(Plan, FinishSecondsFractionalWithinSlot)
+{
+    SlotPlan plan;
+    plan.gpus = {1, 4};
+    // Remaining 2: slot 0 does 1, slot 1 at T=2 needs 0.5s more.
+    EXPECT_DOUBLE_EQ(
+        plan_finish_seconds(fig4_curve(), plan, 2.0, 1.0), 1.5);
+    // Already done.
+    EXPECT_DOUBLE_EQ(
+        plan_finish_seconds(fig4_curve(), plan, 0.0, 1.0), 0.0);
+    // Never finishes.
+    EXPECT_EQ(plan_finish_seconds(fig4_curve(), plan, 100.0, 1.0),
+              kTimeInfinity);
+}
+
+TEST(Plan, FinishSkipsIdleSlots)
+{
+    SlotPlan plan;
+    plan.gpus = {0, 0, 1};
+    EXPECT_DOUBLE_EQ(
+        plan_finish_seconds(fig4_curve(), plan, 1.0, 1.0), 3.0);
+}
+
+TEST(Horizon, DeadlineSlotsFloors)
+{
+    EXPECT_EQ(deadline_slots(0.0, 1000.0, 300.0, 100), 3);
+    EXPECT_EQ(deadline_slots(0.0, 900.0, 300.0, 100), 3);
+    EXPECT_EQ(deadline_slots(0.0, 899.0, 300.0, 100), 2);
+    EXPECT_EQ(deadline_slots(100.0, 50.0, 300.0, 100), 0);
+    EXPECT_EQ(deadline_slots(0.0, kTimeInfinity, 300.0, 42), 42);
+    EXPECT_EQ(deadline_slots(0.0, 1e9, 300.0, 10), 10);
+}
+
+TEST(Horizon, PlanHorizonCarriesFraction)
+{
+    PlanHorizon h = plan_horizon(0.0, 750.0, 300.0, 100);
+    EXPECT_EQ(h.slots, 3);
+    EXPECT_NEAR(h.last_weight, 0.5, 1e-9);
+
+    h = plan_horizon(0.0, 900.0, 300.0, 100);
+    EXPECT_EQ(h.slots, 3);
+    EXPECT_NEAR(h.last_weight, 1.0, 1e-9);
+
+    h = plan_horizon(50.0, 40.0, 300.0, 100);
+    EXPECT_EQ(h.slots, 0);
+
+    h = plan_horizon(0.0, kTimeInfinity, 300.0, 7);
+    EXPECT_EQ(h.slots, 7);
+    EXPECT_NEAR(h.last_weight, 1.0, 1e-9);
+}
+
+TEST(Horizon, PlannableTimeIsExact)
+{
+    // The sum of slot capacities equals deadline - now, whatever the
+    // alignment — the property that keeps replans stable.
+    for (double now : {0.0, 13.7, 299.9, 301.2}) {
+        double deadline = 2000.0;
+        PlanHorizon h = plan_horizon(now, deadline, 300.0, 1000);
+        double plannable =
+            (h.slots - 1) * 300.0 + h.last_weight * 300.0;
+        EXPECT_NEAR(plannable, deadline - now, 1e-6) << now;
+    }
+}
+
+TEST(PlanningJob, BestEffortPredicate)
+{
+    PlanningJob job;
+    job.deadline = kTimeInfinity;
+    EXPECT_TRUE(job.best_effort());
+    job.deadline = 100.0;
+    EXPECT_FALSE(job.best_effort());
+}
+
+}  // namespace
+}  // namespace ef

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for buddy packing math, including the key property behind the
+ * paper's no-fragmentation claim (§4.3): with power-of-two item sizes
+ * and bin capacities, first-fit-decreasing succeeds whenever total
+ * size fits total capacity.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/buddy.h"
+#include "common/rng.h"
+
+namespace ef {
+namespace {
+
+TEST(Buddy, PacksSimpleItems)
+{
+    std::vector<PackItem> items = {{1, 8}, {2, 4}, {3, 4}, {4, 8}};
+    Packing p = pack_power_of_two(items, 3, 8);
+    ASSERT_TRUE(p.feasible);
+    // All items placed in distinct-capacity-respecting bins.
+    for (int bin : p.bin_of_item)
+        EXPECT_GE(bin, 0);
+    for (GpuCount used : p.bin_used)
+        EXPECT_LE(used, 8);
+}
+
+TEST(Buddy, InfeasibleWhenOverCapacity)
+{
+    std::vector<PackItem> items = {{1, 8}, {2, 8}, {3, 1}};
+    Packing p = pack_power_of_two(items, 2, 8);
+    EXPECT_FALSE(p.feasible);
+}
+
+TEST(Buddy, PaperFragmentationExample)
+{
+    // Paper §4.3: jobs of 7 GPUs would fragment; with powers of two
+    // (4+2+1 per job is not allowed — each job is one item), two
+    // 4-GPU jobs and filler still admit a 2-GPU job via repacking.
+    std::vector<PackItem> existing = {{1, 4}, {2, 2}, {3, 1},
+                                      {4, 4}, {5, 2}, {6, 1}};
+    // Two 8-GPU servers, 14 GPUs used... only 2 free.
+    EXPECT_TRUE(fits_after_repack(existing, 2, 2, 8));
+    EXPECT_FALSE(fits_after_repack(existing, 4, 2, 8));
+}
+
+TEST(Buddy, MultiBinItemNeedsWholeBins)
+{
+    std::vector<PackItem> existing = {{1, 4}};
+    // A 16-GPU job needs two whole 8-GPU bins; with one bin partly
+    // used, three bins are required.
+    EXPECT_FALSE(fits_after_repack(existing, 16, 2, 8));
+    EXPECT_TRUE(fits_after_repack(existing, 16, 3, 8));
+}
+
+/**
+ * Property (the no-fragmentation theorem): for random power-of-two
+ * item multisets, FFD packs iff total size <= total capacity.
+ */
+TEST(Buddy, PerfectPackingPropertySweep)
+{
+    Rng rng(1234);
+    for (int trial = 0; trial < 500; ++trial) {
+        int bins = static_cast<int>(rng.uniform_int(1, 12));
+        GpuCount cap = 8;
+        std::vector<PackItem> items;
+        GpuCount total = 0;
+        while (true) {
+            GpuCount size = GpuCount(1)
+                            << rng.uniform_int(0, 3);  // 1..8
+            if (!items.empty() && rng.flip(0.2))
+                break;
+            items.push_back(
+                {static_cast<std::int64_t>(items.size()), size});
+            total += size;
+            if (total > bins * cap + 16)
+                break;
+        }
+        Packing p = pack_power_of_two(items, bins, cap);
+        bool fits = total <= bins * cap;
+        EXPECT_EQ(p.feasible, fits)
+            << "trial " << trial << " total=" << total
+            << " capacity=" << bins * cap;
+        if (p.feasible) {
+            // Accounting is exact.
+            GpuCount used = 0;
+            for (GpuCount u : p.bin_used)
+                used += u;
+            EXPECT_EQ(used, total);
+        }
+    }
+}
+
+TEST(Buddy, DeterministicTieBreaks)
+{
+    std::vector<PackItem> items = {{5, 4}, {3, 4}, {1, 4}};
+    Packing a = pack_power_of_two(items, 3, 8);
+    Packing b = pack_power_of_two(items, 3, 8);
+    EXPECT_EQ(a.bin_of_item, b.bin_of_item);
+}
+
+}  // namespace
+}  // namespace ef

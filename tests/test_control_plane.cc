@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the executor control plane (§5): command delivery with
+ * RPC latency, launch/scale/suspend/shutdown semantics, command-log
+ * observability, and driving a full job to completion.
+ */
+#include <gtest/gtest.h>
+
+#include "exec/control_plane.h"
+
+namespace ef {
+namespace {
+
+class ControlPlaneTest : public testing::Test
+{
+  protected:
+    ControlPlaneTest()
+        : topo_(TopologySpec::testbed_32()), perf_(&topo_),
+          overhead_(OverheadConfig{}), fleet_(&perf_, &overhead_, 0.05)
+    {}
+
+    JobSpec
+    spec(JobId id, std::int64_t iterations = 10000) const
+    {
+        JobSpec s;
+        s.id = id;
+        s.model = DnnModel::kResNet50;
+        s.global_batch = 128;
+        s.iterations = iterations;
+        return s;
+    }
+
+    Topology topo_;
+    PerfModel perf_;
+    OverheadModel overhead_;
+    ExecutorFleet fleet_;
+};
+
+TEST_F(ControlPlaneTest, LaunchRunsAJob)
+{
+    fleet_.register_job(spec(1));
+    CommandAck ack =
+        fleet_.issue(CommandType::kLaunch, 1, {0, 1, 2, 3}, 0.0);
+    EXPECT_TRUE(ack.ok);
+    EXPECT_DOUBLE_EQ(ack.applied_at, 0.05);
+    EXPECT_EQ(fleet_.running_count(), 1u);
+    fleet_.advance(1e9);
+    EXPECT_EQ(fleet_.finished_count(), 1u);
+    EXPECT_EQ(fleet_.execution(1).completed_iterations(), 10000);
+}
+
+TEST_F(ControlPlaneTest, CommandsToUnknownJobsAreNacked)
+{
+    CommandAck ack = fleet_.issue(CommandType::kLaunch, 42, {0}, 0.0);
+    EXPECT_FALSE(ack.ok);
+    EXPECT_FALSE(fleet_.knows(42));
+}
+
+TEST_F(ControlPlaneTest, ScaleAfterLaunchChangesWorkerCount)
+{
+    fleet_.register_job(spec(1, 1000000));
+    fleet_.issue(CommandType::kLaunch, 1, {0, 1}, 0.0);
+    fleet_.advance(100.0);
+    fleet_.issue(CommandType::kScale, 1, {0, 1, 2, 3, 4, 5, 6, 7},
+                 100.0);
+    EXPECT_EQ(fleet_.execution(1).worker_count(), 8);
+    EXPECT_EQ(fleet_.execution(1).checkpoints_taken(), 2);
+}
+
+TEST_F(ControlPlaneTest, SuspendStopsProgressUntilRelaunch)
+{
+    fleet_.register_job(spec(1, 1000000));
+    fleet_.issue(CommandType::kLaunch, 1, {0, 1, 2, 3}, 0.0);
+    fleet_.advance(500.0);
+    EXPECT_GT(fleet_.execution(1).completed_iterations(), 0);
+    // The job keeps iterating until the suspend RPC lands.
+    fleet_.issue(CommandType::kSuspend, 1, {}, 500.0);
+    std::int64_t done =
+        fleet_.execution(1).completed_iterations();
+    fleet_.advance(5000.0);
+    EXPECT_EQ(fleet_.execution(1).completed_iterations(), done);
+    EXPECT_EQ(fleet_.running_count(), 0u);
+    fleet_.issue(CommandType::kScale, 1, {8, 9}, 5000.0);
+    fleet_.advance(6000.0);
+    EXPECT_GT(fleet_.execution(1).completed_iterations(), done);
+}
+
+TEST_F(ControlPlaneTest, ShutdownForgetsTheJob)
+{
+    fleet_.register_job(spec(1));
+    fleet_.issue(CommandType::kLaunch, 1, {0}, 0.0);
+    CommandAck ack = fleet_.issue(CommandType::kShutdown, 1, {}, 10.0);
+    EXPECT_TRUE(ack.ok);
+    EXPECT_FALSE(fleet_.knows(1));
+}
+
+TEST_F(ControlPlaneTest, CommandLogRecordsEverything)
+{
+    fleet_.register_job(spec(1));
+    fleet_.issue(CommandType::kLaunch, 1, {0, 1}, 0.0);
+    fleet_.issue(CommandType::kScale, 1, {0, 1, 2, 3}, 60.0);
+    fleet_.issue(CommandType::kSuspend, 1, {}, 120.0);
+    const auto &log = fleet_.command_log();
+    ASSERT_EQ(log.size(), 3u);
+    EXPECT_EQ(log[0].type, CommandType::kLaunch);
+    EXPECT_EQ(log[1].type, CommandType::kScale);
+    EXPECT_EQ(log[2].type, CommandType::kSuspend);
+    // Sequence numbers are dense and match acks.
+    const auto &acks = fleet_.ack_log();
+    ASSERT_EQ(acks.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(log[i].seq, acks[i].seq);
+        EXPECT_TRUE(acks[i].ok);
+    }
+}
+
+TEST_F(ControlPlaneTest, OutOfOrderIssueDies)
+{
+    fleet_.register_job(spec(1));
+    fleet_.issue(CommandType::kLaunch, 1, {0}, 100.0);
+    EXPECT_DEATH(fleet_.issue(CommandType::kSuspend, 1, {}, 50.0),
+                 "time order");
+}
+
+TEST_F(ControlPlaneTest, LaunchAfterFinishIsNacked)
+{
+    fleet_.register_job(spec(1, 100));
+    fleet_.issue(CommandType::kLaunch, 1, {0, 1, 2, 3}, 0.0);
+    fleet_.advance(1e9);
+    ASSERT_TRUE(fleet_.execution(1).finished());
+    CommandAck ack =
+        fleet_.issue(CommandType::kScale, 1, {0, 1}, 1e9);
+    EXPECT_FALSE(ack.ok);
+}
+
+TEST_F(ControlPlaneTest, CommandTypeNames)
+{
+    EXPECT_EQ(command_type_name(CommandType::kLaunch), "launch");
+    EXPECT_EQ(command_type_name(CommandType::kShutdown), "shutdown");
+}
+
+}  // namespace
+}  // namespace ef

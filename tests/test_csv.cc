@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the CSV reader/writer used by trace IO and bench dumps.
+ */
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+
+namespace ef {
+namespace {
+
+TEST(Csv, ParsesHeaderAndRows)
+{
+    CsvTable t = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+    ASSERT_EQ(t.header.size(), 3u);
+    ASSERT_EQ(t.rows.size(), 2u);
+    EXPECT_EQ(t.cell(0, "a"), "1");
+    EXPECT_EQ(t.cell(1, "c"), "6");
+    EXPECT_EQ(t.column_index("b"), 1);
+    EXPECT_EQ(t.column_index("zzz"), -1);
+}
+
+TEST(Csv, QuotedFieldsWithCommasAndQuotes)
+{
+    CsvTable t = parse_csv("name,notes\n\"x,y\",\"say \"\"hi\"\"\"\n");
+    EXPECT_EQ(t.cell(0, "name"), "x,y");
+    EXPECT_EQ(t.cell(0, "notes"), "say \"hi\"");
+}
+
+TEST(Csv, SkipsBlankLinesAndCarriageReturns)
+{
+    CsvTable t = parse_csv("a,b\r\n\r\n1,2\r\n");
+    ASSERT_EQ(t.rows.size(), 1u);
+    EXPECT_EQ(t.cell(0, "b"), "2");
+}
+
+TEST(Csv, RoundTrip)
+{
+    std::vector<std::string> header = {"id", "name"};
+    std::vector<std::vector<std::string>> rows = {
+        {"1", "plain"},
+        {"2", "with,comma"},
+        {"3", "with\"quote"},
+    };
+    CsvTable t = parse_csv(to_csv(header, rows));
+    ASSERT_EQ(t.rows.size(), rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        EXPECT_EQ(t.rows[r][0], rows[r][0]);
+        EXPECT_EQ(t.rows[r][1], rows[r][1]);
+    }
+}
+
+TEST(Csv, FileRoundTrip)
+{
+    std::string path = testing::TempDir() + "/ef_csv_test.csv";
+    save_csv(path, {"k", "v"}, {{"x", "1"}});
+    CsvTable t = load_csv(path);
+    EXPECT_EQ(t.cell(0, "k"), "x");
+    EXPECT_EQ(t.cell(0, "v"), "1");
+}
+
+}  // namespace
+}  // namespace ef

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Edge cases and failure-injection across modules: degenerate traces,
+ * odd topologies (non-power-of-two servers per rack), simulator time
+ * limits, malformed CSV traces, and the gradient-accumulation
+ * extension of the performance model.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+#include "workload/trace_gen.h"
+#include "workload/trace_io.h"
+
+namespace ef {
+namespace {
+
+using testutil::TraceBuilder;
+
+TEST(EdgeCases, EmptyTraceProducesEmptyRun)
+{
+    Trace trace;
+    trace.name = "empty";
+    trace.topology = TopologySpec::testbed_32();
+    auto scheduler = make_scheduler("elasticflow");
+    Simulator sim(trace, scheduler.get());
+    RunResult result = sim.run();
+    EXPECT_TRUE(result.jobs.empty());
+    EXPECT_DOUBLE_EQ(result.deadline_ratio(), 1.0);
+    EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+}
+
+TEST(EdgeCases, SingleGpuCluster)
+{
+    TopologySpec spec;
+    spec.num_racks = 1;
+    spec.servers_per_rack = 1;
+    spec.gpus_per_server = 1;
+    Trace trace = TraceBuilder(spec)
+                      .slo(DnnModel::kResNet50, 64, 1, 0.0, kHour, 1.3)
+                      .build();
+    auto scheduler = make_scheduler("elasticflow");
+    Simulator sim(trace, scheduler.get());
+    RunResult result = sim.run();
+    EXPECT_TRUE(result.jobs[0].met_deadline());
+}
+
+TEST(EdgeCases, OddServersPerRackTopology)
+{
+    // 96 GPUs = 2 racks x 6 servers: rack capacity is not a power of
+    // two, exercising the non-perfect rack-level packing path.
+    TraceGenConfig gen;
+    gen.topology = TopologySpec::with_total_gpus(96);
+    gen.num_jobs = 40;
+    gen.mean_interarrival_s = 400.0;
+    gen.seed = 5;
+    Trace trace = TraceGenerator::generate(gen);
+    auto scheduler = make_scheduler("elasticflow");
+    Simulator sim(trace, scheduler.get());
+    RunResult result = sim.run();
+    for (const JobOutcome &job : result.jobs) {
+        if (job.admitted && job.spec.kind == JobKind::kSlo) {
+            EXPECT_TRUE(job.met_deadline()) << job.spec.id;
+        }
+    }
+}
+
+TEST(EdgeCases, MaxTimeCutsOffGracefully)
+{
+    Trace trace =
+        TraceBuilder(TopologySpec::testbed_32())
+            .slo(DnnModel::kBert, 128, 2, 0.0, 100.0 * kHour, 1.5)
+            .build();
+    SimConfig config;
+    config.max_time = 10.0;  // far too short to finish anything
+    auto scheduler = make_scheduler("elasticflow");
+    Simulator sim(trace, scheduler.get(), config);
+    RunResult result = sim.run();
+    EXPECT_FALSE(result.jobs[0].finished);
+}
+
+TEST(EdgeCases, SimultaneousArrivalsAreOrderedById)
+{
+    TraceBuilder builder(TopologySpec::testbed_32());
+    for (int i = 0; i < 5; ++i)
+        builder.slo(DnnModel::kResNet50, 128, 4, 100.0, kHour, 1.5);
+    Trace trace = builder.build();
+    auto scheduler = make_scheduler("elasticflow");
+    Simulator sim(trace, scheduler.get());
+    RunResult result = sim.run();
+    for (const JobOutcome &job : result.jobs) {
+        if (job.admitted) {
+            EXPECT_TRUE(job.finished);
+        }
+    }
+}
+
+TEST(EdgeCases, MalformedTraceCsvDies)
+{
+    TopologySpec topo = TopologySpec::testbed_32();
+    EXPECT_DEATH(
+        parse_trace_csv("id,name,user,model,global_batch,iterations,"
+                        "submit_time,deadline,kind,requested_gpus\n"
+                        "1,x,u,NotAModel,64,10,0,100,slo,1\n",
+                        topo),
+        "unknown model");
+    EXPECT_DEATH(
+        parse_trace_csv("id,name,user,model,global_batch,iterations,"
+                        "submit_time,deadline,kind,requested_gpus\n"
+                        "1,x,u,BERT,64,10,0,100,banana,1\n",
+                        topo),
+        "unknown job kind");
+    EXPECT_DEATH(
+        parse_trace_csv("id,name,user,model,global_batch,iterations,"
+                        "submit_time,deadline,kind,requested_gpus\n"
+                        "1,x,u,BERT,64,-5,0,100,slo,1\n",
+                        topo),
+        "non-positive iterations");
+}
+
+TEST(EdgeCases, MissingTraceFileDies)
+{
+    EXPECT_DEATH(load_trace_csv("/nonexistent/trace.csv",
+                                TopologySpec::testbed_32()),
+                 "cannot open");
+}
+
+TEST(GradAccumulation, RemovesMemoryBound)
+{
+    Topology topo(TopologySpec::testbed_128());
+    PerfModel strict(&topo);
+    PerfModelConfig config;
+    config.allow_grad_accumulation = true;
+    PerfModel accum(&topo, config);
+
+    // GPT-2 at batch 256 needs 8 GPUs without accumulation...
+    EXPECT_EQ(strict.min_workers(DnnModel::kGpt2, 256), 8);
+    EXPECT_EQ(strict.compact_throughput(DnnModel::kGpt2, 256, 1), 0.0);
+    // ...but runs on one GPU with it, slower than the 8-GPU config.
+    EXPECT_EQ(accum.min_workers(DnnModel::kGpt2, 256), 1);
+    double single = accum.compact_throughput(DnnModel::kGpt2, 256, 1);
+    EXPECT_GT(single, 0.0);
+    EXPECT_LT(single, accum.compact_throughput(DnnModel::kGpt2, 256, 8));
+}
+
+TEST(GradAccumulation, MatchesStrictModelWhenBatchFits)
+{
+    Topology topo(TopologySpec::testbed_128());
+    PerfModel strict(&topo);
+    PerfModelConfig config;
+    config.allow_grad_accumulation = true;
+    PerfModel accum(&topo, config);
+    // No micro-batching needed: identical predictions.
+    EXPECT_DOUBLE_EQ(
+        strict.compact_throughput(DnnModel::kResNet50, 128, 4),
+        accum.compact_throughput(DnnModel::kResNet50, 128, 4));
+}
+
+TEST(GradAccumulation, AccumulationCostIsCharged)
+{
+    Topology topo(TopologySpec::testbed_128());
+    PerfModelConfig cheap;
+    cheap.allow_grad_accumulation = true;
+    cheap.accumulation_overhead_s = 0.0;
+    PerfModelConfig costly = cheap;
+    costly.accumulation_overhead_s = 10.0e-3;
+    PerfModel fast(&topo, cheap);
+    PerfModel slow(&topo, costly);
+    // 8 micro-steps on one GPU: the overhead knob must show up.
+    EXPECT_GT(fast.compact_throughput(DnnModel::kGpt2, 256, 1),
+              slow.compact_throughput(DnnModel::kGpt2, 256, 1));
+}
+
+TEST(EdgeCases, SchedulersHandleAllBestEffortTrace)
+{
+    TraceGenConfig gen = testbed_small_preset();
+    gen.num_jobs = 15;
+    gen.best_effort_fraction = 1.0;
+    Trace trace = TraceGenerator::generate(gen);
+    for (const std::string name : {"elasticflow", "chronus", "edf"}) {
+        SCOPED_TRACE(name);
+        auto scheduler = make_scheduler(name);
+        Simulator sim(trace, scheduler.get());
+        RunResult result = sim.run();
+        EXPECT_EQ(result.dropped_count(), 0u);
+        for (const JobOutcome &job : result.jobs)
+            EXPECT_TRUE(job.finished) << job.spec.id;
+    }
+}
+
+TEST(EdgeCases, HugeJobSpanningWholeCluster)
+{
+    Trace trace =
+        TraceBuilder(TopologySpec::testbed_128())
+            .slo(DnnModel::kResNet50, 256, 128, 0.0, 4.0 * kHour, 1.4)
+            .build();
+    auto scheduler = make_scheduler("elasticflow");
+    Simulator sim(trace, scheduler.get());
+    RunResult result = sim.run();
+    EXPECT_TRUE(result.jobs[0].met_deadline());
+}
+
+}  // namespace
+}  // namespace ef

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the logging and checked-assertion plumbing that every
+ * module leans on.
+ */
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace ef {
+namespace {
+
+class LogLevelGuard
+{
+  public:
+    LogLevelGuard() : saved_(log_level()) {}
+    ~LogLevelGuard() { set_log_level(saved_); }
+
+  private:
+    LogLevel saved_;
+};
+
+TEST(Logging, ThresholdFilters)
+{
+    LogLevelGuard guard;
+    set_log_level(LogLevel::kError);
+    testing::internal::CaptureStderr();
+    EF_WARN("should be filtered");
+    EF_ERROR("should appear");
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(err.find("should be filtered"), std::string::npos);
+    EXPECT_NE(err.find("should appear"), std::string::npos);
+    EXPECT_NE(err.find("[ef:error]"), std::string::npos);
+}
+
+TEST(Logging, DebugLevelLetsEverythingThrough)
+{
+    LogLevelGuard guard;
+    set_log_level(LogLevel::kDebug);
+    testing::internal::CaptureStderr();
+    EF_DEBUG("dbg " << 42);
+    EF_INFO("info");
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("dbg 42"), std::string::npos);
+    EXPECT_NE(err.find("[ef:info] info"), std::string::npos);
+}
+
+TEST(Logging, MessageExpressionNotEvaluatedWhenFiltered)
+{
+    LogLevelGuard guard;
+    set_log_level(LogLevel::kError);
+    int evaluations = 0;
+    auto expensive = [&evaluations]() {
+        ++evaluations;
+        return "x";
+    };
+    EF_DEBUG(expensive());
+    EXPECT_EQ(evaluations, 0);
+    EF_ERROR(expensive());
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Check, PassingConditionsAreSilent)
+{
+    EF_CHECK(1 + 1 == 2);
+    EF_CHECK_MSG(true, "never shown");
+    EF_FATAL_IF(false, "never shown");
+    SUCCEED();
+}
+
+TEST(Check, FailureAbortsWithExpression)
+{
+    EXPECT_DEATH(EF_CHECK(2 + 2 == 5), "2 \\+ 2 == 5");
+}
+
+TEST(Check, FailureMessageIsStreamed)
+{
+    EXPECT_DEATH(EF_CHECK_MSG(false, "value was " << 7),
+                 "value was 7");
+}
+
+TEST(Check, FatalIfReportsUserError)
+{
+    EXPECT_DEATH(EF_FATAL_IF(true, "bad config " << "x"),
+                 "bad config x");
+}
+
+}  // namespace
+}  // namespace ef

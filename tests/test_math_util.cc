@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit and property tests for the numeric helpers, especially the
+ * concave-envelope construction the scaling curves rely on.
+ */
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+
+namespace ef {
+namespace {
+
+TEST(MathUtil, PowerOfTwoPredicates)
+{
+    EXPECT_TRUE(is_power_of_two(1));
+    EXPECT_TRUE(is_power_of_two(2));
+    EXPECT_TRUE(is_power_of_two(64));
+    EXPECT_FALSE(is_power_of_two(0));
+    EXPECT_FALSE(is_power_of_two(-4));
+    EXPECT_FALSE(is_power_of_two(3));
+    EXPECT_FALSE(is_power_of_two(96));
+}
+
+TEST(MathUtil, FloorPowerOfTwo)
+{
+    EXPECT_EQ(floor_power_of_two(0), 0);
+    EXPECT_EQ(floor_power_of_two(-5), 0);
+    EXPECT_EQ(floor_power_of_two(1), 1);
+    EXPECT_EQ(floor_power_of_two(2), 2);
+    EXPECT_EQ(floor_power_of_two(3), 2);
+    EXPECT_EQ(floor_power_of_two(127), 64);
+    EXPECT_EQ(floor_power_of_two(128), 128);
+}
+
+TEST(MathUtil, CeilPowerOfTwo)
+{
+    EXPECT_EQ(ceil_power_of_two(0), 1);
+    EXPECT_EQ(ceil_power_of_two(1), 1);
+    EXPECT_EQ(ceil_power_of_two(3), 4);
+    EXPECT_EQ(ceil_power_of_two(8), 8);
+    EXPECT_EQ(ceil_power_of_two(9), 16);
+}
+
+TEST(MathUtil, Log2Helpers)
+{
+    EXPECT_EQ(log2_floor(1), 0);
+    EXPECT_EQ(log2_floor(7), 2);
+    EXPECT_EQ(log2_floor(8), 3);
+    EXPECT_EQ(log2_exact(32), 5);
+}
+
+TEST(MathUtil, IsConcaveDetectsViolations)
+{
+    std::vector<double> xs = {1, 2, 4, 8};
+    EXPECT_TRUE(is_concave(xs, {1.0, 1.8, 3.0, 4.0}));
+    // Slope increases between the last two segments.
+    EXPECT_FALSE(is_concave(xs, {1.0, 1.2, 1.4, 4.0}));
+    // Short sequences are trivially concave.
+    EXPECT_TRUE(is_concave({1, 2}, {5.0, 1.0}));
+}
+
+TEST(MathUtil, ConcaveEnvelopeLiftsInteriorDips)
+{
+    std::vector<double> xs = {1, 2, 3, 4};
+    std::vector<double> ys = {0.0, 0.1, 2.9, 3.0};
+    std::vector<double> env = concave_envelope(xs, ys);
+    EXPECT_TRUE(is_concave(xs, env));
+    for (std::size_t i = 0; i < ys.size(); ++i)
+        EXPECT_GE(env[i], ys[i] - 1e-12);
+    // Endpoints are preserved.
+    EXPECT_DOUBLE_EQ(env.front(), ys.front());
+    EXPECT_DOUBLE_EQ(env.back(), ys.back());
+}
+
+/** Property: the envelope is concave, majorizes the input, and is
+ *  idempotent — for random inputs. */
+TEST(MathUtil, ConcaveEnvelopePropertySweep)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::size_t n = static_cast<std::size_t>(rng.uniform_int(3, 12));
+        std::vector<double> xs, ys;
+        double x = 1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            xs.push_back(x);
+            x += rng.uniform_real(0.5, 3.0);
+            ys.push_back(rng.uniform_real(0.0, 10.0));
+        }
+        std::vector<double> env = concave_envelope(xs, ys);
+        EXPECT_TRUE(is_concave(xs, env, 1e-7)) << "trial " << trial;
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_GE(env[i], ys[i] - 1e-9) << "trial " << trial;
+        std::vector<double> env2 = concave_envelope(xs, env);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(env2[i], env[i], 1e-7) << "trial " << trial;
+    }
+}
+
+TEST(MathUtil, ClampAndRelativeDifference)
+{
+    EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 3.0), 3.0);
+    EXPECT_DOUBLE_EQ(clamp(-1.0, 0.0, 3.0), 0.0);
+    EXPECT_DOUBLE_EQ(clamp(2.0, 0.0, 3.0), 2.0);
+    EXPECT_NEAR(relative_difference(100.0, 103.0), 0.029126, 1e-5);
+    EXPECT_DOUBLE_EQ(relative_difference(0.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace ef

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the Table 1 model pool.
+ */
+#include <gtest/gtest.h>
+
+#include "workload/model_zoo.h"
+
+namespace ef {
+namespace {
+
+TEST(ModelZoo, HasAllSixModels)
+{
+    EXPECT_EQ(all_models().size(), static_cast<std::size_t>(kNumModels));
+}
+
+TEST(ModelZoo, Table1BatchSizes)
+{
+    // Exactly the pools from Table 1.
+    EXPECT_EQ(model_profile(DnnModel::kResNet50).batch_sizes,
+              (std::vector<int>{64, 128, 256}));
+    EXPECT_EQ(model_profile(DnnModel::kVgg16).batch_sizes,
+              (std::vector<int>{64, 128, 256}));
+    EXPECT_EQ(model_profile(DnnModel::kInceptionV3).batch_sizes,
+              (std::vector<int>{64, 128}));
+    EXPECT_EQ(model_profile(DnnModel::kBert).batch_sizes,
+              (std::vector<int>{64, 128}));
+    EXPECT_EQ(model_profile(DnnModel::kGpt2).batch_sizes,
+              (std::vector<int>{128, 256}));
+    EXPECT_EQ(model_profile(DnnModel::kDeepSpeech2).batch_sizes,
+              (std::vector<int>{32, 64}));
+}
+
+TEST(ModelZoo, TasksAndDatasetsMatchTable1)
+{
+    EXPECT_EQ(model_profile(DnnModel::kResNet50).dataset, "ImageNet");
+    EXPECT_EQ(model_profile(DnnModel::kBert).dataset, "CoLA");
+    EXPECT_EQ(model_profile(DnnModel::kGpt2).dataset, "aclImdb V1");
+    EXPECT_EQ(model_profile(DnnModel::kDeepSpeech2).dataset,
+              "LibriSpeech");
+    EXPECT_EQ(model_profile(DnnModel::kVgg16).task, "CV");
+    EXPECT_EQ(model_profile(DnnModel::kDeepSpeech2).task,
+              "Speech Recognition");
+}
+
+TEST(ModelZoo, ProfilesArePhysicallySane)
+{
+    for (DnnModel model : all_models()) {
+        const ModelProfile &p = model_profile(model);
+        EXPECT_GT(p.param_gb, 0.0) << p.name;
+        EXPECT_LT(p.param_gb, 2.0) << p.name;
+        EXPECT_GT(p.per_sample_s, 0.0) << p.name;
+        EXPECT_GT(p.fixed_overhead_s, 0.0) << p.name;
+        EXPECT_GE(p.max_local_batch, 32) << p.name;
+        EXPECT_GT(p.checkpoint_gb, 0.0) << p.name;
+        EXPECT_FALSE(p.batch_sizes.empty()) << p.name;
+        // Every batch in the pool is trainable on a single GPU or a
+        // power-of-two group.
+        for (int batch : p.batch_sizes)
+            EXPECT_GT(batch, 0) << p.name;
+    }
+}
+
+TEST(ModelZoo, NameRoundTrip)
+{
+    for (DnnModel model : all_models())
+        EXPECT_EQ(model_from_name(model_name(model)), model);
+}
+
+TEST(ModelZoo, UnknownNameDies)
+{
+    EXPECT_DEATH(model_from_name("NotAModel"), "unknown model");
+}
+
+TEST(ModelZoo, VggIsCommunicationHeavy)
+{
+    // VGG16's 528 MB of gradients per iteration is the paper's example
+    // of poor scaling (76% at 8 GPUs); keep it the largest CV payload.
+    EXPECT_GT(model_profile(DnnModel::kVgg16).param_gb,
+              model_profile(DnnModel::kResNet50).param_gb * 3);
+}
+
+}  // namespace
+}  // namespace ef

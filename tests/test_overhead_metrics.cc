@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the scaling/migration overhead model (Fig. 12b) and the
+ * run metrics (deadline ratio, Eq. 8 efficiency, JCT).
+ */
+#include <gtest/gtest.h>
+
+#include "sim/metrics.h"
+#include "sim/overhead_model.h"
+
+namespace ef {
+namespace {
+
+TEST(OverheadModel, ZeroWhenUnchangedOrDisabled)
+{
+    OverheadModel model;
+    EXPECT_EQ(model.scaling_seconds(DnnModel::kBert, 4, 4), 0.0);
+    OverheadConfig off;
+    off.enabled = false;
+    OverheadModel disabled(off);
+    EXPECT_EQ(disabled.scaling_seconds(DnnModel::kBert, 1, 8), 0.0);
+    EXPECT_EQ(disabled.migration_seconds(DnnModel::kBert, 8), 0.0);
+}
+
+TEST(OverheadModel, GrowsWithModelSize)
+{
+    OverheadModel model;
+    // VGG16's checkpoint dwarfs InceptionV3's.
+    EXPECT_GT(model.scaling_seconds(DnnModel::kVgg16, 1, 8),
+              model.scaling_seconds(DnnModel::kInceptionV3, 1, 8));
+}
+
+TEST(OverheadModel, Fig12bMagnitudes)
+{
+    // The paper reports scaling/migration overheads of seconds to tens
+    // of seconds per event.
+    OverheadModel model;
+    for (DnnModel m : all_models()) {
+        for (auto [from, to] : std::vector<std::pair<int, int>>{
+                 {1, 8}, {8, 1}, {4, 8}, {8, 4}}) {
+            Time s = model.scaling_seconds(m, from, to);
+            EXPECT_GT(s, 1.0) << model_name(m);
+            EXPECT_LT(s, 60.0) << model_name(m);
+        }
+        Time mig = model.migration_seconds(m, 8);
+        EXPECT_GT(mig, 1.0) << model_name(m);
+        EXPECT_LT(mig, 60.0) << model_name(m);
+    }
+}
+
+TEST(OverheadModel, SymmetricUpDown)
+{
+    // Paper §6.6: "the overheads of different cases are similar".
+    OverheadModel model;
+    EXPECT_DOUBLE_EQ(model.scaling_seconds(DnnModel::kGpt2, 1, 8),
+                     model.scaling_seconds(DnnModel::kGpt2, 8, 1));
+}
+
+JobOutcome
+make_outcome(JobId id, JobKind kind, Time submit, Time deadline,
+             bool admitted, bool finished, Time finish)
+{
+    JobOutcome outcome;
+    outcome.spec.id = id;
+    outcome.spec.kind = kind;
+    outcome.spec.submit_time = submit;
+    outcome.spec.deadline = deadline;
+    outcome.admitted = admitted;
+    outcome.finished = finished;
+    outcome.finish_time = finish;
+    return outcome;
+}
+
+TEST(Metrics, DeadlineRatioCountsDropsAsMisses)
+{
+    RunResult result;
+    result.jobs.push_back(make_outcome(
+        1, JobKind::kSlo, 0, 100, true, true, 90));   // met
+    result.jobs.push_back(make_outcome(
+        2, JobKind::kSlo, 0, 100, true, true, 150));  // late
+    result.jobs.push_back(make_outcome(
+        3, JobKind::kSlo, 0, 100, false, false,
+        kTimeInfinity));                              // dropped
+    result.jobs.push_back(make_outcome(
+        4, JobKind::kBestEffort, 0, kTimeInfinity, true, true, 500));
+    EXPECT_EQ(result.deadlines_met(), 1u);
+    EXPECT_DOUBLE_EQ(result.deadline_ratio(), 1.0 / 3.0);
+    EXPECT_EQ(result.submitted(JobKind::kSlo), 3u);
+    EXPECT_EQ(result.submitted(JobKind::kBestEffort), 1u);
+    EXPECT_EQ(result.admitted_count(), 3u);
+    EXPECT_EQ(result.dropped_count(), 1u);
+    EXPECT_EQ(result.finished_count(), 3u);
+}
+
+TEST(Metrics, BestEffortJobsAlwaysMeetInfiniteDeadline)
+{
+    JobOutcome outcome = make_outcome(
+        1, JobKind::kBestEffort, 0, kTimeInfinity, true, true, 1e9);
+    EXPECT_TRUE(outcome.met_deadline());
+}
+
+TEST(Metrics, AverageJctOverFinishedOnly)
+{
+    RunResult result;
+    result.jobs.push_back(make_outcome(
+        1, JobKind::kBestEffort, 10, kTimeInfinity, true, true, 110));
+    result.jobs.push_back(make_outcome(
+        2, JobKind::kBestEffort, 20, kTimeInfinity, true, true, 320));
+    result.jobs.push_back(make_outcome(
+        3, JobKind::kBestEffort, 0, kTimeInfinity, true, false,
+        kTimeInfinity));
+    EXPECT_DOUBLE_EQ(result.average_jct(JobKind::kBestEffort), 200.0);
+    EXPECT_DOUBLE_EQ(result.average_jct(JobKind::kSlo), 0.0);
+}
+
+TEST(Metrics, ClusterEfficiencyTimeAverage)
+{
+    RunResult result;
+    result.cluster_efficiency.record(0.0, 0.5);
+    result.cluster_efficiency.record(50.0, 1.0);
+    EXPECT_NEAR(result.average_cluster_efficiency(100.0), 0.75, 1e-9);
+}
+
+TEST(Metrics, EmptyRunIsVacuouslyPerfect)
+{
+    RunResult result;
+    EXPECT_DOUBLE_EQ(result.deadline_ratio(), 1.0);
+}
+
+TEST(Metrics, SummaryMentionsKeyNumbers)
+{
+    RunResult result;
+    result.scheduler_name = "elasticflow";
+    result.trace_name = "t";
+    result.jobs.push_back(make_outcome(
+        1, JobKind::kSlo, 0, 100, true, true, 90));
+    std::string s = summarize(result);
+    EXPECT_NE(s.find("elasticflow"), std::string::npos);
+    EXPECT_NE(s.find("1/1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ef

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Parameterized property sweep of the performance model across the
+ * full Table 1 (model, batch) grid and several topologies: feasibility
+ * bounds, monotone placement penalties, curve sanity, and agreement
+ * between the curve tables the scheduler consumes and the raw model.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "core/scaling_curve.h"
+#include "workload/perf_model.h"
+
+namespace ef {
+namespace {
+
+struct GridPoint
+{
+    DnnModel model;
+    int batch;
+    int cluster_gpus;
+};
+
+std::string
+grid_name(const testing::TestParamInfo<GridPoint> &info)
+{
+    std::string name = model_name(info.param.model) + "_b" +
+                       std::to_string(info.param.batch) + "_g" +
+                       std::to_string(info.param.cluster_gpus);
+    for (char &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return name;
+}
+
+std::vector<GridPoint>
+full_grid()
+{
+    std::vector<GridPoint> grid;
+    for (DnnModel model : all_models()) {
+        for (int batch : model_profile(model).batch_sizes) {
+            for (int gpus : {32, 128, 512})
+                grid.push_back(GridPoint{model, batch, gpus});
+        }
+    }
+    return grid;
+}
+
+class PerfModelSweep : public testing::TestWithParam<GridPoint>
+{
+  protected:
+    PerfModelSweep()
+        : topo_(TopologySpec::with_total_gpus(GetParam().cluster_gpus)),
+          perf_(&topo_)
+    {}
+
+    Topology topo_;
+    PerfModel perf_;
+};
+
+TEST_P(PerfModelSweep, FeasibleRangeIsConsistent)
+{
+    const GridPoint &p = GetParam();
+    GpuCount lo = perf_.min_workers(p.model, p.batch);
+    GpuCount hi = perf_.max_workers(p.model, p.batch,
+                                    topo_.total_gpus());
+    EXPECT_GE(lo, 1);
+    EXPECT_LE(lo, hi);
+    EXPECT_LE(hi, std::max<GpuCount>(
+                      floor_power_of_two(topo_.total_gpus()), lo));
+    // Below lo: infeasible. At lo and hi: positive throughput.
+    if (lo > 1) {
+        EXPECT_EQ(perf_.compact_throughput(p.model, p.batch, lo / 2),
+                  0.0);
+    }
+    EXPECT_GT(perf_.compact_throughput(p.model, p.batch, lo), 0.0);
+    EXPECT_GT(perf_.compact_throughput(p.model, p.batch, hi), 0.0);
+}
+
+TEST_P(PerfModelSweep, SchedulerCurveMatchesRawModelAtValidPoints)
+{
+    const GridPoint &p = GetParam();
+    std::vector<double> table = perf_.compact_pow2_throughputs(
+        p.model, p.batch, topo_.total_gpus());
+    ScalingCurve curve = ScalingCurve::from_pow2_table(table);
+    for (std::size_t k = 0; k < table.size(); ++k) {
+        GpuCount g = GpuCount(1) << k;
+        if (table[k] <= 0.0)
+            continue;
+        // Concavification may lift raw dips, never lower values.
+        EXPECT_GE(curve.throughput(g), table[k] - 1e-12)
+            << g << " GPUs";
+    }
+    // ...and never above the raw table's peak (monotone clamp and
+    // concave envelope only interpolate between existing values).
+    double peak = *std::max_element(table.begin(), table.end());
+    for (std::size_t k = 0; k < table.size(); ++k) {
+        GpuCount g = GpuCount(1) << k;
+        EXPECT_LE(curve.throughput(g), peak + 1e-9) << g << " GPUs";
+    }
+    EXPECT_TRUE(curve.concave());
+    EXPECT_EQ(curve.min_workers(), perf_.min_workers(p.model, p.batch));
+}
+
+TEST_P(PerfModelSweep, PlacementPenaltyMonotoneInSpan)
+{
+    const GridPoint &p = GetParam();
+    GpuCount workers = 8;
+    if (perf_.min_workers(p.model, p.batch) > workers)
+        return;  // cannot run 8 workers at this batch
+    if (workers > p.batch)
+        return;
+    double prev = 1e18;
+    for (int span : {1, 2, 4, 8}) {
+        if (span > topo_.num_servers())
+            break;
+        int rack_span =
+            (span + topo_.spec().servers_per_rack - 1) /
+            topo_.spec().servers_per_rack;
+        double tpt = perf_.throughput(
+            p.model, p.batch, PlacementShape{workers, span, rack_span});
+        EXPECT_LT(tpt, prev) << "span " << span;
+        EXPECT_GT(tpt, 0.0) << "span " << span;
+        prev = tpt;
+    }
+}
+
+TEST_P(PerfModelSweep, ThroughputScalesWithBatchAtFixedWorkers)
+{
+    const GridPoint &p = GetParam();
+    // Samples/sec should not collapse when the batch grows: iteration
+    // time grows at most linearly in the local batch.
+    GpuCount g = perf_.min_workers(p.model, p.batch);
+    double iters = perf_.compact_throughput(p.model, p.batch, g);
+    double samples_per_s = iters * p.batch;
+    EXPECT_GT(samples_per_s, 0.0);
+    // And per-sample time stays within 100x of the profile constant
+    // (overheads bounded).
+    double per_sample = 1.0 / samples_per_s *
+                        static_cast<double>(g);
+    EXPECT_LT(per_sample,
+              model_profile(p.model).per_sample_s * 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1Grid, PerfModelSweep,
+                         testing::ValuesIn(full_grid()), grid_name);
+
+}  // namespace
+}  // namespace ef

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the placement manager: best-fit selection, fragmentation
+ * behaviour of the non-migrating strategies, and the buddy guarantee —
+ * with migration, any power-of-two request that fits idle capacity is
+ * placeable and compact.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/placement.h"
+#include "common/rng.h"
+
+namespace ef {
+namespace {
+
+class PlacementTest : public testing::Test
+{
+  protected:
+    PlacementTest()
+        : topo_(TopologySpec::testbed_128()), manager_(&topo_)
+    {}
+
+    Topology topo_;
+    PlacementManager manager_;
+};
+
+TEST_F(PlacementTest, BestFitPrefersTightestServer)
+{
+    // Occupy 6 GPUs of server 0 so it has 2 free; server 1 full free.
+    ASSERT_TRUE(manager_
+                    .place(100, 4, PlacementStrategy::kBestFitCompact,
+                           false)
+                    .ok);
+    ASSERT_TRUE(manager_
+                    .place(101, 2, PlacementStrategy::kBestFitCompact,
+                           false)
+                    .ok);
+    // A 2-GPU job should best-fit into server 0's remaining 2 GPUs.
+    PlacementResult r =
+        manager_.place(102, 2, PlacementStrategy::kBestFitCompact, false);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(topo_.server_of(r.gpus[0]), 0);
+    EXPECT_EQ(topo_.server_of(r.gpus[1]), 0);
+    manager_.validate();
+}
+
+TEST_F(PlacementTest, CompactPlacementSingleServer)
+{
+    PlacementResult r =
+        manager_.place(1, 8, PlacementStrategy::kBestFitCompact, false);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(manager_.server_span(1), 1);
+    EXPECT_EQ(manager_.comm_level_of(1), CommLevel::kIntraServer);
+}
+
+TEST_F(PlacementTest, MultiServerJobStaysRackLocal)
+{
+    PlacementResult r =
+        manager_.place(1, 32, PlacementStrategy::kBestFitCompact, false);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(manager_.server_span(1), 4);
+    EXPECT_EQ(manager_.comm_level_of(1), CommLevel::kIntraRack);
+}
+
+TEST_F(PlacementTest, ScatterSpreadsAcrossServers)
+{
+    PlacementResult r =
+        manager_.place(1, 8, PlacementStrategy::kScatter, false);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(manager_.server_span(1), 8);
+}
+
+TEST_F(PlacementTest, FirstFitTakesLowestIds)
+{
+    ASSERT_TRUE(manager_.place(1, 3, PlacementStrategy::kFirstFit,
+                               false).ok);
+    std::vector<GpuCount> expect = {0, 1, 2};
+    EXPECT_EQ(manager_.gpus_of(1), expect);
+}
+
+/** Leave every server with exactly one idle GPU (4+2+1 used). */
+void
+fill_servers_to_seven(PlacementManager *manager, const Topology &topo)
+{
+    // Deterministic construction: first-fit walks GPU ids in order, so
+    // processing one server at a time with a placeholder plugging the
+    // would-be hole yields exactly 4 + 2 + 1 used per server; dropping
+    // the placeholders afterwards leaves one idle GPU everywhere.
+    for (int s = 0; s < topo.num_servers(); ++s) {
+        ASSERT_TRUE(manager
+                        ->place(100 + s, 4, PlacementStrategy::kFirstFit,
+                                false)
+                        .ok);
+        ASSERT_TRUE(manager
+                        ->place(200 + s, 2, PlacementStrategy::kFirstFit,
+                                false)
+                        .ok);
+        ASSERT_TRUE(manager
+                        ->place(300 + s, 1, PlacementStrategy::kFirstFit,
+                                false)
+                        .ok);
+        ASSERT_TRUE(manager
+                        ->place(400 + s, 1, PlacementStrategy::kFirstFit,
+                                false)
+                        .ok);  // placeholder for the hole
+    }
+    for (int s = 0; s < topo.num_servers(); ++s)
+        manager->release(400 + s);
+    for (int s = 0; s < topo.num_servers(); ++s)
+        ASSERT_EQ(manager->free_in_server(s), 1) << "server " << s;
+}
+
+TEST_F(PlacementTest, FragmentationWithoutMigration)
+{
+    // The paper's fragmentation scenario (§4.3): plenty of idle GPUs
+    // in total, but no server has two adjacent ones.
+    fill_servers_to_seven(&manager_, topo_);
+    EXPECT_EQ(manager_.idle_gpus(), 16);
+    // Without migration the 2-GPU job is forced to span servers.
+    PlacementResult r = manager_.place(
+        999, 2, PlacementStrategy::kBestFitCompact, false);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(topo_.server_span(r.gpus), 2);
+}
+
+TEST_F(PlacementTest, MigrationDefragments)
+{
+    fill_servers_to_seven(&manager_, topo_);
+    PlacementResult r = manager_.place(
+        999, 2, PlacementStrategy::kBestFitCompact, true);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(topo_.server_span(r.gpus), 1);
+    EXPECT_FALSE(r.migrations.empty());
+    manager_.validate();
+}
+
+TEST_F(PlacementTest, ResizeShrinkKeepsDensestServers)
+{
+    ASSERT_TRUE(manager_.place(1, 16, PlacementStrategy::kBestFitCompact,
+                               true).ok);
+    PlacementResult r = manager_.resize(
+        1, 8, PlacementStrategy::kBestFitCompact, true);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(manager_.server_span(1), 1);
+    manager_.validate();
+}
+
+TEST_F(PlacementTest, ResizeGrowRestoresOnFailure)
+{
+    ASSERT_TRUE(manager_.place(1, 64, PlacementStrategy::kBestFitCompact,
+                               true).ok);
+    ASSERT_TRUE(manager_.place(2, 64, PlacementStrategy::kBestFitCompact,
+                               true).ok);
+    std::vector<GpuCount> before = manager_.gpus_of(1);
+    PlacementResult r = manager_.resize(
+        1, 128, PlacementStrategy::kBestFitCompact, true);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(manager_.gpus_of(1), before);
+    manager_.validate();
+}
+
+TEST_F(PlacementTest, ReleaseFreesGpus)
+{
+    ASSERT_TRUE(manager_.place(1, 32, PlacementStrategy::kBestFitCompact,
+                               true).ok);
+    EXPECT_EQ(manager_.idle_gpus(), 96);
+    manager_.release(1);
+    EXPECT_EQ(manager_.idle_gpus(), 128);
+    EXPECT_FALSE(manager_.is_placed(1));
+}
+
+/**
+ * The buddy guarantee (paper §4.3): random power-of-two workloads with
+ * migration never fail a placement that fits idle capacity, and jobs
+ * of <= 8 GPUs always land on a single server.
+ */
+TEST_F(PlacementTest, BuddyGuaranteePropertySweep)
+{
+    Rng rng(77);
+    std::set<JobId> live;
+    JobId next = 0;
+    for (int step = 0; step < 2000; ++step) {
+        bool do_place = live.empty() || rng.flip(0.55);
+        if (do_place) {
+            GpuCount size = GpuCount(1) << rng.uniform_int(0, 5);
+            GpuCount idle_before = manager_.idle_gpus();
+            PlacementResult r = manager_.place(
+                next, size, PlacementStrategy::kBestFitCompact, true);
+            if (size <= idle_before) {
+                ASSERT_TRUE(r.ok)
+                    << "step " << step << " size " << size << " idle "
+                    << idle_before;
+                int compact_span = (size + 7) / 8;
+                EXPECT_LE(manager_.server_span(next), compact_span)
+                    << "step " << step;
+                live.insert(next);
+            } else {
+                EXPECT_FALSE(r.ok);
+            }
+            ++next;
+        } else {
+            auto it = live.begin();
+            std::advance(it, rng.uniform_int(
+                                 0, static_cast<std::int64_t>(
+                                        live.size()) - 1));
+            manager_.release(*it);
+            live.erase(it);
+        }
+        if (step % 100 == 0)
+            manager_.validate();
+    }
+}
+
+TEST_F(PlacementTest, MultiServerBuddyStaysRackLocalUnderChurn)
+{
+    Rng rng(88);
+    std::set<JobId> live;
+    JobId next = 0;
+    for (int step = 0; step < 600; ++step) {
+        if (live.empty() || rng.flip(0.55)) {
+            GpuCount size = GpuCount(1) << rng.uniform_int(3, 6);  // 8..64
+            if (size <= manager_.idle_gpus()) {
+                PlacementResult r = manager_.place(
+                    next, size, PlacementStrategy::kBestFitCompact, true);
+                ASSERT_TRUE(r.ok) << "step " << step;
+                // <= 64 GPUs fits one rack; buddy keeps it there.
+                EXPECT_EQ(topo_.rack_span(manager_.gpus_of(next)), 1)
+                    << "step " << step << " size " << size;
+                live.insert(next);
+            }
+            ++next;
+        } else {
+            auto it = live.begin();
+            std::advance(it, rng.uniform_int(
+                                 0, static_cast<std::int64_t>(
+                                        live.size()) - 1));
+            manager_.release(*it);
+            live.erase(it);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace ef

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the pre-run throughput profiler (paper §6.6 / Fig. 12a):
+ * it starts at the memory-bound minimum, stops when GPUs stop
+ * helping, and reports the wall-clock cost.
+ */
+#include <gtest/gtest.h>
+
+#include "core/scaling_curve.h"
+#include "exec/profiler.h"
+
+namespace ef {
+namespace {
+
+class ProfilerTest : public testing::Test
+{
+  protected:
+    ProfilerTest()
+        : topo_(TopologySpec::testbed_128()), perf_(&topo_),
+          profiler_(&perf_)
+    {}
+
+    Topology topo_;
+    PerfModel perf_;
+    Profiler profiler_;
+};
+
+TEST_F(ProfilerTest, StartsAtMemoryBoundMinimum)
+{
+    // GPT-2 at batch 256 cannot fit under 8 workers.
+    ProfileReport report =
+        profiler_.profile(DnnModel::kGpt2, 256, 128);
+    ASSERT_FALSE(report.entries.empty());
+    EXPECT_EQ(report.entries.front().workers, 8);
+}
+
+TEST_F(ProfilerTest, EntriesAreDoublingCounts)
+{
+    ProfileReport report =
+        profiler_.profile(DnnModel::kResNet50, 128, 128);
+    for (std::size_t i = 1; i < report.entries.size(); ++i) {
+        EXPECT_EQ(report.entries[i].workers,
+                  report.entries[i - 1].workers * 2);
+    }
+}
+
+TEST_F(ProfilerTest, StopsWhenThroughputStopsImproving)
+{
+    ProfileReport report =
+        profiler_.profile(DnnModel::kVgg16, 64, 128);
+    // All but possibly the last entry strictly improve.
+    for (std::size_t i = 1; i + 1 < report.entries.size(); ++i) {
+        EXPECT_GT(report.entries[i].throughput,
+                  report.entries[i - 1].throughput);
+    }
+    // The scan never runs past the batch-size bound.
+    EXPECT_LE(report.entries.back().workers, 64);
+}
+
+TEST_F(ProfilerTest, CostAccountsSetupAndIterations)
+{
+    ProfilerConfig config;
+    config.iterations_per_config = 10;
+    config.setup_seconds = 5.0;
+    Profiler profiler(&perf_, config);
+    ProfileReport report =
+        profiler.profile(DnnModel::kBert, 64, 16);
+    double expected = 0.0;
+    for (const ProfileEntry &entry : report.entries)
+        expected += 5.0 + 10.0 / entry.throughput;
+    EXPECT_NEAR(report.total_seconds, expected, 1e-9);
+    // Profiling minutes, training hours: the overhead is marginal.
+    EXPECT_LT(report.total_seconds, 30 * kMinute);
+}
+
+TEST_F(ProfilerTest, Pow2TableFeedsScalingCurve)
+{
+    ProfileReport report =
+        profiler_.profile(DnnModel::kDeepSpeech2, 64, 128);
+    ScalingCurve curve =
+        ScalingCurve::from_pow2_table(report.pow2_table());
+    EXPECT_EQ(curve.min_workers(), report.entries.front().workers);
+    EXPECT_GT(curve.throughput(curve.min_workers()), 0.0);
+}
+
+TEST_F(ProfilerTest, TotalCostCoversAllBatchSizes)
+{
+    for (DnnModel model : all_models()) {
+        Time total = profiler_.total_cost_for_model(model, 128);
+        EXPECT_GT(total, 0.0) << model_name(model);
+        // Fig. 12a magnitudes: minutes, not hours.
+        EXPECT_LT(total, 2.0 * kHour) << model_name(model);
+    }
+}
+
+}  // namespace
+}  // namespace ef

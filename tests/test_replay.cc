@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the replay-based fidelity validator (§6.1): the fluid
+ * simulator and the iteration-granular executor agree within the
+ * paper's 3% bound across schedulers, workloads, and seeds.
+ */
+#include <gtest/gtest.h>
+
+#include "exec/replay.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "workload/trace_gen.h"
+
+namespace ef {
+namespace {
+
+TEST(Replay, ElasticFlowTimelineWithinThreePercent)
+{
+    Trace trace = TraceGenerator::generate(testbed_small_preset());
+    SimConfig config;
+    auto scheduler = make_scheduler("elasticflow");
+    Simulator sim(trace, scheduler.get(), config);
+    RunResult result = sim.run();
+
+    ReplayReport report =
+        replay_and_compare(trace, result, config.overhead);
+    EXPECT_GT(report.compared, 10u);
+    // The paper's 3% is the simulator's overall fidelity; per-job
+    // error is dominated by iteration discretization, which can reach
+    // a few percent of a very short job's JCT.
+    EXPECT_LE(report.mean_relative_error, 0.03);
+    EXPECT_LE(report.max_relative_error, 0.10)
+        << "worst job error " << report.max_relative_error;
+}
+
+TEST(Replay, EverySchedulerWithinThreePercent)
+{
+    TraceGenConfig gen = testbed_small_preset();
+    gen.num_jobs = 20;
+    Trace trace = TraceGenerator::generate(gen);
+    SimConfig config;
+    for (const std::string &name : all_scheduler_names()) {
+        SCOPED_TRACE(name);
+        auto scheduler = make_scheduler(name);
+        Simulator sim(trace, scheduler.get(), config);
+        RunResult result = sim.run();
+        ReplayReport report =
+            replay_and_compare(trace, result, config.overhead);
+        EXPECT_LE(report.mean_relative_error, 0.03);
+        EXPECT_LE(report.max_relative_error, 0.10);
+        // Everything that finished in simulation also finishes in the
+        // replay.
+        std::size_t finished_unfailed = 0;
+        for (const JobOutcome &job : result.jobs) {
+            finished_unfailed +=
+                (job.finished && job.failures_suffered == 0) ? 1 : 0;
+        }
+        EXPECT_EQ(report.compared, finished_unfailed);
+    }
+}
+
+TEST(Replay, ErrorSeedSweep)
+{
+    SimConfig config;
+    for (std::uint64_t seed : {21u, 22u, 23u}) {
+        TraceGenConfig gen = testbed_small_preset();
+        gen.seed = seed;
+        gen.num_jobs = 15;
+        Trace trace = TraceGenerator::generate(gen);
+        auto scheduler = make_scheduler("elasticflow");
+        Simulator sim(trace, scheduler.get(), config);
+        RunResult result = sim.run();
+        ReplayReport report =
+            replay_and_compare(trace, result, config.overhead);
+        EXPECT_LE(report.mean_relative_error, 0.03) << "seed " << seed;
+        EXPECT_LE(report.max_relative_error, 0.10) << "seed " << seed;
+        EXPECT_LE(report.mean_relative_error,
+                  report.max_relative_error + 1e-12);
+    }
+}
+
+TEST(Replay, AllocationLogIsTimeOrderedAndComplete)
+{
+    Trace trace = TraceGenerator::generate(testbed_small_preset());
+    auto scheduler = make_scheduler("elasticflow");
+    Simulator sim(trace, scheduler.get());
+    RunResult result = sim.run();
+
+    EXPECT_FALSE(result.allocation_log.empty());
+    Time prev = -1.0;
+    for (const AllocationEvent &event : result.allocation_log) {
+        EXPECT_GE(event.time, prev);
+        prev = event.time;
+    }
+    // Every job that ran appears in the log at least once.
+    std::set<JobId> seen;
+    for (const AllocationEvent &event : result.allocation_log)
+        seen.insert(event.job);
+    for (const JobOutcome &job : result.jobs) {
+        if (job.finished) {
+            EXPECT_TRUE(seen.count(job.spec.id)) << job.spec.id;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace ef

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for the run-report exporter: CSV parse-back, summary keys, and
+ * file writing.
+ */
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "sched/scheduler.h"
+#include "sim/report.h"
+#include "sim/simulator.h"
+#include "workload/trace_gen.h"
+
+namespace ef {
+namespace {
+
+RunResult
+sample_run()
+{
+    TraceGenConfig gen = testbed_small_preset();
+    gen.num_jobs = 12;
+    Trace trace = TraceGenerator::generate(gen);
+    auto scheduler = make_scheduler("elasticflow");
+    Simulator sim(trace, scheduler.get());
+    return sim.run();
+}
+
+TEST(Report, JobsCsvParsesBackAndAgrees)
+{
+    RunResult result = sample_run();
+    CsvTable table = parse_csv(jobs_report_csv(result));
+    ASSERT_EQ(table.rows.size(), result.jobs.size());
+    std::size_t met = 0;
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+        EXPECT_EQ(std::stoll(table.cell(r, "id")),
+                  result.jobs[r].spec.id);
+        met += table.cell(r, "met_deadline") == "1" ? 1 : 0;
+        if (table.cell(r, "admitted") == "0") {
+            EXPECT_EQ(table.cell(r, "finished"), "0");
+        }
+    }
+    EXPECT_EQ(met, result.deadlines_met());
+}
+
+TEST(Report, AllocationCsvMatchesLog)
+{
+    RunResult result = sample_run();
+    CsvTable table = parse_csv(allocation_report_csv(result));
+    ASSERT_EQ(table.rows.size(), result.allocation_log.size());
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+        EXPECT_EQ(std::stoul(table.cell(r, "gpus")),
+                  result.allocation_log[r].gpus.size());
+    }
+}
+
+TEST(Report, SummaryHasStableKeys)
+{
+    RunResult result = sample_run();
+    std::string summary = summary_report(result);
+    for (const std::string key :
+         {"scheduler=", "deadline_ratio=", "makespan_s=",
+          "admitted=", "replan_failures="}) {
+        EXPECT_NE(summary.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(Report, SaveWritesThreeFiles)
+{
+    RunResult result = sample_run();
+    std::string prefix = testing::TempDir() + "/ef_report_test";
+    std::string summary = save_run_report(prefix, result);
+    EXPECT_FALSE(summary.empty());
+    EXPECT_FALSE(load_csv(prefix + ".jobs.csv").rows.empty());
+    EXPECT_FALSE(load_csv(prefix + ".alloc.csv").rows.empty());
+}
+
+}  // namespace
+}  // namespace ef

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the deterministic RNG: reproducibility, fork independence,
+ * and basic distribution sanity.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ef {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+        EXPECT_DOUBLE_EQ(a.uniform_real(0, 1), b.uniform_real(0, 1));
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.uniform_int(0, 1 << 30) == b.uniform_int(0, 1 << 30);
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent)
+{
+    Rng parent1(7), parent2(7);
+    Rng child1 = parent1.fork();
+    Rng child2 = parent2.fork();
+    EXPECT_EQ(child1.seed(), child2.seed());
+    // Forking again yields a different stream.
+    Rng sibling = parent1.fork();
+    EXPECT_NE(sibling.seed(), child1.seed());
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        std::int64_t v = rng.uniform_int(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+    EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, ExponentialMeanApproximatesInverseRate)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(0.25);
+    EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, FlipProbability)
+{
+    Rng rng(8);
+    int heads = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        heads += rng.flip(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights)
+{
+    Rng rng(13);
+    std::vector<double> weights = {1.0, 0.0, 3.0};
+    std::vector<int> counts(3, 0);
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.weighted_index(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, LogNormalIsPositive)
+{
+    Rng rng(21);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.log_normal(8.0, 1.5), 0.0);
+}
+
+}  // namespace
+}  // namespace ef

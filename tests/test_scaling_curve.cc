@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for ScalingCurve: lookup semantics, feasible range, concavity
+ * enforcement, and the fixed-size restriction used by Chronus.
+ */
+#include <gtest/gtest.h>
+
+#include "core/scaling_curve.h"
+
+namespace ef {
+namespace {
+
+TEST(ScalingCurve, LookupRoundsDownToPow2)
+{
+    // Figure 4(a): T(1)=1, T(2)=1.5, T(4)=2.
+    ScalingCurve curve =
+        ScalingCurve::from_pow2_table({1.0, 1.5, 2.0});
+    EXPECT_DOUBLE_EQ(curve.throughput(1), 1.0);
+    EXPECT_DOUBLE_EQ(curve.throughput(2), 1.5);
+    EXPECT_DOUBLE_EQ(curve.throughput(3), 1.5);
+    EXPECT_DOUBLE_EQ(curve.throughput(4), 2.0);
+    EXPECT_DOUBLE_EQ(curve.throughput(100), 2.0);  // clamps
+    EXPECT_DOUBLE_EQ(curve.throughput(0), 0.0);
+    EXPECT_DOUBLE_EQ(curve.throughput(-1), 0.0);
+}
+
+TEST(ScalingCurve, MinWorkersFromLeadingZeros)
+{
+    ScalingCurve curve =
+        ScalingCurve::from_pow2_table({0.0, 0.0, 2.0, 3.0});
+    EXPECT_EQ(curve.min_workers(), 4);
+    EXPECT_DOUBLE_EQ(curve.throughput(2), 0.0);
+    EXPECT_DOUBLE_EQ(curve.throughput(4), 2.0);
+    EXPECT_EQ(curve.usable(3), 0);
+    EXPECT_EQ(curve.usable(4), 4);
+}
+
+TEST(ScalingCurve, MaxUsefulStopsAtPlateau)
+{
+    ScalingCurve curve = ScalingCurve::from_pow2_table(
+        {1.0, 1.8, 2.0, 2.0, 2.0}, /*enforce_concave=*/false);
+    EXPECT_EQ(curve.max_useful(), 4);
+    EXPECT_EQ(curve.usable(16), 4);
+    EXPECT_EQ(curve.next_step(4), 0);
+    EXPECT_EQ(curve.next_step(2), 4);
+    EXPECT_EQ(curve.next_step(0), 1);
+}
+
+TEST(ScalingCurve, EnforceConcaveLiftsDipsAndMonotone)
+{
+    // A dip at 2 GPUs and a decrease at the tail.
+    ScalingCurve curve =
+        ScalingCurve::from_pow2_table({1.0, 0.9, 2.0, 1.8});
+    EXPECT_TRUE(curve.concave());
+    EXPECT_GE(curve.throughput(2), 1.0);
+    EXPECT_GE(curve.throughput(8), curve.throughput(4) - 1e-12);
+    EXPECT_DOUBLE_EQ(curve.throughput(1), 1.0);
+}
+
+TEST(ScalingCurve, ConcaveDetection)
+{
+    ScalingCurve concave =
+        ScalingCurve::from_pow2_table({1.0, 1.8, 2.5});
+    EXPECT_TRUE(concave.concave());
+    ScalingCurve convex = ScalingCurve::from_pow2_table(
+        {1.0, 1.1, 4.0}, /*enforce_concave=*/false);
+    EXPECT_FALSE(convex.concave());
+}
+
+TEST(ScalingCurve, UsableRespectsAvailability)
+{
+    ScalingCurve curve =
+        ScalingCurve::from_pow2_table({1.0, 1.5, 2.0, 2.2});
+    EXPECT_EQ(curve.usable(0), 0);
+    EXPECT_EQ(curve.usable(1), 1);
+    EXPECT_EQ(curve.usable(5), 4);
+    EXPECT_EQ(curve.usable(7), 4);
+    EXPECT_EQ(curve.usable(8), 8);
+    EXPECT_EQ(curve.usable(1000), 8);
+}
+
+TEST(ScalingCurve, RestrictToFixedSize)
+{
+    ScalingCurve curve =
+        ScalingCurve::from_pow2_table({1.0, 1.5, 2.0, 2.2});
+    ScalingCurve fixed = restrict_to_fixed_size(curve, 4);
+    EXPECT_EQ(fixed.min_workers(), 4);
+    EXPECT_EQ(fixed.max_useful(), 4);
+    EXPECT_DOUBLE_EQ(fixed.throughput(4), 2.0);
+    EXPECT_DOUBLE_EQ(fixed.throughput(2), 0.0);
+    EXPECT_DOUBLE_EQ(fixed.throughput(8), 2.0);  // clamps to table end
+    EXPECT_EQ(fixed.usable(7), 4);
+    EXPECT_EQ(fixed.usable(3), 0);
+}
+
+TEST(ScalingCurve, InvalidTablesDie)
+{
+    EXPECT_DEATH(ScalingCurve::from_pow2_table({}), "at least one");
+    EXPECT_DEATH(ScalingCurve::from_pow2_table({0.0, 0.0}),
+                 "no feasible");
+    EXPECT_DEATH(ScalingCurve::from_pow2_table({1.0, 0.0, 2.0}),
+                 "zero inside");
+    EXPECT_DEATH(ScalingCurve::from_pow2_table({-1.0}), "negative");
+}
+
+TEST(ScalingCurve, NextStepRequiresPow2)
+{
+    ScalingCurve curve = ScalingCurve::from_pow2_table({1.0, 1.5});
+    EXPECT_DEATH(curve.next_step(3), "not a power of two");
+}
+
+}  // namespace
+}  // namespace ef

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Parameterized invariant suite run against EVERY scheduling policy on
+ * multiple workloads: whatever the policy decides, the platform-level
+ * invariants must hold — capacity is never exceeded, admitted jobs
+ * finish, timelines are sane, runs are deterministic, and no job runs
+ * below its memory-bound minimum worker count.
+ */
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "workload/perf_model.h"
+#include "workload/trace_gen.h"
+
+namespace ef {
+namespace {
+
+struct Case
+{
+    std::string scheduler;
+    std::string workload;  // "small", "contended", "best-effort"
+};
+
+std::string
+case_name(const testing::TestParamInfo<Case> &info)
+{
+    std::string name =
+        info.param.scheduler + "_" + info.param.workload;
+    for (char &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return name;
+}
+
+Trace
+workload_by_name(const std::string &name)
+{
+    if (name == "small") {
+        return TraceGenerator::generate(testbed_small_preset());
+    }
+    if (name == "contended") {
+        TraceGenConfig config = testbed_large_preset();
+        config.num_jobs = 60;
+        config.mean_interarrival_s = 150.0;
+        return TraceGenerator::generate(config);
+    }
+    TraceGenConfig config = testbed_small_preset();
+    config.num_jobs = 30;
+    config.best_effort_fraction = 0.3;
+    config.soft_deadline_fraction = 0.2;
+    return TraceGenerator::generate(config);
+}
+
+class SchedulerInvariants : public testing::TestWithParam<Case>
+{
+};
+
+TEST_P(SchedulerInvariants, PlatformInvariantsHold)
+{
+    const Case &param = GetParam();
+    Trace trace = workload_by_name(param.workload);
+    Topology topo(trace.topology);
+    PerfModel perf(&topo);
+
+    auto scheduler = make_scheduler(param.scheduler);
+    Simulator sim(trace, scheduler.get());
+    RunResult result = sim.run();
+
+    // Every submitted job is accounted for.
+    ASSERT_EQ(result.jobs.size(), trace.jobs.size());
+
+    for (const JobOutcome &job : result.jobs) {
+        // Admitted jobs run to completion; dropped jobs never run.
+        if (job.admitted) {
+            EXPECT_TRUE(job.finished) << "job " << job.spec.id;
+            EXPECT_LE(job.finish_time, result.makespan + 1e-6);
+            EXPECT_GE(job.finish_time, job.spec.submit_time);
+            EXPECT_GT(job.gpu_seconds, 0.0) << "job " << job.spec.id;
+        } else {
+            EXPECT_FALSE(job.finished) << "job " << job.spec.id;
+            EXPECT_EQ(job.gpu_seconds, 0.0) << "job " << job.spec.id;
+        }
+        // A finished job consumed at least its minimal GPU time.
+        if (job.finished) {
+            GpuCount min_w =
+                perf.min_workers(job.spec.model, job.spec.global_batch);
+            double max_tpt = perf.compact_throughput(
+                job.spec.model, job.spec.global_batch,
+                perf.max_workers(job.spec.model, job.spec.global_batch,
+                                 topo.total_gpus()));
+            double min_gpu_seconds =
+                static_cast<double>(job.spec.iterations) / max_tpt *
+                static_cast<double>(min_w);
+            EXPECT_GE(job.gpu_seconds, 0.5 * min_gpu_seconds)
+                << "job " << job.spec.id;
+        }
+    }
+
+    // The allocation timeline never exceeds the cluster.
+    for (double used : result.used_gpus.values()) {
+        EXPECT_GE(used, 0.0);
+        EXPECT_LE(used, static_cast<double>(topo.total_gpus()));
+    }
+
+    // Deterministic: a second run reproduces the headline numbers.
+    auto scheduler2 = make_scheduler(param.scheduler);
+    Simulator sim2(trace, scheduler2.get());
+    RunResult result2 = sim2.run();
+    EXPECT_EQ(result.deadlines_met(), result2.deadlines_met());
+    EXPECT_EQ(result.admitted_count(), result2.admitted_count());
+    EXPECT_DOUBLE_EQ(result.makespan, result2.makespan);
+}
+
+std::vector<Case>
+all_cases()
+{
+    std::vector<Case> cases;
+    for (const std::string scheduler :
+         {"elasticflow", "edf", "edf+admission", "edf+elastic",
+          "gandiva", "tiresias", "themis", "chronus", "pollux"}) {
+        for (const std::string workload :
+             {"small", "contended", "best-effort"}) {
+            cases.push_back(Case{scheduler, workload});
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerInvariants,
+                         testing::ValuesIn(all_cases()), case_name);
+
+}  // namespace
+}  // namespace ef

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the event-driven simulator itself: progress accounting,
+ * overhead charging, timeline recording, and the ClusterView contract.
+ */
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+#include "workload/trace_gen.h"
+
+namespace ef {
+namespace {
+
+using testutil::TraceBuilder;
+
+/** Trivial scheduler: every active job gets its requested GPUs. */
+class FixedScheduler : public Scheduler
+{
+  public:
+    std::string name() const override { return "fixed"; }
+
+    SchedulerDecision
+    allocate() override
+    {
+        SchedulerDecision decision;
+        GpuCount free = view_->total_gpus();
+        for (JobId id : view_->active_jobs()) {
+            GpuCount req = view_->spec(id).requested_gpus;
+            if (view_->remaining_iterations(id) > 0.0 && req <= free) {
+                decision.gpus[id] = req;
+                free -= req;
+            }
+        }
+        return decision;
+    }
+};
+
+TEST(Simulator, SingleJobFinishTimeMatchesAnalyticDuration)
+{
+    Trace trace = TraceBuilder(TopologySpec::testbed_32())
+                      .slo(DnnModel::kResNet50, 128, 4, 100.0,
+                           2.0 * kHour, 1.5)
+                      .build();
+    FixedScheduler scheduler;
+    SimConfig config;
+    config.overhead.enabled = false;
+    Simulator sim(trace, &scheduler, config);
+    RunResult result = sim.run();
+    ASSERT_TRUE(result.jobs[0].finished);
+    // Standalone duration was 2h by construction; the fluid simulator
+    // must land within iteration-rounding error of submit + 2h.
+    EXPECT_NEAR(result.jobs[0].finish_time, 100.0 + 2.0 * kHour, 2.0);
+    EXPECT_EQ(result.jobs[0].first_run_time, 100.0);
+}
+
+TEST(Simulator, OverheadDelaysFinish)
+{
+    Trace trace = TraceBuilder(TopologySpec::testbed_32())
+                      .slo(DnnModel::kVgg16, 128, 8, 0.0, kHour, 2.0)
+                      .build();
+    FixedScheduler s1, s2;
+    SimConfig with, without;
+    without.overhead.enabled = false;
+    Simulator sim_with(trace, &s1, with);
+    Simulator sim_without(trace, &s2, without);
+    Time t_with = sim_with.run().jobs[0].finish_time;
+    Time t_without = sim_without.run().jobs[0].finish_time;
+    EXPECT_GT(t_with, t_without);
+    // The initial placement costs one checkpoint/restore (~seconds).
+    EXPECT_LT(t_with - t_without, 2.0 * kMinute);
+}
+
+TEST(Simulator, AttainedServiceCountsGpuSeconds)
+{
+    Trace trace = TraceBuilder(TopologySpec::testbed_32())
+                      .slo(DnnModel::kBert, 64, 4, 0.0, kHour, 2.0)
+                      .build();
+    FixedScheduler scheduler;
+    SimConfig config;
+    config.overhead.enabled = false;
+    Simulator sim(trace, &scheduler, config);
+    RunResult result = sim.run();
+    // 4 GPUs for ~1 hour.
+    EXPECT_NEAR(result.jobs[0].gpu_seconds, 4.0 * kHour,
+                4.0 * kMinute);
+}
+
+TEST(Simulator, UsedGpusTimelineRisesAndFalls)
+{
+    Trace trace = TraceBuilder(TopologySpec::testbed_32())
+                      .slo(DnnModel::kResNet50, 64, 8, 0.0, kHour, 2.0)
+                      .build();
+    FixedScheduler scheduler;
+    Simulator sim(trace, &scheduler);
+    RunResult result = sim.run();
+    ASSERT_FALSE(result.used_gpus.empty());
+    EXPECT_DOUBLE_EQ(result.used_gpus.value_at(60.0), 8.0);
+    EXPECT_DOUBLE_EQ(
+        result.used_gpus.value_at(result.makespan + 1.0), 0.0);
+}
+
+TEST(Simulator, ClusterEfficiencyBelowOneWithMultiGpuJobs)
+{
+    Trace trace = TraceBuilder(TopologySpec::testbed_32())
+                      .slo(DnnModel::kVgg16, 256, 8, 0.0, kHour, 2.0)
+                      .build();
+    FixedScheduler scheduler;
+    Simulator sim(trace, &scheduler);
+    RunResult result = sim.run();
+    double ce = result.cluster_efficiency.value_at(60.0);
+    EXPECT_GT(ce, 0.0);
+    // 8 GPUs of 32 at ~77% scaling efficiency: CE well below 0.25.
+    EXPECT_LT(ce, 0.25);
+}
+
+TEST(Simulator, SubmittedAdmittedTimelines)
+{
+    Trace trace = TraceGenerator::generate(testbed_small_preset());
+    auto scheduler = make_scheduler("elasticflow");
+    Simulator sim(trace, scheduler.get());
+    RunResult result = sim.run();
+    EXPECT_DOUBLE_EQ(result.submitted_jobs.values().back(), 25.0);
+    EXPECT_LE(result.admitted_jobs.values().back(), 25.0);
+    EXPECT_DOUBLE_EQ(
+        result.admitted_jobs.values().back(),
+        static_cast<double>(result.admitted_count()));
+}
+
+TEST(Simulator, ViewExposesProgress)
+{
+    // Custom scheduler that asserts view invariants mid-run.
+    class ProbeScheduler : public FixedScheduler
+    {
+      public:
+        SchedulerDecision
+        allocate() override
+        {
+            for (JobId id : view_->active_jobs()) {
+                const JobSpec &spec = view_->spec(id);
+                EXPECT_GE(view_->remaining_iterations(id), 0.0);
+                EXPECT_LE(view_->remaining_iterations(id),
+                          static_cast<double>(spec.iterations));
+                EXPECT_GE(view_->attained_gpu_seconds(id), 0.0);
+                const ScalingCurve &curve = view_->curve(id);
+                EXPECT_FALSE(curve.empty());
+                ++probes;
+            }
+            return FixedScheduler::allocate();
+        }
+        int probes = 0;
+    };
+    Trace trace = TraceBuilder(TopologySpec::testbed_32())
+                      .slo(DnnModel::kGpt2, 128, 4, 0.0, kHour, 2.0)
+                      .slo(DnnModel::kBert, 64, 2, 30.0, kHour, 2.0)
+                      .build();
+    ProbeScheduler scheduler;
+    Simulator sim(trace, &scheduler);
+    sim.run();
+    EXPECT_GT(scheduler.probes, 0);
+}
+
+TEST(Simulator, OverSubscribedDecisionDies)
+{
+    class GreedyScheduler : public Scheduler
+    {
+      public:
+        std::string name() const override { return "greedy"; }
+        SchedulerDecision
+        allocate() override
+        {
+            SchedulerDecision decision;
+            for (JobId id : view_->active_jobs())
+                decision.gpus[id] = view_->total_gpus();
+            return decision;
+        }
+    };
+    Trace trace = TraceBuilder(TopologySpec::testbed_32())
+                      .slo(DnnModel::kBert, 64, 2, 0.0, kHour, 2.0)
+                      .slo(DnnModel::kBert, 64, 2, 0.0, kHour, 2.0)
+                      .build();
+    GreedyScheduler scheduler;
+    Simulator sim(trace, &scheduler);
+    EXPECT_DEATH(sim.run(), "requested");
+}
+
+TEST(Simulator, DuplicateJobIdsDie)
+{
+    Trace trace = TraceBuilder(TopologySpec::testbed_32())
+                      .slo(DnnModel::kBert, 64, 2, 0.0, kHour, 2.0)
+                      .build();
+    trace.jobs.push_back(trace.jobs[0]);
+    FixedScheduler scheduler;
+    EXPECT_DEATH(Simulator sim(trace, &scheduler), "duplicate job id");
+}
+
+TEST(Simulator, MigrationsAreCountedAndCharged)
+{
+    // Force defragmentation: odd-sized jobs fill servers, then a job
+    // needs a compact block.
+    Trace trace = TraceGenerator::generate(testbed_large_preset());
+    auto scheduler = make_scheduler("elasticflow");
+    Simulator sim(trace, scheduler.get());
+    RunResult result = sim.run();
+    int migrations = 0;
+    for (const JobOutcome &job : result.jobs)
+        migrations += job.migrations;
+    EXPECT_GT(migrations, 0);
+}
+
+}  // namespace
+}  // namespace ef

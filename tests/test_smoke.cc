@@ -1,0 +1,58 @@
+/**
+ * @file
+ * End-to-end smoke test: every scheduler completes a small trace
+ * without tripping an internal invariant, and ElasticFlow's headline
+ * property holds — admitted jobs meet their deadlines.
+ */
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "workload/trace_gen.h"
+
+namespace ef {
+namespace {
+
+TEST(Smoke, AllSchedulersRunSmallTrace)
+{
+    TraceGenConfig config = testbed_small_preset();
+    Trace trace = TraceGenerator::generate(config);
+    ASSERT_EQ(trace.jobs.size(), 25u);
+
+    for (const std::string &name : all_scheduler_names()) {
+        SCOPED_TRACE(name);
+        auto scheduler = make_scheduler(name);
+        Simulator sim(trace, scheduler.get());
+        RunResult result = sim.run();
+        EXPECT_EQ(result.jobs.size(), trace.jobs.size());
+        // Every admitted job eventually finishes.
+        for (const JobOutcome &job : result.jobs) {
+            if (job.admitted) {
+                EXPECT_TRUE(job.finished) << "job " << job.spec.id;
+            }
+        }
+    }
+}
+
+TEST(Smoke, ElasticFlowMeetsAdmittedDeadlines)
+{
+    Trace trace = TraceGenerator::generate(testbed_small_preset());
+    auto scheduler = make_scheduler("elasticflow");
+    Simulator sim(trace, scheduler.get());
+    RunResult result = sim.run();
+
+    int admitted = 0;
+    for (const JobOutcome &job : result.jobs) {
+        if (!job.admitted)
+            continue;
+        ++admitted;
+        EXPECT_TRUE(job.finished) << "job " << job.spec.id;
+        EXPECT_LE(job.finish_time, job.spec.deadline)
+            << "job " << job.spec.id << " missed its deadline";
+    }
+    EXPECT_GT(admitted, 0);
+    EXPECT_EQ(result.replan_failures, 0);
+}
+
+}  // namespace
+}  // namespace ef

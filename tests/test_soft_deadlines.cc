@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for soft-deadline jobs (§4.4): never dropped, scheduled like
+ * SLO jobs while feasible, demoted to best-effort (not killed) when
+ * their deadline cannot be met, and never in the way of hard
+ * guarantees.
+ */
+#include <gtest/gtest.h>
+
+#include "sched/elastic_flow.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+#include "workload/trace_gen.h"
+#include "workload/trace_io.h"
+
+namespace ef {
+namespace {
+
+using testutil::TraceBuilder;
+
+Trace
+with_soft(Trace trace, std::initializer_list<std::size_t> soft_indices)
+{
+    for (std::size_t i : soft_indices)
+        trace.jobs[i].kind = JobKind::kSoftDeadline;
+    return trace;
+}
+
+SimConfig
+no_overhead()
+{
+    SimConfig config;
+    config.overhead.enabled = false;
+    return config;
+}
+
+TEST(SoftDeadlines, NeverDroppedEvenWhenHopeless)
+{
+    // Impossible deadline: a hard job would be dropped; a soft one is
+    // admitted and simply finishes late.
+    Trace trace = with_soft(
+        TraceBuilder(TopologySpec::testbed_32())
+            .slo(DnnModel::kVgg16, 64, 32, 0.0, 10.0 * kHour, 0.2)
+            .build(),
+        {0});
+    ElasticFlowScheduler scheduler;
+    Simulator sim(trace, &scheduler, no_overhead());
+    RunResult result = sim.run();
+    EXPECT_TRUE(result.jobs[0].admitted);
+    EXPECT_TRUE(result.jobs[0].finished);
+    EXPECT_FALSE(result.jobs[0].met_deadline());
+    EXPECT_EQ(result.replan_failures, 0);  // soft misses aren't incidents
+}
+
+TEST(SoftDeadlines, MetWhenFeasible)
+{
+    Trace trace = with_soft(
+        TraceBuilder(TopologySpec::testbed_32())
+            .slo(DnnModel::kResNet50, 256, 2, 0.0, 2.0 * kHour, 1.2)
+            .build(),
+        {0});
+    ElasticFlowScheduler scheduler;
+    Simulator sim(trace, &scheduler, no_overhead());
+    RunResult result = sim.run();
+    EXPECT_TRUE(result.jobs[0].met_deadline());
+    EXPECT_DOUBLE_EQ(
+        result.deadline_ratio_of(JobKind::kSoftDeadline), 1.0);
+}
+
+TEST(SoftDeadlines, DoNotBlockHardAdmissions)
+{
+    // A cluster-saturating soft job arrives first; a hard job with a
+    // tight-but-feasible deadline must still be admitted and met —
+    // the soft job yields.
+    Trace trace = with_soft(
+        TraceBuilder(TopologySpec::testbed_32())
+            .slo(DnnModel::kBert, 128, 8, 0.0, 4.0 * kHour, 0.82)
+            .slo(DnnModel::kBert, 128, 8, 60.0, 4.0 * kHour, 0.82)
+            .build(),
+        {0});
+    ElasticFlowConfig config;
+    config.admission_margin = 0.0;
+    config.overhead_allowance_s = 0.0;
+    ElasticFlowScheduler scheduler(config);
+    Simulator sim(trace, &scheduler, no_overhead());
+    RunResult result = sim.run();
+    // The hard job (index 1) is admitted — the soft job does not
+    // reserve capacity against it — and meets its deadline.
+    EXPECT_TRUE(result.jobs[1].admitted);
+    EXPECT_TRUE(result.jobs[1].met_deadline());
+    // The soft job still finishes eventually.
+    EXPECT_TRUE(result.jobs[0].finished);
+}
+
+TEST(SoftDeadlines, MixedTraceKeepsHardGuarantee)
+{
+    TraceGenConfig gen = testbed_small_preset();
+    gen.num_jobs = 40;
+    gen.soft_deadline_fraction = 0.4;
+    Trace trace = TraceGenerator::generate(gen);
+    EXPECT_GT(trace.count_kind(JobKind::kSoftDeadline), 0u);
+
+    ElasticFlowScheduler scheduler;
+    Simulator sim(trace, &scheduler);
+    RunResult result = sim.run();
+    for (const JobOutcome &job : result.jobs) {
+        if (job.spec.kind == JobKind::kSlo && job.admitted) {
+            EXPECT_TRUE(job.met_deadline()) << job.spec.id;
+        }
+        if (job.spec.kind == JobKind::kSoftDeadline) {
+            EXPECT_TRUE(job.admitted) << job.spec.id;
+            EXPECT_TRUE(job.finished) << job.spec.id;
+        }
+    }
+}
+
+TEST(SoftDeadlines, KindSurvivesCsvRoundTrip)
+{
+    TraceGenConfig gen = testbed_small_preset();
+    gen.soft_deadline_fraction = 0.5;
+    Trace trace = TraceGenerator::generate(gen);
+    Trace copy = parse_trace_csv(trace_to_csv(trace), trace.topology);
+    for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+        EXPECT_EQ(copy.jobs[i].kind, trace.jobs[i].kind) << i;
+        EXPECT_EQ(copy.jobs[i].user, trace.jobs[i].user) << i;
+    }
+}
+
+}  // namespace
+}  // namespace ef

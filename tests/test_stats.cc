@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for SampleStats and the StepSeries timelines used by the
+ * Fig. 7 / Fig. 10 metrics.
+ */
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace ef {
+namespace {
+
+TEST(SampleStats, BasicMoments)
+{
+    SampleStats stats;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        stats.add(v);
+    EXPECT_EQ(stats.count(), 4u);
+    EXPECT_DOUBLE_EQ(stats.sum(), 10.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 4.0);
+    EXPECT_NEAR(stats.stddev(), 1.1180, 1e-3);
+}
+
+TEST(SampleStats, Percentiles)
+{
+    SampleStats stats;
+    for (int i = 1; i <= 100; ++i)
+        stats.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(stats.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(stats.percentile(100), 100.0);
+    EXPECT_NEAR(stats.median(), 50.5, 1e-9);
+    EXPECT_NEAR(stats.percentile(90), 90.1, 1e-9);
+}
+
+TEST(SampleStats, SingleSample)
+{
+    SampleStats stats;
+    stats.add(7.0);
+    EXPECT_DOUBLE_EQ(stats.percentile(37.0), 7.0);
+    EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(StepSeries, ValueAtLooksUpSteps)
+{
+    StepSeries s;
+    s.record(10.0, 1.0);
+    s.record(20.0, 3.0);
+    EXPECT_DOUBLE_EQ(s.value_at(5.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.value_at(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.value_at(15.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.value_at(20.0), 3.0);
+    EXPECT_DOUBLE_EQ(s.value_at(1000.0), 3.0);
+}
+
+TEST(StepSeries, RunLengthCompressesEqualValues)
+{
+    StepSeries s;
+    s.record(0.0, 2.0);
+    s.record(5.0, 2.0);
+    s.record(9.0, 4.0);
+    EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(StepSeries, SameInstantOverwrites)
+{
+    StepSeries s;
+    s.record(1.0, 2.0);
+    s.record(1.0, 5.0);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_DOUBLE_EQ(s.value_at(1.0), 5.0);
+}
+
+TEST(StepSeries, TimeAverage)
+{
+    StepSeries s;
+    s.record(0.0, 1.0);
+    s.record(10.0, 3.0);
+    // [0,10) at 1, [10,20) at 3 -> mean 2 over [0,20].
+    EXPECT_NEAR(s.time_average(0.0, 20.0), 2.0, 1e-9);
+    // Window starting before the first sample counts zeros.
+    StepSeries t;
+    t.record(10.0, 4.0);
+    EXPECT_NEAR(t.time_average(0.0, 20.0), 2.0, 1e-9);
+}
+
+TEST(StepSeries, ResampleBuckets)
+{
+    StepSeries s;
+    s.record(0.0, 0.0);
+    s.record(50.0, 10.0);
+    std::vector<double> grid = s.resample(0.0, 100.0, 4);
+    ASSERT_EQ(grid.size(), 4u);
+    EXPECT_NEAR(grid[0], 0.0, 1e-9);
+    EXPECT_NEAR(grid[1], 0.0, 1e-9);
+    EXPECT_NEAR(grid[2], 10.0, 1e-9);
+    EXPECT_NEAR(grid[3], 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ef

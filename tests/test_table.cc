@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the console table / chart renderers the benches print.
+ */
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace ef {
+namespace {
+
+TEST(ConsoleTable, RendersAlignedColumns)
+{
+    ConsoleTable table({"scheduler", "ratio"});
+    table.add_row({"elasticflow", "0.85"});
+    table.add_row({"edf", "0.20"});
+    std::string out = table.render();
+    EXPECT_NE(out.find("scheduler"), std::string::npos);
+    EXPECT_NE(out.find("elasticflow"), std::string::npos);
+    EXPECT_NE(out.find("0.20"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(ConsoleTable, RejectsMismatchedRowWidth)
+{
+    ConsoleTable table({"a", "b"});
+    EXPECT_DEATH(table.add_row({"only-one"}), "row width");
+}
+
+TEST(Format, Double)
+{
+    EXPECT_EQ(format_double(3.14159, 2), "3.14");
+    EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(format_percent(0.8532), "85.3%");
+    EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(BarChart, ScalesToMax)
+{
+    std::string out =
+        render_bar_chart({"a", "bb"}, {1.0, 2.0}, 10);
+    // The larger value gets the full width.
+    EXPECT_NE(out.find("##########"), std::string::npos);
+    EXPECT_NE(out.find("2.000"), std::string::npos);
+}
+
+TEST(BarChart, AllZeros)
+{
+    std::string out = render_bar_chart({"a"}, {0.0}, 10);
+    EXPECT_NE(out.find("0.000"), std::string::npos);
+}
+
+TEST(Sparkline, RendersRows)
+{
+    std::string out = render_sparkline({0.0, 1.0, 2.0, 3.0}, 4);
+    // 4 rows plus axis.
+    int lines = 0;
+    for (char c : out)
+        lines += c == '\n' ? 1 : 0;
+    EXPECT_EQ(lines, 5);
+}
+
+TEST(Sparkline, EmptySeries)
+{
+    EXPECT_NE(render_sparkline({}, 4).find("empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ef

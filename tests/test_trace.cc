@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for trace generation (presets, deadline assignment) and CSV
+ * round-tripping.
+ */
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "workload/perf_model.h"
+#include "workload/trace_gen.h"
+#include "workload/trace_io.h"
+
+namespace ef {
+namespace {
+
+TEST(TraceGen, DeterministicInSeed)
+{
+    Trace a = TraceGenerator::generate(testbed_small_preset());
+    Trace b = TraceGenerator::generate(testbed_small_preset());
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+        EXPECT_EQ(a.jobs[i].id, b.jobs[i].id);
+        EXPECT_EQ(a.jobs[i].model, b.jobs[i].model);
+        EXPECT_DOUBLE_EQ(a.jobs[i].submit_time, b.jobs[i].submit_time);
+        EXPECT_DOUBLE_EQ(a.jobs[i].deadline, b.jobs[i].deadline);
+        EXPECT_EQ(a.jobs[i].iterations, b.jobs[i].iterations);
+    }
+}
+
+TEST(TraceGen, JobsAreWellFormed)
+{
+    TraceGenConfig config = testbed_large_preset();
+    Trace trace = TraceGenerator::generate(config);
+    Topology topo(trace.topology);
+    PerfModel perf(&topo);
+    EXPECT_EQ(trace.jobs.size(), 195u);
+
+    Time prev = -1.0;
+    for (const JobSpec &job : trace.jobs) {
+        EXPECT_GE(job.submit_time, prev);
+        prev = job.submit_time;
+        EXPECT_TRUE(is_power_of_two(job.requested_gpus)) << job.id;
+        EXPECT_GE(job.requested_gpus,
+                  perf.min_workers(job.model, job.global_batch))
+            << job.id;
+        EXPECT_LE(job.requested_gpus, topo.total_gpus()) << job.id;
+        EXPECT_GT(job.iterations, 0) << job.id;
+        EXPECT_GT(job.deadline, job.submit_time) << job.id;
+    }
+}
+
+TEST(TraceGen, DeadlineTightnessInRange)
+{
+    TraceGenConfig config = testbed_large_preset();
+    Trace trace = TraceGenerator::generate(config);
+    Topology topo(trace.topology);
+    PerfModel perf(&topo);
+    for (const JobSpec &job : trace.jobs) {
+        double lambda = (job.deadline - job.submit_time) /
+                        standalone_duration(perf, job);
+        // Iteration rounding can push lambda epsilon past the bounds.
+        EXPECT_GT(lambda, 0.45) << job.id;
+        EXPECT_LT(lambda, 1.60) << job.id;
+    }
+}
+
+TEST(TraceGen, BestEffortFraction)
+{
+    TraceGenConfig config = testbed_large_preset();
+    config.best_effort_fraction = 0.3;
+    config.num_jobs = 400;
+    Trace trace = TraceGenerator::generate(config);
+    double frac = static_cast<double>(
+                      trace.count_kind(JobKind::kBestEffort)) /
+                  static_cast<double>(trace.jobs.size());
+    EXPECT_NEAR(frac, 0.3, 0.07);
+    for (const JobSpec &job : trace.jobs) {
+        if (job.is_best_effort()) {
+            EXPECT_EQ(job.deadline, kTimeInfinity);
+        }
+    }
+}
+
+TEST(TraceGen, ClusterPresetsCoverRange)
+{
+    int prev_gpus = 0;
+    for (int i = 1; i <= 10; ++i) {
+        TraceGenConfig config = cluster_preset(i);
+        Topology topo(config.topology);
+        EXPECT_GE(topo.total_gpus(), 64) << "preset " << i;
+        EXPECT_GE(config.num_jobs, 60) << "preset " << i;
+        prev_gpus = std::max(prev_gpus, topo.total_gpus());
+    }
+    EXPECT_GE(prev_gpus, 512);
+    EXPECT_DEATH(cluster_preset(0), "preset index");
+    EXPECT_DEATH(cluster_preset(11), "preset index");
+}
+
+TEST(TraceGen, PhillyPresetSkewsSmall)
+{
+    Trace trace = TraceGenerator::generate(philly_preset());
+    std::size_t small = 0;
+    for (const JobSpec &job : trace.jobs)
+        small += job.requested_gpus <= 2 ? 1 : 0;
+    EXPECT_GT(static_cast<double>(small) / trace.jobs.size(), 0.5);
+}
+
+TEST(TraceIo, CsvRoundTrip)
+{
+    Trace trace = TraceGenerator::generate(testbed_small_preset());
+    Trace copy = parse_trace_csv(trace_to_csv(trace), trace.topology,
+                                 trace.name);
+    ASSERT_EQ(copy.jobs.size(), trace.jobs.size());
+    for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+        const JobSpec &a = trace.jobs[i];
+        const JobSpec &b = copy.jobs[i];
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.model, b.model);
+        EXPECT_EQ(a.global_batch, b.global_batch);
+        EXPECT_EQ(a.iterations, b.iterations);
+        EXPECT_NEAR(a.submit_time, b.submit_time, 1e-3);
+        EXPECT_NEAR(a.deadline, b.deadline, 1e-3);
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.requested_gpus, b.requested_gpus);
+    }
+}
+
+TEST(TraceIo, BestEffortDeadlineSerializesAsInf)
+{
+    Trace trace;
+    trace.topology = TopologySpec::testbed_32();
+    JobSpec job;
+    job.id = 1;
+    job.name = "be";
+    job.iterations = 10;
+    job.kind = JobKind::kBestEffort;
+    job.deadline = kTimeInfinity;
+    trace.jobs.push_back(job);
+    std::string csv = trace_to_csv(trace);
+    EXPECT_NE(csv.find("inf"), std::string::npos);
+    Trace copy = parse_trace_csv(csv, trace.topology);
+    EXPECT_EQ(copy.jobs[0].deadline, kTimeInfinity);
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    Trace trace = TraceGenerator::generate(testbed_small_preset());
+    std::string path = testing::TempDir() + "/ef_trace_test.csv";
+    save_trace_csv(path, trace);
+    Trace copy = load_trace_csv(path, trace.topology);
+    EXPECT_EQ(copy.jobs.size(), trace.jobs.size());
+}
+
+TEST(Trace, IterationsForDurationInvertsStandalone)
+{
+    Topology topo(TopologySpec::testbed_128());
+    PerfModel perf(&topo);
+    JobSpec job;
+    job.model = DnnModel::kResNet50;
+    job.global_batch = 128;
+    job.requested_gpus = 4;
+    job.iterations = iterations_for_duration(perf, job, 3600.0);
+    EXPECT_NEAR(standalone_duration(perf, job), 3600.0, 1.0);
+}
+
+}  // namespace
+}  // namespace ef
