@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_network.dir/ext_network.cc.o"
+  "CMakeFiles/ext_network.dir/ext_network.cc.o.d"
+  "ext_network"
+  "ext_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

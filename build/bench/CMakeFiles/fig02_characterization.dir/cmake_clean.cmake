@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_characterization.dir/fig02_characterization.cc.o"
+  "CMakeFiles/fig02_characterization.dir/fig02_characterization.cc.o.d"
+  "fig02_characterization"
+  "fig02_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_edf_motivation.dir/fig03_edf_motivation.cc.o"
+  "CMakeFiles/fig03_edf_motivation.dir/fig03_edf_motivation.cc.o.d"
+  "fig03_edf_motivation"
+  "fig03_edf_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_edf_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

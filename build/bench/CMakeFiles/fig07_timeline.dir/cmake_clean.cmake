@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_timeline.dir/fig07_timeline.cc.o"
+  "CMakeFiles/fig07_timeline.dir/fig07_timeline.cc.o.d"
+  "fig07_timeline"
+  "fig07_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_simulation.dir/fig08_simulation.cc.o"
+  "CMakeFiles/fig08_simulation.dir/fig08_simulation.cc.o.d"
+  "fig08_simulation"
+  "fig08_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_ablation.dir/fig09_ablation.cc.o"
+  "CMakeFiles/fig09_ablation.dir/fig09_ablation.cc.o.d"
+  "fig09_ablation"
+  "fig09_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cluster_efficiency.dir/fig10_cluster_efficiency.cc.o"
+  "CMakeFiles/fig10_cluster_efficiency.dir/fig10_cluster_efficiency.cc.o.d"
+  "fig10_cluster_efficiency"
+  "fig10_cluster_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cluster_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

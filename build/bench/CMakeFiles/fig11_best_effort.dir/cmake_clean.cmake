@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_best_effort.dir/fig11_best_effort.cc.o"
+  "CMakeFiles/fig11_best_effort.dir/fig11_best_effort.cc.o.d"
+  "fig11_best_effort"
+  "fig11_best_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_best_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_scheduler_overhead.dir/micro_scheduler_overhead.cc.o"
+  "CMakeFiles/micro_scheduler_overhead.dir/micro_scheduler_overhead.cc.o.d"
+  "micro_scheduler_overhead"
+  "micro_scheduler_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_scheduler_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_model_zoo.dir/tab01_model_zoo.cc.o"
+  "CMakeFiles/tab01_model_zoo.dir/tab01_model_zoo.cc.o.d"
+  "tab01_model_zoo"
+  "tab01_model_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_model_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

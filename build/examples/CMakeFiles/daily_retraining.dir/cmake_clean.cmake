@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daily_retraining.dir/daily_retraining.cpp.o"
+  "CMakeFiles/daily_retraining.dir/daily_retraining.cpp.o.d"
+  "daily_retraining"
+  "daily_retraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daily_retraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

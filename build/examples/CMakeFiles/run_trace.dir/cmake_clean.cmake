@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_trace.dir/run_trace.cpp.o"
+  "CMakeFiles/run_trace.dir/run_trace.cpp.o.d"
+  "run_trace"
+  "run_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

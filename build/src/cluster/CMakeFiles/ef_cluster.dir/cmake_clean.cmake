@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_cluster.dir/buddy.cc.o"
+  "CMakeFiles/ef_cluster.dir/buddy.cc.o.d"
+  "CMakeFiles/ef_cluster.dir/placement.cc.o"
+  "CMakeFiles/ef_cluster.dir/placement.cc.o.d"
+  "CMakeFiles/ef_cluster.dir/topology.cc.o"
+  "CMakeFiles/ef_cluster.dir/topology.cc.o.d"
+  "libef_cluster.a"
+  "libef_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_common.dir/csv.cc.o"
+  "CMakeFiles/ef_common.dir/csv.cc.o.d"
+  "CMakeFiles/ef_common.dir/logging.cc.o"
+  "CMakeFiles/ef_common.dir/logging.cc.o.d"
+  "CMakeFiles/ef_common.dir/math_util.cc.o"
+  "CMakeFiles/ef_common.dir/math_util.cc.o.d"
+  "CMakeFiles/ef_common.dir/rng.cc.o"
+  "CMakeFiles/ef_common.dir/rng.cc.o.d"
+  "CMakeFiles/ef_common.dir/stats.cc.o"
+  "CMakeFiles/ef_common.dir/stats.cc.o.d"
+  "CMakeFiles/ef_common.dir/table.cc.o"
+  "CMakeFiles/ef_common.dir/table.cc.o.d"
+  "libef_common.a"
+  "libef_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

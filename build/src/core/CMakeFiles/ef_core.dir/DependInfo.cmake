@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cc" "src/core/CMakeFiles/ef_core.dir/admission.cc.o" "gcc" "src/core/CMakeFiles/ef_core.dir/admission.cc.o.d"
+  "/root/repo/src/core/allocation_plan.cc" "src/core/CMakeFiles/ef_core.dir/allocation_plan.cc.o" "gcc" "src/core/CMakeFiles/ef_core.dir/allocation_plan.cc.o.d"
+  "/root/repo/src/core/allocator.cc" "src/core/CMakeFiles/ef_core.dir/allocator.cc.o" "gcc" "src/core/CMakeFiles/ef_core.dir/allocator.cc.o.d"
+  "/root/repo/src/core/scaling_curve.cc" "src/core/CMakeFiles/ef_core.dir/scaling_curve.cc.o" "gcc" "src/core/CMakeFiles/ef_core.dir/scaling_curve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ef_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ef_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ef_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

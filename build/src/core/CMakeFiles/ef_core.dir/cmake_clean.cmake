@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_core.dir/admission.cc.o"
+  "CMakeFiles/ef_core.dir/admission.cc.o.d"
+  "CMakeFiles/ef_core.dir/allocation_plan.cc.o"
+  "CMakeFiles/ef_core.dir/allocation_plan.cc.o.d"
+  "CMakeFiles/ef_core.dir/allocator.cc.o"
+  "CMakeFiles/ef_core.dir/allocator.cc.o.d"
+  "CMakeFiles/ef_core.dir/scaling_curve.cc.o"
+  "CMakeFiles/ef_core.dir/scaling_curve.cc.o.d"
+  "libef_core.a"
+  "libef_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

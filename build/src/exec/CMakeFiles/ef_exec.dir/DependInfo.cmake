@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/control_plane.cc" "src/exec/CMakeFiles/ef_exec.dir/control_plane.cc.o" "gcc" "src/exec/CMakeFiles/ef_exec.dir/control_plane.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/ef_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/ef_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/profiler.cc" "src/exec/CMakeFiles/ef_exec.dir/profiler.cc.o" "gcc" "src/exec/CMakeFiles/ef_exec.dir/profiler.cc.o.d"
+  "/root/repo/src/exec/replay.cc" "src/exec/CMakeFiles/ef_exec.dir/replay.cc.o" "gcc" "src/exec/CMakeFiles/ef_exec.dir/replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ef_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ef_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ef_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ef_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ef_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ef_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

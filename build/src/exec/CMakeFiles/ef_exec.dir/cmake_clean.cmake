@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_exec.dir/control_plane.cc.o"
+  "CMakeFiles/ef_exec.dir/control_plane.cc.o.d"
+  "CMakeFiles/ef_exec.dir/executor.cc.o"
+  "CMakeFiles/ef_exec.dir/executor.cc.o.d"
+  "CMakeFiles/ef_exec.dir/profiler.cc.o"
+  "CMakeFiles/ef_exec.dir/profiler.cc.o.d"
+  "CMakeFiles/ef_exec.dir/replay.cc.o"
+  "CMakeFiles/ef_exec.dir/replay.cc.o.d"
+  "libef_exec.a"
+  "libef_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/admission_policy.cc" "src/sched/CMakeFiles/ef_sched.dir/admission_policy.cc.o" "gcc" "src/sched/CMakeFiles/ef_sched.dir/admission_policy.cc.o.d"
+  "/root/repo/src/sched/chronus.cc" "src/sched/CMakeFiles/ef_sched.dir/chronus.cc.o" "gcc" "src/sched/CMakeFiles/ef_sched.dir/chronus.cc.o.d"
+  "/root/repo/src/sched/edf.cc" "src/sched/CMakeFiles/ef_sched.dir/edf.cc.o" "gcc" "src/sched/CMakeFiles/ef_sched.dir/edf.cc.o.d"
+  "/root/repo/src/sched/elastic_flow.cc" "src/sched/CMakeFiles/ef_sched.dir/elastic_flow.cc.o" "gcc" "src/sched/CMakeFiles/ef_sched.dir/elastic_flow.cc.o.d"
+  "/root/repo/src/sched/gandiva.cc" "src/sched/CMakeFiles/ef_sched.dir/gandiva.cc.o" "gcc" "src/sched/CMakeFiles/ef_sched.dir/gandiva.cc.o.d"
+  "/root/repo/src/sched/planning_util.cc" "src/sched/CMakeFiles/ef_sched.dir/planning_util.cc.o" "gcc" "src/sched/CMakeFiles/ef_sched.dir/planning_util.cc.o.d"
+  "/root/repo/src/sched/pollux.cc" "src/sched/CMakeFiles/ef_sched.dir/pollux.cc.o" "gcc" "src/sched/CMakeFiles/ef_sched.dir/pollux.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/sched/CMakeFiles/ef_sched.dir/scheduler.cc.o" "gcc" "src/sched/CMakeFiles/ef_sched.dir/scheduler.cc.o.d"
+  "/root/repo/src/sched/themis.cc" "src/sched/CMakeFiles/ef_sched.dir/themis.cc.o" "gcc" "src/sched/CMakeFiles/ef_sched.dir/themis.cc.o.d"
+  "/root/repo/src/sched/tiresias.cc" "src/sched/CMakeFiles/ef_sched.dir/tiresias.cc.o" "gcc" "src/sched/CMakeFiles/ef_sched.dir/tiresias.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ef_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ef_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ef_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ef_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_sched.dir/admission_policy.cc.o"
+  "CMakeFiles/ef_sched.dir/admission_policy.cc.o.d"
+  "CMakeFiles/ef_sched.dir/chronus.cc.o"
+  "CMakeFiles/ef_sched.dir/chronus.cc.o.d"
+  "CMakeFiles/ef_sched.dir/edf.cc.o"
+  "CMakeFiles/ef_sched.dir/edf.cc.o.d"
+  "CMakeFiles/ef_sched.dir/elastic_flow.cc.o"
+  "CMakeFiles/ef_sched.dir/elastic_flow.cc.o.d"
+  "CMakeFiles/ef_sched.dir/gandiva.cc.o"
+  "CMakeFiles/ef_sched.dir/gandiva.cc.o.d"
+  "CMakeFiles/ef_sched.dir/planning_util.cc.o"
+  "CMakeFiles/ef_sched.dir/planning_util.cc.o.d"
+  "CMakeFiles/ef_sched.dir/pollux.cc.o"
+  "CMakeFiles/ef_sched.dir/pollux.cc.o.d"
+  "CMakeFiles/ef_sched.dir/scheduler.cc.o"
+  "CMakeFiles/ef_sched.dir/scheduler.cc.o.d"
+  "CMakeFiles/ef_sched.dir/themis.cc.o"
+  "CMakeFiles/ef_sched.dir/themis.cc.o.d"
+  "CMakeFiles/ef_sched.dir/tiresias.cc.o"
+  "CMakeFiles/ef_sched.dir/tiresias.cc.o.d"
+  "libef_sched.a"
+  "libef_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

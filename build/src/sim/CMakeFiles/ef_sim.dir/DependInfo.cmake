@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/metrics.cc" "src/sim/CMakeFiles/ef_sim.dir/metrics.cc.o" "gcc" "src/sim/CMakeFiles/ef_sim.dir/metrics.cc.o.d"
+  "/root/repo/src/sim/overhead_model.cc" "src/sim/CMakeFiles/ef_sim.dir/overhead_model.cc.o" "gcc" "src/sim/CMakeFiles/ef_sim.dir/overhead_model.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/sim/CMakeFiles/ef_sim.dir/report.cc.o" "gcc" "src/sim/CMakeFiles/ef_sim.dir/report.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/ef_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/ef_sim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/ef_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ef_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ef_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ef_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ef_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_sim.dir/metrics.cc.o"
+  "CMakeFiles/ef_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/ef_sim.dir/overhead_model.cc.o"
+  "CMakeFiles/ef_sim.dir/overhead_model.cc.o.d"
+  "CMakeFiles/ef_sim.dir/report.cc.o"
+  "CMakeFiles/ef_sim.dir/report.cc.o.d"
+  "CMakeFiles/ef_sim.dir/simulator.cc.o"
+  "CMakeFiles/ef_sim.dir/simulator.cc.o.d"
+  "libef_sim.a"
+  "libef_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

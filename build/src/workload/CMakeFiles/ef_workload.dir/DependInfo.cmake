@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/job.cc" "src/workload/CMakeFiles/ef_workload.dir/job.cc.o" "gcc" "src/workload/CMakeFiles/ef_workload.dir/job.cc.o.d"
+  "/root/repo/src/workload/model_zoo.cc" "src/workload/CMakeFiles/ef_workload.dir/model_zoo.cc.o" "gcc" "src/workload/CMakeFiles/ef_workload.dir/model_zoo.cc.o.d"
+  "/root/repo/src/workload/perf_model.cc" "src/workload/CMakeFiles/ef_workload.dir/perf_model.cc.o" "gcc" "src/workload/CMakeFiles/ef_workload.dir/perf_model.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/ef_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/ef_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/trace_gen.cc" "src/workload/CMakeFiles/ef_workload.dir/trace_gen.cc.o" "gcc" "src/workload/CMakeFiles/ef_workload.dir/trace_gen.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/workload/CMakeFiles/ef_workload.dir/trace_io.cc.o" "gcc" "src/workload/CMakeFiles/ef_workload.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ef_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ef_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_workload.dir/job.cc.o"
+  "CMakeFiles/ef_workload.dir/job.cc.o.d"
+  "CMakeFiles/ef_workload.dir/model_zoo.cc.o"
+  "CMakeFiles/ef_workload.dir/model_zoo.cc.o.d"
+  "CMakeFiles/ef_workload.dir/perf_model.cc.o"
+  "CMakeFiles/ef_workload.dir/perf_model.cc.o.d"
+  "CMakeFiles/ef_workload.dir/trace.cc.o"
+  "CMakeFiles/ef_workload.dir/trace.cc.o.d"
+  "CMakeFiles/ef_workload.dir/trace_gen.cc.o"
+  "CMakeFiles/ef_workload.dir/trace_gen.cc.o.d"
+  "CMakeFiles/ef_workload.dir/trace_io.cc.o"
+  "CMakeFiles/ef_workload.dir/trace_io.cc.o.d"
+  "libef_workload.a"
+  "libef_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_admission_policy.dir/test_admission_policy.cc.o"
+  "CMakeFiles/test_admission_policy.dir/test_admission_policy.cc.o.d"
+  "test_admission_policy"
+  "test_admission_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_admission_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

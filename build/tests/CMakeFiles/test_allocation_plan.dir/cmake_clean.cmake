@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_allocation_plan.dir/test_allocation_plan.cc.o"
+  "CMakeFiles/test_allocation_plan.dir/test_allocation_plan.cc.o.d"
+  "test_allocation_plan"
+  "test_allocation_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_allocation_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control_plane.dir/test_control_plane.cc.o"
+  "CMakeFiles/test_control_plane.dir/test_control_plane.cc.o.d"
+  "test_control_plane"
+  "test_control_plane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control_plane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

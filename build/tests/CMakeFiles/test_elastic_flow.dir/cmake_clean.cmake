@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elastic_flow.dir/test_elastic_flow.cc.o"
+  "CMakeFiles/test_elastic_flow.dir/test_elastic_flow.cc.o.d"
+  "test_elastic_flow"
+  "test_elastic_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elastic_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logging_check.dir/test_logging_check.cc.o"
+  "CMakeFiles/test_logging_check.dir/test_logging_check.cc.o.d"
+  "test_logging_check"
+  "test_logging_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logging_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_model_sweep.dir/test_perf_model_sweep.cc.o"
+  "CMakeFiles/test_perf_model_sweep.dir/test_perf_model_sweep.cc.o.d"
+  "test_perf_model_sweep"
+  "test_perf_model_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_model_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

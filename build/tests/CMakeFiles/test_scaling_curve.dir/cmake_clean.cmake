@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scaling_curve.dir/test_scaling_curve.cc.o"
+  "CMakeFiles/test_scaling_curve.dir/test_scaling_curve.cc.o.d"
+  "test_scaling_curve"
+  "test_scaling_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scaling_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

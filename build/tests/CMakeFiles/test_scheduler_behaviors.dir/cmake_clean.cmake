@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_behaviors.dir/test_scheduler_behaviors.cc.o"
+  "CMakeFiles/test_scheduler_behaviors.dir/test_scheduler_behaviors.cc.o.d"
+  "test_scheduler_behaviors"
+  "test_scheduler_behaviors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_behaviors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

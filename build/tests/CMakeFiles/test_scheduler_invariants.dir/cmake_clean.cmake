@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_invariants.dir/test_scheduler_invariants.cc.o"
+  "CMakeFiles/test_scheduler_invariants.dir/test_scheduler_invariants.cc.o.d"
+  "test_scheduler_invariants"
+  "test_scheduler_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

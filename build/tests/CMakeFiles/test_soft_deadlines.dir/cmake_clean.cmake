@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soft_deadlines.dir/test_soft_deadlines.cc.o"
+  "CMakeFiles/test_soft_deadlines.dir/test_soft_deadlines.cc.o.d"
+  "test_soft_deadlines"
+  "test_soft_deadlines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soft_deadlines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
