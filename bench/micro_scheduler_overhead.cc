@@ -74,6 +74,45 @@ BM_ResourceAllocation(benchmark::State &state)
 }
 BENCHMARK(BM_ResourceAllocation)->Arg(8)->Arg(32);
 
+/**
+ * The hot-path stress case: 2048 GPUs, 1000 jobs. Minimum shares are
+ * packed latest so slot 0 has headroom and the greedy upgrade loop
+ * actually runs to depth — with earliest packing the fixture
+ * degenerates (slot 0 saturates on minimum shares alone and the loop
+ * exits immediately).
+ */
+void
+BM_ResourceAllocationLarge(benchmark::State &state, bool reference)
+{
+    const int num_jobs = static_cast<int>(state.range(0));
+    const GpuCount gpus = static_cast<GpuCount>(state.range(1));
+    PlannerConfig config;
+    config.total_gpus = gpus;
+    config.slot_seconds = 600.0;
+    config.direction = FillDirection::kLatest;
+    std::vector<PlanningJob> jobs = make_jobs(num_jobs, gpus, 99);
+    AdmissionOutcome admission = run_admission(config, 0.0, jobs);
+    if (!admission.feasible) {
+        state.SkipWithError("fixture infeasible");
+        return;
+    }
+    for (auto _ : state) {
+        if (reference) {
+            benchmark::DoNotOptimize(run_allocation_reference(
+                config, 0.0, jobs, admission.plans, {}));
+        } else {
+            benchmark::DoNotOptimize(run_allocation(
+                config, 0.0, jobs, admission.plans, {}));
+        }
+    }
+}
+BENCHMARK_CAPTURE(BM_ResourceAllocationLarge, incremental, false)
+    ->Args({1000, 2048})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ResourceAllocationLarge, reference, true)
+    ->Args({1000, 2048})
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_BuddyPlacementChurn(benchmark::State &state)
 {

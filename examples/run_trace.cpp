@@ -36,6 +36,7 @@ usage()
         << "usage:\n"
         << "  run_trace <trace.csv> [--gpus N] [--scheduler NAME]\n"
         << "            [--failures-mtbf-days D] [--noise FRACTION]\n"
+        << "            [--no-coalesce] [--no-elide]\n"
         << "  run_trace --generate <preset> <out.csv>\n"
         << "presets: testbed-small, testbed-large, philly, "
         << "cluster1..cluster10\nschedulers:";
@@ -100,6 +101,10 @@ main(int argc, char **argv)
                 std::stod(next()) * kDay;
         } else if (arg == "--noise") {
             sim_config.noise.throughput_error = std::stod(next());
+        } else if (arg == "--no-coalesce") {
+            sim_config.coalesce_replans = false;
+        } else if (arg == "--no-elide") {
+            sim_config.elide_replans = false;
         } else {
             return usage();
         }
@@ -130,6 +135,12 @@ main(int argc, char **argv)
     table.add_row({"GPU-hours",
                    format_double(result.total_gpu_seconds() / kHour,
                                  0)});
+    int executed = result.replans_attempted -
+                   result.replans_coalesced - result.replans_elided;
+    table.add_row({"replans (run/merged/skipped)",
+                   std::to_string(executed) + "/" +
+                       std::to_string(result.replans_coalesced) + "/" +
+                       std::to_string(result.replans_elided)});
     std::cout << table.render();
     return 0;
 }

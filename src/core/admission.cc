@@ -14,7 +14,7 @@ constexpr double kIterEpsilon = 1e-7;
 }  // namespace
 
 std::optional<SlotPlan>
-progressive_fill(const PlanningJob &job,
+progressive_fill(const ScalingCurve &curve, double remaining_iterations,
                  const std::vector<GpuCount> &available,
                  const PlanHorizon &horizon, const PlannerConfig &config,
                  int start_slot)
@@ -22,30 +22,31 @@ progressive_fill(const PlanningJob &job,
     const int slots = horizon.slots;
     EF_CHECK(slots >= 0 && start_slot >= 0);
     EF_CHECK(static_cast<int>(available.size()) >= slots);
-    EF_CHECK(!job.curve.empty());
+    EF_CHECK(!curve.empty());
 
     SlotPlan plan;
-    if (job.remaining_iterations <= kIterEpsilon)
+    if (remaining_iterations <= kIterEpsilon)
         return plan;  // nothing left to do
     if (start_slot >= slots)
         return std::nullopt;
 
     const Time dt = config.slot_seconds;
+    const GpuCount max_useful = curve.max_useful();
     auto slot_capacity = [&](int t) {
         return t == slots - 1 ? dt * horizon.last_weight : dt;
     };
-    for (GpuCount level = job.curve.min_workers();
-         level != 0 && level <= job.curve.max_useful();
-         level = (level < job.curve.max_useful() ? level * 2 : 0)) {
+    for (GpuCount level = curve.min_workers();
+         level != 0 && level <= max_useful;
+         level = (level < max_useful ? level * 2 : 0)) {
         plan.gpus.assign(static_cast<std::size_t>(slots), 0);
-        double remaining = job.remaining_iterations;
+        double remaining = remaining_iterations;
         bool satisfied = false;
 
         auto fill_slot = [&](int t) {
-            GpuCount x = job.curve.usable(
+            GpuCount x = curve.usable(
                 std::min(level, available[static_cast<std::size_t>(t)]));
             plan.gpus[static_cast<std::size_t>(t)] = x;
-            remaining -= job.curve.throughput(x) * slot_capacity(t);
+            remaining -= curve.throughput(x) * slot_capacity(t);
             return remaining <= kIterEpsilon;
         };
 
@@ -64,6 +65,16 @@ progressive_fill(const PlanningJob &job,
     return std::nullopt;
 }
 
+std::optional<SlotPlan>
+progressive_fill(const PlanningJob &job,
+                 const std::vector<GpuCount> &available,
+                 const PlanHorizon &horizon, const PlannerConfig &config,
+                 int start_slot)
+{
+    return progressive_fill(job.curve, job.remaining_iterations,
+                            available, horizon, config, start_slot);
+}
+
 AdmissionOutcome
 run_admission(const PlannerConfig &config, Time now,
               std::vector<PlanningJob> jobs)
@@ -79,23 +90,22 @@ run_admission(const PlannerConfig &config, Time now,
                      });
 
     int max_horizon = 0;
-    for (const PlanningJob &job : jobs) {
+    std::vector<PlanHorizon> horizons(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const PlanningJob &job = jobs[i];
         EF_CHECK_MSG(!job.best_effort(),
                      "best-effort job " << job.id
                                         << " passed to admission control");
-        max_horizon = std::max(
-            max_horizon, plan_horizon(now, job.deadline,
-                                      config.slot_seconds,
-                                      config.max_slots).slots);
+        horizons[i] = plan_horizon(now, job.deadline, config.slot_seconds,
+                                   config.max_slots);
+        max_horizon = std::max(max_horizon, horizons[i].slots);
     }
 
     std::vector<GpuCount> available(static_cast<std::size_t>(max_horizon),
                                     config.total_gpus);
-    for (const PlanningJob &job : jobs) {
-        PlanHorizon horizon = plan_horizon(now, job.deadline,
-                                           config.slot_seconds,
-                                           config.max_slots);
-        auto plan = progressive_fill(job, available, horizon, config);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const PlanningJob &job = jobs[i];
+        auto plan = progressive_fill(job, available, horizons[i], config);
         if (!plan.has_value())
             return outcome;  // infeasible; plans discarded
         for (int t = 0; t < plan->horizon(); ++t) {

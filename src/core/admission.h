@@ -67,6 +67,18 @@ progressive_fill(const PlanningJob &job,
                  int start_slot = 0);
 
 /**
+ * Same fill without materializing a PlanningJob — the allocator's
+ * candidate loop re-fills tails with an adjusted remaining-iterations
+ * value, and copying a job (and its curve table) per candidate is
+ * measurable on large instances.
+ */
+std::optional<SlotPlan>
+progressive_fill(const ScalingCurve &curve, double remaining_iterations,
+                 const std::vector<GpuCount> &available,
+                 const PlanHorizon &horizon, const PlannerConfig &config,
+                 int start_slot = 0);
+
+/**
  * Algorithm 1: feasibility of a whole job set (admitted jobs plus a
  * candidate), all with deadlines. Jobs are sorted by deadline
  * internally. Best-effort jobs must not be passed here — they are

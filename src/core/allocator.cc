@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <queue>
 
 #include "common/check.h"
 
@@ -35,13 +37,81 @@ struct Candidate
     GpuCount new_gpus = 0;   ///< best-effort only
 };
 
+/** Why the last recompute produced no valid candidate. */
+enum class InvalidWhy : std::uint8_t {
+    kNone,        ///< candidate is valid
+    kRefillFail,  ///< tail re-fill missed the deadline at every level
+    kNotFaster,   ///< bump does not strictly improve the finish time
+};
+
+/**
+ * Cached candidate of one job, versioned for lazy heap revalidation.
+ * Every recompute bumps the epoch, so heap entries carrying an older
+ * epoch are recognized as stale when popped.
+ */
+struct CandidateSlot
+{
+    Candidate cand;
+    std::uint32_t epoch = 0;
+    /**
+     * Invalid for a reason no later availability change can cure:
+     * nothing left to run, no next power-of-two step, a slot-0 delta
+     * that no longer fits (slot-0 headroom only ever shrinks), or an
+     * empty planning horizon. Dead jobs are skipped on recompute.
+     */
+    bool dead = false;
+    InvalidWhy why = InvalidWhy::kNone;
+    /** Current plan changed (job won) since the caches below filled. */
+    bool plan_dirty = true;
+    /** plan_finish_seconds of the *current* plan (valid iff !dirty). */
+    Time finish_cur = 0.0;
+    /** gpu_seconds of the *current* plan (valid iff !plan_dirty). */
+    double cur_gpu_seconds = 0.0;
+};
+
+/** One tail slot whose availability moved when a winner was applied. */
+struct SlotChange
+{
+    int t = 0;
+    /** min(before, after) — lower bound on free GPUs across the edit. */
+    GpuCount min_avail = 0;
+    bool increased = false;
+};
+
+/** One marginal-return queue entry; stale when epoch lags the slot. */
+struct HeapEntry
+{
+    double priority = 0.0;
+    bool is_slo = false;
+    std::uint32_t index = 0;
+    std::uint32_t epoch = 0;
+};
+
+/**
+ * Orders the heap exactly like the reference scan: highest priority
+ * first; on ties SLO candidates beat best-effort ones (the reference
+ * scans SLO jobs first and only replaces on strict improvement), and
+ * within a class the lower index wins.
+ */
+struct EntryWorse
+{
+    bool operator()(const HeapEntry &a, const HeapEntry &b) const
+    {
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        if (a.is_slo != b.is_slo)
+            return b.is_slo;
+        return a.index > b.index;
+    }
+};
+
 }  // namespace
 
 AllocationOutcome
-run_allocation(const PlannerConfig &config, Time now,
-               const std::vector<PlanningJob> &slo_jobs,
-               const std::map<JobId, SlotPlan> &min_share_plans,
-               const std::vector<PlanningJob> &best_effort_jobs)
+run_allocation_reference(const PlannerConfig &config, Time now,
+                         const std::vector<PlanningJob> &slo_jobs,
+                         const std::map<JobId, SlotPlan> &min_share_plans,
+                         const std::vector<PlanningJob> &best_effort_jobs)
 {
     EF_CHECK(config.total_gpus > 0 && config.slot_seconds > 0.0);
     const Time dt = config.slot_seconds;
@@ -222,6 +292,340 @@ run_allocation(const PlannerConfig &config, Time now,
         outcome.plans[slo_jobs[i].id] = std::move(plan[i]);
     }
     for (std::size_t j = 0; j < best_effort_jobs.size(); ++j)
+        outcome.gpus_now[best_effort_jobs[j].id] = be_gpus[j];
+    outcome.unallocated = available[0];
+    return outcome;
+}
+
+/*
+ * Incremental formulation of the same greedy. The reference rebuilds
+ * every candidate on every iteration, which is O(jobs × horizon) work
+ * per handed-out GPU step. Here each job's candidate is computed once
+ * and pushed into a lazy max-heap; after a winner is applied, only the
+ * candidates its availability change can actually affect are
+ * recomputed:
+ *
+ *  - A best-effort winner consumes slot-0 GPUs only. No other
+ *    candidate's *content* depends on slot-0 headroom — only the
+ *    "does my delta still fit" gate, which is revalidated lazily on
+ *    pop (slot-0 headroom shrinks monotonically, so a failed gate is
+ *    permanent).
+ *  - An SLO winner additionally changes tail-slot availability where
+ *    its old and new plans differ. Only SLO candidates whose horizon
+ *    reaches the first changed tail slot can see that change (their
+ *    re-fill reads slots [1, horizon)), so exactly those are
+ *    recomputed — including previously invalid ones, which may become
+ *    feasible when a winner frees tail capacity.
+ *
+ * Stale heap entries are detected by a per-job epoch. Invariant: the
+ * set of fresh heap entries always equals the set of valid candidates
+ * the reference would compute at the same point, so popping the heap
+ * (with reference tie-breaking baked into the comparator) selects the
+ * identical winner and the two implementations produce byte-identical
+ * outcomes. tests/test_allocator_equivalence.cc fuzzes this claim.
+ */
+AllocationOutcome
+run_allocation(const PlannerConfig &config, Time now,
+               const std::vector<PlanningJob> &slo_jobs,
+               const std::map<JobId, SlotPlan> &min_share_plans,
+               const std::vector<PlanningJob> &best_effort_jobs)
+{
+    EF_CHECK(config.total_gpus > 0 && config.slot_seconds > 0.0);
+    const Time dt = config.slot_seconds;
+    const std::size_t n = slo_jobs.size();
+    const std::size_t m = best_effort_jobs.size();
+
+    // Planning horizon: the farthest SLO deadline.
+    int horizon = 1;
+    std::vector<PlanHorizon> slo_horizon(n);
+    std::vector<GpuCount> slo_max_useful(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        EF_CHECK_MSG(!slo_jobs[i].best_effort(),
+                     "job " << slo_jobs[i].id
+                            << " without deadline passed as SLO");
+        slo_horizon[i] = plan_horizon(now, slo_jobs[i].deadline,
+                                      dt, config.max_slots);
+        horizon = std::max(horizon, slo_horizon[i].slots);
+        slo_max_useful[i] = slo_jobs[i].curve.max_useful();
+    }
+
+    // Start from the minimum satisfactory shares.
+    std::vector<SlotPlan> plan(n);
+    std::vector<GpuCount> available(static_cast<std::size_t>(horizon),
+                                    config.total_gpus);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto it = min_share_plans.find(slo_jobs[i].id);
+        EF_CHECK_MSG(it != min_share_plans.end(),
+                     "job " << slo_jobs[i].id
+                            << " has no minimum satisfactory share");
+        plan[i] = it->second;
+        EF_CHECK(plan[i].horizon() <= horizon);
+        for (int t = 0; t < plan[i].horizon(); ++t) {
+            GpuCount &a = available[static_cast<std::size_t>(t)];
+            a -= plan[i].at(t);
+            EF_CHECK_MSG(a >= 0, "minimum shares exceed the cluster");
+        }
+    }
+
+    std::vector<GpuCount> be_gpus(m, 0);
+    for (const PlanningJob &job : best_effort_jobs) {
+        EF_CHECK_MSG(job.best_effort(),
+                     "job " << job.id << " with deadline passed as "
+                            << "best-effort");
+    }
+
+    PlannerConfig refill_config = config;
+    refill_config.direction = FillDirection::kEarliest;
+
+    std::vector<CandidateSlot> slo_state(n);
+    std::vector<CandidateSlot> be_state(m);
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, EntryWorse>
+        heap;
+    // Scratch availability-with-own-reservation buffer, reused across
+    // every candidate computation instead of allocated per candidate.
+    std::vector<GpuCount> avail_self;
+    avail_self.reserve(static_cast<std::size_t>(horizon));
+    // Per-winner scratch: changed tail slots and their prefix
+    // certificates (reused, never reallocated after warm-up).
+    std::vector<SlotChange> changes;
+    std::vector<GpuCount> pref_min(static_cast<std::size_t>(horizon) + 1);
+    std::vector<bool> pref_inc(static_cast<std::size_t>(horizon) + 1);
+
+    auto compute_slo = [&](std::size_t i) {
+        CandidateSlot &st = slo_state[i];
+        ++st.epoch;
+        st.cand.valid = false;
+        st.why = InvalidWhy::kNone;
+        if (st.dead)
+            return;
+        const PlanningJob &job = slo_jobs[i];
+        if (job.remaining_iterations <= kIterEpsilon) {
+            st.dead = true;
+            return;
+        }
+        GpuCount g0 = plan[i].at(0);
+        GpuCount g0n = job.curve.next_step(g0);
+        if (g0n == 0) {
+            // plan[i].at(0) only changes when i wins, and i cannot win
+            // while invalid — permanent until then.
+            st.dead = true;
+            return;
+        }
+        GpuCount delta = g0n - g0;
+        if (delta > available[0]) {
+            st.dead = true;  // slot-0 headroom never grows back
+            return;
+        }
+        const PlanHorizon &d = slo_horizon[i];
+        if (d.slots < 1) {
+            st.dead = true;
+            return;
+        }
+
+        // The current plan's finish time and GPU-seconds change only
+        // when this job wins, not when availability does.
+        if (st.plan_dirty) {
+            st.finish_cur = plan_finish_seconds(
+                job.curve, plan[i], job.remaining_iterations, dt);
+            st.cur_gpu_seconds = plan[i].gpu_seconds(dt);
+            st.plan_dirty = false;
+        }
+
+        double slot0_capacity = d.slots == 1 ? dt * d.last_weight : dt;
+        double rem_after0 = job.remaining_iterations -
+                            job.curve.throughput(g0n) * slot0_capacity;
+        SlotPlan candidate_plan;
+        bool used_refill = false;
+        if (rem_after0 <= kIterEpsilon) {
+            candidate_plan.gpus = {g0n};
+        } else {
+            used_refill = true;
+            // Re-fill the tail with the bumped slot-0 allocation,
+            // against availability with this job's own reservation
+            // returned. The scratch buffer only needs this job's
+            // horizon: progressive_fill never reads past d.slots.
+            EF_CHECK(plan[i].horizon() <= d.slots);
+            avail_self.assign(available.begin(),
+                              available.begin() + d.slots);
+            for (int t = 1; t < plan[i].horizon(); ++t)
+                avail_self[static_cast<std::size_t>(t)] += plan[i].at(t);
+            // The refilled tail always packs earliest: boosting only
+            // makes sense if it pulls the finish time forward, which a
+            // latest-packed tail by construction never would.
+            auto fill = progressive_fill(job.curve, rem_after0,
+                                         avail_self, d, refill_config,
+                                         1);
+            if (!fill.has_value()) {
+                // Curable only by *more* tail capacity: the fill sum
+                // is monotone in availability, so it keeps failing
+                // while the job's window only loses GPUs.
+                st.why = InvalidWhy::kRefillFail;
+                return;
+            }
+            candidate_plan = std::move(*fill);
+            if (candidate_plan.horizon() < 1)
+                candidate_plan.gpus.resize(1, 0);
+            candidate_plan.gpus[0] = g0n;
+        }
+
+        Time finish_new = plan_finish_seconds(
+            job.curve, candidate_plan, job.remaining_iterations, dt);
+        if (!(finish_new < st.finish_cur - kFinishEpsilon)) {
+            // Algorithm 2 line 10: must speed the job up. When the
+            // bump finishes inside slot 0 the candidate read no
+            // availability at all, so no future change can flip it.
+            if (!used_refill)
+                st.dead = true;
+            else
+                st.why = InvalidWhy::kNotFaster;
+            return;
+        }
+
+        st.cand.valid = true;
+        st.cand.delta = delta;
+        st.cand.priority = (st.cur_gpu_seconds -
+                            candidate_plan.gpu_seconds(dt)) /
+                           static_cast<double>(delta);
+        st.cand.new_plan = std::move(candidate_plan);
+        heap.push(HeapEntry{st.cand.priority, true,
+                            static_cast<std::uint32_t>(i), st.epoch});
+    };
+
+    auto compute_be = [&](std::size_t j) {
+        CandidateSlot &st = be_state[j];
+        ++st.epoch;
+        st.cand.valid = false;
+        if (st.dead)
+            return;
+        const PlanningJob &job = best_effort_jobs[j];
+        if (job.remaining_iterations <= kIterEpsilon) {
+            st.dead = true;
+            return;
+        }
+        GpuCount g = be_gpus[j];
+        GpuCount gn = job.curve.next_step(g);
+        if (gn == 0) {
+            st.dead = true;
+            return;
+        }
+        GpuCount delta = gn - g;
+        if (delta > available[0]) {
+            st.dead = true;
+            return;
+        }
+        st.cand.valid = true;
+        st.cand.delta = delta;
+        st.cand.new_gpus = gn;
+        if (g == 0) {
+            st.cand.priority = kStartPriority;
+        } else {
+            st.cand.priority = (best_effort_gpu_seconds(job, g) -
+                                best_effort_gpu_seconds(job, gn)) /
+                               static_cast<double>(delta);
+        }
+        heap.push(HeapEntry{st.cand.priority, false,
+                            static_cast<std::uint32_t>(j), st.epoch});
+    };
+
+    for (std::size_t i = 0; i < n; ++i)
+        compute_slo(i);
+    for (std::size_t j = 0; j < m; ++j)
+        compute_be(j);
+
+    // Greedy loop: hand out slot-0 GPUs to the best marginal return.
+    while (available[0] > 0 && !heap.empty()) {
+        HeapEntry top = heap.top();
+        CandidateSlot &st = top.is_slo ? slo_state[top.index]
+                                       : be_state[top.index];
+        heap.pop();
+        if (top.epoch != st.epoch || !st.cand.valid)
+            continue;  // stale entry from before a recompute
+        if (st.cand.delta > available[0]) {
+            // Lazy slot-0 revalidation: the headroom shrank since this
+            // candidate was computed and can never grow back.
+            st.cand.valid = false;
+            st.dead = true;
+            ++st.epoch;
+            continue;
+        }
+
+        if (top.is_slo) {
+            const std::size_t i = top.index;
+            // Return the old reservation, charge the new plan, and
+            // record which tail slots actually moved (ascending t).
+            SlotPlan &new_plan = st.cand.new_plan;
+            int max_h = std::max(plan[i].horizon(), new_plan.horizon());
+            changes.clear();
+            for (int t = 0; t < max_h; ++t) {
+                GpuCount diff = plan[i].at(t) - new_plan.at(t);
+                if (diff == 0)
+                    continue;
+                GpuCount &a = available[static_cast<std::size_t>(t)];
+                GpuCount before = a;
+                a += diff;
+                EF_CHECK(a >= 0);
+                if (t >= 1)
+                    changes.push_back(
+                        SlotChange{t, std::min(before, a), diff > 0});
+            }
+            plan[i] = std::move(new_plan);
+            st.plan_dirty = true;
+            compute_slo(i);
+            if (!changes.empty()) {
+                // Prefix certificates over the changed slots: a job
+                // with horizon d sees changes [1, d) only, so
+                // pref_min[d] / pref_inc[d] summarize them.
+                std::size_t c = 0;
+                GpuCount run_min =
+                    std::numeric_limits<GpuCount>::max();
+                bool run_inc = false;
+                int last_t = changes.back().t;
+                for (int d = 1; d <= last_t + 1; ++d) {
+                    while (c < changes.size() && changes[c].t < d) {
+                        run_min = std::min(run_min, changes[c].min_avail);
+                        run_inc = run_inc || changes[c].increased;
+                        ++c;
+                    }
+                    pref_min[static_cast<std::size_t>(d)] = run_min;
+                    pref_inc[static_cast<std::size_t>(d)] = run_inc;
+                }
+                const int first_changed = changes.front().t;
+                for (std::size_t k = 0; k < n; ++k) {
+                    if (k == i || slo_state[k].dead)
+                        continue;
+                    int d = std::min(slo_horizon[k].slots, last_t + 1);
+                    if (d <= first_changed)
+                        continue;  // no change inside the window
+                    // Every changed slot in the window kept at least
+                    // max_useful GPUs free both before and after, so
+                    // the re-fill (which reads usable(min(level,
+                    // avail)) with level <= max_useful) is provably
+                    // unchanged.
+                    if (pref_min[static_cast<std::size_t>(d)] >=
+                        slo_max_useful[k])
+                        continue;
+                    // A failed re-fill stays failed while the window
+                    // only loses GPUs; only an increase can cure it.
+                    if (slo_state[k].why == InvalidWhy::kRefillFail &&
+                        !pref_inc[static_cast<std::size_t>(d)])
+                        continue;
+                    compute_slo(k);
+                }
+            }
+        } else {
+            const std::size_t j = top.index;
+            available[0] -= st.cand.delta;
+            be_gpus[j] = st.cand.new_gpus;
+            compute_be(j);
+        }
+    }
+
+    AllocationOutcome outcome;
+    for (std::size_t i = 0; i < n; ++i) {
+        outcome.gpus_now[slo_jobs[i].id] = plan[i].at(0);
+        outcome.plans[slo_jobs[i].id] = std::move(plan[i]);
+    }
+    for (std::size_t j = 0; j < m; ++j)
         outcome.gpus_now[best_effort_jobs[j].id] = be_gpus[j];
     outcome.unallocated = available[0];
     return outcome;

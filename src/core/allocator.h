@@ -51,6 +51,20 @@ run_allocation(const PlannerConfig &config, Time now,
                const std::map<JobId, SlotPlan> &min_share_plans,
                const std::vector<PlanningJob> &best_effort_jobs);
 
+/**
+ * Direct transcription of Algorithm 2: rebuilds every candidate on
+ * every greedy iteration. Kept as the oracle for the equivalence fuzz
+ * (tests/test_allocator_equivalence.cc) — run_allocation must produce
+ * an identical outcome on any input. Not for production use: it is
+ * O(iterations x jobs x horizon) where the incremental version only
+ * recomputes candidates an applied winner invalidated.
+ */
+AllocationOutcome
+run_allocation_reference(const PlannerConfig &config, Time now,
+                         const std::vector<PlanningJob> &slo_jobs,
+                         const std::map<JobId, SlotPlan> &min_share_plans,
+                         const std::vector<PlanningJob> &best_effort_jobs);
+
 }  // namespace ef
 
 #endif  // EF_CORE_ALLOCATOR_H_

@@ -53,6 +53,7 @@ ScalingCurve::from_pow2_table(std::vector<double> table,
 
     ScalingCurve curve;
     curve.table_ = std::move(table);
+    curve.min_workers_ = GpuCount(1) << first;
 
     // max_useful: the last doubling that still improves throughput.
     std::size_t best = first;
@@ -63,57 +64,40 @@ ScalingCurve::from_pow2_table(std::vector<double> table,
         }
     }
     curve.max_useful_ = GpuCount(1) << best;
+    curve.rebuild_index();
     return curve;
 }
 
-double
-ScalingCurve::throughput(GpuCount gpus) const
+void
+ScalingCurve::rebuild_index()
 {
-    EF_CHECK(!table_.empty());
-    if (gpus <= 0)
-        return 0.0;
-    GpuCount p = std::min(floor_power_of_two(gpus), max_tabulated());
-    return table_[static_cast<std::size_t>(log2_exact(p))];
-}
-
-GpuCount
-ScalingCurve::max_tabulated() const
-{
-    EF_CHECK(!table_.empty());
-    return GpuCount(1) << (table_.size() - 1);
-}
-
-GpuCount
-ScalingCurve::min_workers() const
-{
-    EF_CHECK(!table_.empty());
-    for (std::size_t k = 0; k < table_.size(); ++k) {
-        if (table_[k] > 0.0)
-            return GpuCount(1) << k;
-    }
-    EF_CHECK(false);
-    return 0;
-}
-
-GpuCount
-ScalingCurve::usable(GpuCount available) const
-{
-    GpuCount cap = std::min(available, max_useful());
-    GpuCount p = floor_power_of_two(cap);
-    if (p < min_workers())
-        return 0;
-    return p;
+    EF_CHECK(!table_.empty() && table_.size() < 256);
+    // Entry w answers "throughput with any count of bit width w":
+    // counts round down to 2^(w-1), clamped to the tabulated maximum.
+    const std::size_t last = table_.size() - 1;
+    index_[0] = 0;  // unreachable (non-positive counts short-circuit)
+    for (std::size_t w = 1; w < kIndexEntries; ++w)
+        index_[w] = static_cast<std::uint8_t>(std::min(w - 1, last));
 }
 
 GpuCount
 ScalingCurve::next_step(GpuCount gpus) const
 {
+    EF_CHECK(!table_.empty());
     if (gpus <= 0)
-        return min_workers() <= max_useful() ? min_workers() : 0;
+        return min_workers_ <= max_useful_ ? min_workers_ : 0;
     EF_CHECK_MSG(is_power_of_two(gpus), "allocation " << gpus
                                         << " is not a power of two");
+    // A running allocation beyond max_useful() means a plan escaped
+    // the usable() clamp (seen with restrict_to_fixed_size() curves
+    // whose fixed size is below the job's current count): returning 0
+    // here would silently freeze the job at an allocation the curve
+    // cannot price, so fail loudly instead.
+    EF_CHECK_MSG(gpus <= max_useful_,
+                 "allocation " << gpus << " exceeds max_useful "
+                               << max_useful_);
     GpuCount next = gpus * 2;
-    if (next > max_useful())
+    if (next > max_useful_)
         return 0;
     return next;
 }

@@ -18,8 +18,13 @@
 #ifndef EF_CORE_SCALING_CURVE_H_
 #define EF_CORE_SCALING_CURVE_H_
 
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
 #include <vector>
 
+#include "common/check.h"
 #include "common/types.h"
 
 namespace ef {
@@ -46,14 +51,32 @@ class ScalingCurve
      * Throughput with @p gpus GPUs: counts round down to the nearest
      * power of two and clamp to the tabulated maximum; returns 0 for
      * counts below min_workers() or non-positive.
+     *
+     * Hot path of Algorithms 1–2: the clamped log2 index is
+     * precomputed per bit width at construction, so a lookup is one
+     * bit_width plus two array reads — no loops or divisions.
      */
-    double throughput(GpuCount gpus) const;
+    double throughput(GpuCount gpus) const
+    {
+        EF_CHECK(!table_.empty());
+        if (gpus <= 0)
+            return 0.0;
+        return table_[index_[bit_width_of(gpus)]];
+    }
 
     /** Largest tabulated GPU count (a power of two). */
-    GpuCount max_tabulated() const;
+    GpuCount max_tabulated() const
+    {
+        EF_CHECK(!table_.empty());
+        return GpuCount(1) << (table_.size() - 1);
+    }
 
     /** Smallest GPU count with positive throughput. */
-    GpuCount min_workers() const;
+    GpuCount min_workers() const
+    {
+        EF_CHECK(!table_.empty());
+        return min_workers_;
+    }
 
     /**
      * Largest GPU count worth allocating: beyond it, throughput stops
@@ -66,7 +89,14 @@ class ScalingCurve
      * power of two <= min(available, max_useful()), or 0 when even
      * min_workers() does not fit.
      */
-    GpuCount usable(GpuCount available) const;
+    GpuCount usable(GpuCount available) const
+    {
+        GpuCount cap = std::min(available, max_useful_);
+        if (cap < min_workers_)
+            return 0;  // also covers non-positive availability
+        return static_cast<GpuCount>(
+            std::bit_floor(static_cast<std::uint32_t>(cap)));
+    }
 
     /**
      * Next larger allocation step after @p gpus: min_workers() when
@@ -81,8 +111,22 @@ class ScalingCurve
     const std::vector<double> &table() const { return table_; }
 
   private:
+    /** bit_width(gpus) for positive counts; 1 + floor(log2(gpus)). */
+    static int bit_width_of(GpuCount gpus)
+    {
+        return std::bit_width(static_cast<std::uint32_t>(gpus));
+    }
+
+    void rebuild_index();
+
+    /** One entry per possible bit width of a GpuCount (plus width 0). */
+    static constexpr std::size_t kIndexEntries = 34;
+
     std::vector<double> table_;     // index k -> throughput at 2^k GPUs
     GpuCount max_useful_ = 0;
+    GpuCount min_workers_ = 0;
+    /** bit_width(gpus) -> clamped table index (min(log2, size-1)). */
+    std::array<std::uint8_t, kIndexEntries> index_{};
 };
 
 /**

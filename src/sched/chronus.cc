@@ -13,7 +13,7 @@ ChronusScheduler::admit(const JobSpec &job)
     PlannerConfig config =
         planner_config_for(*view_, 600.0, FillDirection::kEarliest);
     return admission_feasible(*view_, config, PlanningMargin{0.02, 60.0},
-                              job, /*fixed_size=*/true);
+                              job, /*fixed_size=*/true, &round_);
 }
 
 SchedulerDecision
@@ -23,7 +23,8 @@ ChronusScheduler::allocate()
     PlannerConfig config =
         planner_config_for(*view_, 600.0, FillDirection::kEarliest);
     return elastic_allocate(*view_, config, PlanningMargin{0.02, 60.0},
-                            /*fixed_size=*/true, &replan_failures_);
+                            /*fixed_size=*/true, &replan_failures_,
+                            &round_);
 }
 
 }  // namespace ef

@@ -33,6 +33,8 @@ class ChronusScheduler : public Scheduler
 
   private:
     int replan_failures_ = 0;
+    /** Shared admit()/allocate() planner view of the current round. */
+    PlanningRound round_;
 };
 
 }  // namespace ef

@@ -29,7 +29,7 @@ ElasticFlowScheduler::admit(const JobSpec &job)
     config.total_gpus = std::max<GpuCount>(
         1, config.total_gpus - config_.failure_headroom_gpus);
     if (!admission_feasible(*view_, config, margin, job,
-                            /*fixed_size=*/false)) {
+                            /*fixed_size=*/false, &round_)) {
         return false;
     }
     if (policy_ != nullptr) {
@@ -51,7 +51,8 @@ ElasticFlowScheduler::allocate()
     PlanningMargin margin{config_.admission_margin,
                           config_.overhead_allowance_s};
     return elastic_allocate(*view_, planner_config(), margin,
-                            /*fixed_size=*/false, &replan_failures_);
+                            /*fixed_size=*/false, &replan_failures_,
+                            &round_);
 }
 
 }  // namespace ef

@@ -21,6 +21,7 @@
 #include "core/admission.h"
 #include "core/allocator.h"
 #include "sched/admission_policy.h"
+#include "sched/planning_util.h"
 #include "sched/scheduler.h"
 
 namespace ef {
@@ -105,6 +106,8 @@ class ElasticFlowScheduler : public Scheduler
     ElasticFlowConfig config_;
     AdmissionPolicy *policy_ = nullptr;
     int replan_failures_ = 0;
+    /** Shared admit()/allocate() planner view of the current round. */
+    PlanningRound round_;
 };
 
 }  // namespace ef

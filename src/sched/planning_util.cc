@@ -49,23 +49,71 @@ planner_config_for(const ClusterView &view, Time slot_seconds,
     return config;
 }
 
+const PlanningRound::Jobs &
+PlanningRound::jobs(const ClusterView &view, const PlanningMargin &margin,
+                    bool fixed_size)
+{
+    Key key;
+    key.now = view.now();
+    key.relative = margin.relative;
+    key.allowance = margin.overhead_allowance_s;
+    key.fixed_size = fixed_size;
+    for (JobId id : view.active_jobs()) {
+        double remaining = view.remaining_iterations(id);
+        if (remaining <= 0.0)
+            continue;
+        key.jobs.push_back(JobKey{id, remaining, view.spec(id).deadline});
+    }
+    if (filled_ && key == key_)
+        return jobs_;
+
+    jobs_.slo.clear();
+    jobs_.best_effort.clear();
+    for (const JobKey &jk : key.jobs) {
+        if (view.spec(jk.id).is_best_effort()) {
+            jobs_.best_effort.push_back(
+                fixed_size ? to_fixed_planning_job(view, jk.id, {})
+                           : to_planning_job(view, jk.id, {}));
+        } else {
+            jobs_.slo.push_back(
+                fixed_size ? to_fixed_planning_job(view, jk.id, margin)
+                           : to_planning_job(view, jk.id, margin));
+        }
+    }
+    key_ = std::move(key);
+    filled_ = true;
+    return jobs_;
+}
+
 bool
 admission_feasible(const ClusterView &view, const PlannerConfig &config,
                    const PlanningMargin &margin, const JobSpec &candidate,
-                   bool fixed_size)
+                   bool fixed_size, PlanningRound *round)
 {
     EF_CHECK(!candidate.is_best_effort());
     std::vector<PlanningJob> jobs;
-    for (JobId id : view.active_jobs()) {
-        const JobSpec &spec = view.spec(id);
-        // Best-effort and soft-deadline jobs never reserve capacity
-        // against a hard admission (§4.4).
-        if (spec.is_best_effort() || spec.has_soft_deadline())
-            continue;
-        if (view.remaining_iterations(id) <= 0.0)
-            continue;
-        jobs.push_back(fixed_size ? to_fixed_planning_job(view, id, margin)
-                                  : to_planning_job(view, id, margin));
+    if (round != nullptr) {
+        // Soft-deadline jobs are cached in the SLO list (the allocator
+        // wants them there) but never reserve capacity against a hard
+        // admission (§4.4).
+        for (const PlanningJob &job :
+             round->jobs(view, margin, fixed_size).slo) {
+            if (!job.soft)
+                jobs.push_back(job);
+        }
+    } else {
+        for (JobId id : view.active_jobs()) {
+            const JobSpec &spec = view.spec(id);
+            // Best-effort and soft-deadline jobs never reserve capacity
+            // against a hard admission (§4.4).
+            if (spec.is_best_effort() || spec.has_soft_deadline())
+                continue;
+            if (view.remaining_iterations(id) <= 0.0)
+                continue;
+            jobs.push_back(fixed_size
+                               ? to_fixed_planning_job(view, id, margin)
+                               : to_planning_job(view, id, margin));
+        }
     }
     PlanningJob cand;
     cand.id = candidate.id;
@@ -142,31 +190,10 @@ edf_admission_feasible(const ClusterView &view,
     return true;
 }
 
-SchedulerDecision
-elastic_allocate(const ClusterView &view, const PlannerConfig &base_config,
-                 const PlanningMargin &margin, bool fixed_size,
-                 int *replan_failures)
+MinShareRefresh
+refresh_min_shares(const PlannerConfig &config, Time now,
+                   std::vector<PlanningJob> slo, int *replan_failures)
 {
-    PlannerConfig config = base_config;
-    const Time now = view.now();
-
-    std::vector<PlanningJob> slo;
-    std::vector<PlanningJob> best_effort;
-    for (JobId id : view.active_jobs()) {
-        if (view.remaining_iterations(id) <= 0.0)
-            continue;
-        if (view.spec(id).is_best_effort()) {
-            // Best-effort jobs never carry the margin (no guarantee).
-            best_effort.push_back(
-                fixed_size ? to_fixed_planning_job(view, id, {})
-                           : to_planning_job(view, id, {}));
-        } else {
-            slo.push_back(fixed_size
-                              ? to_fixed_planning_job(view, id, margin)
-                              : to_planning_job(view, id, margin));
-        }
-    }
-
     // Minimum satisfactory shares in deadline order (Algorithm 1):
     // hard jobs first — soft-deadline jobs only reserve what hard jobs
     // left over (§4.4) — with deadline relaxation for hard jobs that
@@ -179,26 +206,27 @@ elastic_allocate(const ClusterView &view, const PlannerConfig &base_config,
                              return a.deadline < b.deadline;
                          return a.id < b.id;
                      });
+    // One plan_horizon per job: the max-horizon scan reuses the
+    // per-job value instead of recomputing it before each fill.
     int horizon = 1;
-    for (const PlanningJob &job : slo) {
-        horizon = std::max(horizon,
-                           plan_horizon(now, job.deadline,
-                                        config.slot_seconds,
-                                        config.max_slots).slots);
+    std::vector<PlanHorizon> horizons(slo.size());
+    for (std::size_t i = 0; i < slo.size(); ++i) {
+        horizons[i] = plan_horizon(now, slo[i].deadline,
+                                   config.slot_seconds, config.max_slots);
+        horizon = std::max(horizon, horizons[i].slots);
     }
+    MinShareRefresh refresh;
     std::vector<GpuCount> available(static_cast<std::size_t>(horizon),
                                     config.total_gpus);
-    std::map<JobId, SlotPlan> min_shares;
-    for (PlanningJob &job : slo) {
-        PlanHorizon d = plan_horizon(now, job.deadline,
-                                     config.slot_seconds,
-                                     config.max_slots);
+    for (std::size_t i = 0; i < slo.size(); ++i) {
+        PlanningJob &job = slo[i];
+        PlanHorizon d = horizons[i];
         auto fill = progressive_fill(job, available, d, config);
         if (!fill.has_value() && job.soft) {
             // A soft deadline that cannot be met is not an incident:
             // the job simply continues as best-effort (§4.4).
-            min_shares.emplace(job.id, SlotPlan{});
             job.deadline = kTimeInfinity;
+            refresh.parked.push_back(std::move(job));
             continue;
         }
         // Relax a slipped deadline in small steps so the job still
@@ -225,32 +253,67 @@ elastic_allocate(const ClusterView &view, const PlannerConfig &base_config,
             fill = progressive_fill(job, available, d, config);
         }
         if (!fill.has_value()) {
-            min_shares.emplace(job.id, SlotPlan{});
             job.deadline = kTimeInfinity;  // park as best-effort-like
+            refresh.parked.push_back(std::move(job));
             continue;
         }
+        // A fill never reserves past the (possibly relaxed) horizon it
+        // was computed for; the allocator's scratch buffers rely on it.
+        EF_CHECK(fill->horizon() <= d.slots);
         for (int t = 0; t < fill->horizon(); ++t) {
             GpuCount &a = available[static_cast<std::size_t>(t)];
             a -= fill->at(t);
             EF_CHECK(a >= 0);
         }
-        min_shares.emplace(job.id, std::move(*fill));
+        refresh.min_shares.emplace(job.id, std::move(*fill));
+        refresh.slo.push_back(std::move(job));
     }
+    return refresh;
+}
 
-    // Jobs parked with an infinite deadline move to the best-effort
-    // queue so Algorithm 2 can still feed them leftovers.
-    std::vector<PlanningJob> feasible_slo;
-    for (PlanningJob &job : slo) {
-        if (job.deadline == kTimeInfinity) {
-            min_shares.erase(job.id);
-            best_effort.push_back(std::move(job));
-        } else {
-            feasible_slo.push_back(std::move(job));
+SchedulerDecision
+elastic_allocate(const ClusterView &view, const PlannerConfig &base_config,
+                 const PlanningMargin &margin, bool fixed_size,
+                 int *replan_failures, PlanningRound *round)
+{
+    PlannerConfig config = base_config;
+    const Time now = view.now();
+
+    std::vector<PlanningJob> slo;
+    std::vector<PlanningJob> best_effort;
+    if (round != nullptr) {
+        const PlanningRound::Jobs &cached =
+            round->jobs(view, margin, fixed_size);
+        slo = cached.slo;
+        best_effort = cached.best_effort;
+    } else {
+        for (JobId id : view.active_jobs()) {
+            if (view.remaining_iterations(id) <= 0.0)
+                continue;
+            if (view.spec(id).is_best_effort()) {
+                // Best-effort jobs never carry the margin (no
+                // guarantee to protect).
+                best_effort.push_back(
+                    fixed_size ? to_fixed_planning_job(view, id, {})
+                               : to_planning_job(view, id, {}));
+            } else {
+                slo.push_back(
+                    fixed_size ? to_fixed_planning_job(view, id, margin)
+                               : to_planning_job(view, id, margin));
+            }
         }
     }
 
-    AllocationOutcome outcome = run_allocation(config, now, feasible_slo,
-                                               min_shares, best_effort);
+    MinShareRefresh refresh =
+        refresh_min_shares(config, now, std::move(slo), replan_failures);
+    // Jobs parked with an infinite deadline move to the best-effort
+    // queue so Algorithm 2 can still feed them leftovers.
+    for (PlanningJob &job : refresh.parked)
+        best_effort.push_back(std::move(job));
+
+    AllocationOutcome outcome =
+        run_allocation(config, now, refresh.slo, refresh.min_shares,
+                       best_effort);
     SchedulerDecision decision;
     decision.gpus = std::move(outcome.gpus_now);
     return decision;

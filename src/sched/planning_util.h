@@ -54,14 +54,68 @@ PlannerConfig planner_config_for(const ClusterView &view,
                                  FillDirection direction);
 
 /**
+ * Cached per-round planner view of the active jobs.
+ *
+ * Admission checks and the allocation pass of one scheduling round
+ * previously each rebuilt the PlanningJob lists from the cluster view,
+ * copying every job's scaling curve per call. A PlanningRound caches
+ * the built lists keyed by a snapshot of everything they derive from
+ * (time, margin, job set, remaining work, deadlines) and rebuilds only
+ * when that snapshot goes stale. Relies on a job's scaling curve being
+ * immutable while the job is active, which every ClusterView in this
+ * repo guarantees (curves are fixed at job arrival).
+ */
+class PlanningRound
+{
+  public:
+    /** The lists exactly as the planner consumes them. */
+    struct Jobs
+    {
+        /** Deadline (hard and soft) jobs, margin applied. */
+        std::vector<PlanningJob> slo;
+        /** Best-effort jobs, no margin (no guarantee to protect). */
+        std::vector<PlanningJob> best_effort;
+    };
+
+    /** Planner view of @p view, rebuilt iff the snapshot went stale. */
+    const Jobs &jobs(const ClusterView &view,
+                     const PlanningMargin &margin, bool fixed_size);
+
+  private:
+    struct JobKey
+    {
+        JobId id = kInvalidJob;
+        double remaining = 0.0;
+        Time deadline = 0.0;
+        bool operator==(const JobKey &) const = default;
+    };
+    struct Key
+    {
+        Time now = 0.0;
+        double relative = 0.0;
+        double allowance = 0.0;
+        bool fixed_size = false;
+        std::vector<JobKey> jobs;
+        bool operator==(const Key &) const = default;
+    };
+
+    bool filled_ = false;
+    Key key_;
+    Jobs jobs_;
+};
+
+/**
  * Admission check (Algorithm 1) of @p candidate against all active SLO
  * jobs. With @p fixed_size, jobs use their requested GPU counts
- * (Chronus semantics); otherwise full elastic curves.
+ * (Chronus semantics); otherwise full elastic curves. With @p round,
+ * the active-job list is served from the round cache instead of being
+ * rebuilt from the view.
  */
 bool admission_feasible(const ClusterView &view,
                         const PlannerConfig &config,
                         const PlanningMargin &margin,
-                        const JobSpec &candidate, bool fixed_size);
+                        const JobSpec &candidate, bool fixed_size,
+                        PlanningRound *round = nullptr);
 
 /**
  * Admission check matching *plain EDF allocation* (Fig. 9's
@@ -75,6 +129,30 @@ bool edf_admission_feasible(const ClusterView &view,
                             const PlannerConfig &config,
                             const JobSpec &candidate);
 
+/** Result of the per-round minimum-share refresh (Algorithm 1 rerun). */
+struct MinShareRefresh
+{
+    /** Feasible SLO jobs, deadlines possibly relaxed in place. */
+    std::vector<PlanningJob> slo;
+    /** Jobs whose deadline could not be met even relaxed; they run on
+     *  as best-effort (deadline rewritten to infinity). */
+    std::vector<PlanningJob> parked;
+    /** Minimum satisfactory share per job in @p slo. */
+    std::map<JobId, SlotPlan> min_shares;
+};
+
+/**
+ * Refresh minimum satisfactory shares for @p slo in deadline order
+ * (hard before soft), relaxing slipped deadlines in growing steps so a
+ * drifted job finishes as close to its original deadline as the
+ * cluster allows. Exposed separately from elastic_allocate so tests
+ * can assert relaxation invariants (a relaxed job's reservation never
+ * reaches past its relaxed horizon).
+ */
+MinShareRefresh refresh_min_shares(const PlannerConfig &config, Time now,
+                                   std::vector<PlanningJob> slo,
+                                   int *replan_failures);
+
 /**
  * Full elastic allocation pass: refresh minimum satisfactory shares
  * for active SLO jobs in deadline order, then run Algorithm 2 with
@@ -82,13 +160,15 @@ bool edf_admission_feasible(const ClusterView &view,
  * (possible without admission control, or through overhead drift) are
  * kept running under a progressively relaxed deadline and counted in
  * @p replan_failures. With @p fixed_size, every job's curve is pinned
- * to its requested GPU count.
+ * to its requested GPU count. With @p round, the active-job list is
+ * served from the round cache instead of being rebuilt from the view.
  */
 SchedulerDecision elastic_allocate(const ClusterView &view,
                                    const PlannerConfig &config,
                                    const PlanningMargin &margin,
                                    bool fixed_size,
-                                   int *replan_failures);
+                                   int *replan_failures,
+                                   PlanningRound *round = nullptr);
 
 }  // namespace ef
 

@@ -68,6 +68,14 @@ struct RunResult
     int replan_failures = 0;
     int placement_failures = 0;
 
+    /** Replan requests raised by events (the naive invocation count). */
+    int replans_attempted = 0;
+    /** Requests merged into an already-pending same-timestamp replan. */
+    int replans_coalesced = 0;
+    /** Scheduler calls skipped because the view was provably unchanged
+     *  since the last decision at the same timestamp. */
+    int replans_elided = 0;
+
     /** Jobs that met their deadline / all submitted SLO jobs. */
     double deadline_ratio() const;
 

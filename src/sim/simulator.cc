@@ -437,13 +437,14 @@ Simulator::handle_server_down(int server)
             AllocationEvent{now_, id, {}});
     }
     placement_.set_server_available(server, false);
+    view_dirty_ = true;  // capacity shrank; victims lost their GPUs
     EF_INFO("server " << server << " failed at "
                       << format_double(now_ / kHour, 2) << " h ("
                       << victims.size() << " jobs evicted)");
     events_.push(Event{now_ + config_.failures.repair_s, next_seq_++,
                        Event::kServerUp, static_cast<JobId>(server)});
     if (any_nonterminal_jobs())
-        reschedule();
+        request_replan();
 }
 
 void
@@ -452,15 +453,44 @@ Simulator::handle_server_up(int server)
     if (placement_.server_available(server))
         return;
     placement_.set_server_available(server, true);
+    view_dirty_ = true;  // capacity grew
     schedule_next_failure(server);
     if (any_nonterminal_jobs())
-        reschedule();
+        request_replan();
 }
 
 void
-Simulator::reschedule()
+Simulator::request_replan()
 {
+    ++result_.replans_attempted;
+    if (replan_pending_) {
+        ++result_.replans_coalesced;
+        return;
+    }
+    replan_pending_ = true;
+    if (!config_.coalesce_replans)
+        flush_replan();
+}
+
+void
+Simulator::flush_replan()
+{
+    EF_CHECK(replan_pending_);
+    replan_pending_ = false;
+    if (config_.elide_replans && !view_dirty_ &&
+        now_ == last_decision_time_) {
+        // No arrival/completion/failure touched scheduler-visible
+        // state since a decision was already made at this very
+        // timestamp (the request came from a colliding tick). A
+        // deterministic policy would return the same decision, and
+        // re-applying a decision is a no-op — skip the call.
+        ++result_.replans_elided;
+        arm_tick();
+        return;
+    }
     SchedulerDecision decision = scheduler_->allocate();
+    view_dirty_ = false;
+    last_decision_time_ = now_;
     apply_decision(decision);
     record_timelines();
     arm_tick();
@@ -490,8 +520,10 @@ Simulator::handle_arrival(JobId id)
     result_.submitted_jobs.record(now_, static_cast<double>(submitted));
     result_.admitted_jobs.record(now_, static_cast<double>(admitted));
 
-    if (ok)
-        reschedule();
+    if (ok) {
+        view_dirty_ = true;  // the active-job set grew
+        request_replan();
+    }
 }
 
 void
@@ -510,15 +542,19 @@ Simulator::handle_completion_check(JobId id)
     placement_.release(id);
     job.gpus = 0;
     job.current_tpt = 0.0;
-    reschedule();
+    view_dirty_ = true;  // the active-job set shrank, GPUs freed
+    request_replan();
 }
 
 void
 Simulator::handle_tick()
 {
+    // A tick by itself changes nothing the scheduler observes; the
+    // replan it requests is elidable if it lands on a timestamp where
+    // a decision was already made (view_dirty_ stays false).
     tick_armed_ = false;
     if (any_nonterminal_jobs())
-        reschedule();
+        request_replan();
 }
 
 bool
@@ -543,7 +579,16 @@ Simulator::run()
             schedule_next_failure(server);
     }
 
-    while (!events_.empty()) {
+    while (true) {
+        // Coalescing: a pending replan is flushed only once every
+        // event at the current timestamp has been handled (flushing
+        // may enqueue new events, so re-read the top afterwards).
+        if (replan_pending_ &&
+            (events_.empty() || events_.top().time > now_)) {
+            flush_replan();
+        }
+        if (events_.empty())
+            break;
         Event event = events_.top();
         events_.pop();
         if ((event.kind == Event::kServerDown ||

@@ -69,6 +69,19 @@ struct SimConfig
     NoiseConfig noise;
     /** Record cluster-efficiency samples (Fig. 10). */
     bool record_efficiency = true;
+    /**
+     * Merge all replan requests raised at one timestamp into a single
+     * scheduler invocation (a completion burst or simultaneous
+     * arrivals trigger one plan, not one per event).
+     */
+    bool coalesce_replans = true;
+    /**
+     * Skip a scheduler invocation when nothing it can observe changed
+     * since the last decision at this same timestamp. Exact for
+     * deterministic policies: the elided call would have returned the
+     * identical decision, and re-applying a decision is a no-op.
+     */
+    bool elide_replans = true;
 };
 
 /** Lifecycle of a job inside the simulator. */
@@ -116,8 +129,15 @@ class Simulator : public ClusterView
     void handle_server_up(int server);
     void schedule_next_failure(int server);
 
-    /** Run the scheduler and apply its decision. */
-    void reschedule();
+    /**
+     * Note that the current event wants the scheduler re-run. The
+     * actual invocation happens in flush_replan(): immediately when
+     * coalescing is off, otherwise once the event loop has drained
+     * every event at the current timestamp.
+     */
+    void request_replan();
+    /** Run the scheduler (unless elidable) and apply its decision. */
+    void flush_replan();
     void apply_decision(const SchedulerDecision &decision);
     void apply_resize(JobRt &job, GpuCount desired);
     void charge_pause(JobRt &job, Time seconds);
@@ -150,6 +170,11 @@ class Simulator : public ClusterView
     std::vector<JobId> submit_order_;
 
     bool tick_armed_ = false;
+    /** A replan request is waiting for the current timestamp to drain. */
+    bool replan_pending_ = false;
+    /** Scheduler-visible state changed since the last decision. */
+    bool view_dirty_ = true;
+    Time last_decision_time_ = -kTimeInfinity;
     std::unique_ptr<Rng> failure_rng_;
 
     RunResult result_;

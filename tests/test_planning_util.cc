@@ -196,5 +196,116 @@ TEST(ElasticAllocate, SuspendedWhenNothingFits)
     EXPECT_GT(failures, 0);  // both deadlines are hopeless
 }
 
+TEST(RefreshMinShares, RelaxedReservationStaysInsideRelaxedHorizon)
+{
+    // Regression: the relaxation loop grows `available` as the
+    // deadline extends, and the resulting reservation must never
+    // reach past the horizon of the *relaxed* deadline — an earlier
+    // fill attempt's bookkeeping must not leak into the retry.
+    PlannerConfig config;
+    config.total_gpus = 8;
+    config.slot_seconds = 300.0;
+    const Time now = 50.0;
+
+    ScalingCurve curve = ScalingCurve::from_pow2_table({1.0, 1.8, 3.0});
+    std::vector<PlanningJob> slo;
+    // An infeasible job: needs far more GPU time than its deadline
+    // allows even at full tilt, so relaxation must extend it.
+    PlanningJob hopeless;
+    hopeless.id = 1;
+    hopeless.curve = curve;
+    hopeless.deadline = now + 600.0;  // two slots
+    hopeless.remaining_iterations = 3.0 * 20 * 300.0;  // ~20 full slots
+    slo.push_back(hopeless);
+    // A feasible companion filling in around it.
+    PlanningJob easy;
+    easy.id = 2;
+    easy.curve = curve;
+    easy.deadline = now + 4 * 300.0;
+    easy.remaining_iterations = 1.0 * 300.0;
+    slo.push_back(easy);
+
+    int failures = 0;
+    MinShareRefresh refresh =
+        refresh_min_shares(config, now, slo, &failures);
+    EXPECT_EQ(failures, 1);
+    ASSERT_EQ(refresh.slo.size(), 2u);
+    EXPECT_TRUE(refresh.parked.empty());
+    for (const PlanningJob &job : refresh.slo) {
+        PlanHorizon d = plan_horizon(now, job.deadline,
+                                     config.slot_seconds,
+                                     config.max_slots);
+        const SlotPlan &share = refresh.min_shares.at(job.id);
+        EXPECT_LE(share.horizon(), d.slots)
+            << "job " << job.id << " reserves past its relaxed horizon";
+    }
+    // The hopeless job's deadline was actually relaxed, not dropped.
+    for (const PlanningJob &job : refresh.slo) {
+        if (job.id == 1) {
+            EXPECT_GT(job.deadline, now + 600.0);
+        }
+    }
+}
+
+TEST(PlanningRound, CachesUntilViewStateChanges)
+{
+    JobSpec be = spec_of(2, DnnModel::kVgg16, 256, 8, 50000,
+                         kTimeInfinity);
+    be.kind = JobKind::kBestEffort;
+    FakeView view(
+        TopologySpec::testbed_32(),
+        {spec_of(1, DnnModel::kResNet50, 128, 4, 40000, 4.0 * kHour),
+         be});
+    PlanningMargin margin{0.05, 60.0};
+    PlanningRound round;
+    const PlanningRound::Jobs &first = round.jobs(view, margin, false);
+    ASSERT_EQ(first.slo.size(), 1u);
+    ASSERT_EQ(first.best_effort.size(), 1u);
+    const PlanningJob *slo_addr = first.slo.data();
+
+    // Same snapshot: served from cache (vector storage unchanged).
+    const PlanningRound::Jobs &again = round.jobs(view, margin, false);
+    EXPECT_EQ(again.slo.data(), slo_addr);
+
+    // Progress moves remaining work: the round must rebuild.
+    view.set_remaining(1, 30000.0);
+    const PlanningRound::Jobs &rebuilt = round.jobs(view, margin, false);
+    ASSERT_EQ(rebuilt.slo.size(), 1u);
+    EXPECT_DOUBLE_EQ(rebuilt.slo[0].remaining_iterations,
+                     margin.inflate(30000.0, rebuilt.slo[0].curve));
+
+    // A different margin is a different snapshot too.
+    const PlanningRound::Jobs &other =
+        round.jobs(view, PlanningMargin{}, false);
+    EXPECT_DOUBLE_EQ(other.slo[0].remaining_iterations, 30000.0);
+}
+
+TEST(PlanningRound, SharedRoundMatchesUncachedPlanning)
+{
+    FakeView view(
+        TopologySpec::testbed_32(),
+        {spec_of(1, DnnModel::kResNet50, 128, 4, 40000, 4.0 * kHour),
+         spec_of(2, DnnModel::kVgg16, 256, 8, 60000, 6.0 * kHour)});
+    PlannerConfig config =
+        planner_config_for(view, 300.0, FillDirection::kEarliest);
+    PlanningMargin margin{0.05, 60.0};
+    JobSpec candidate = spec_of(3, DnnModel::kBert, 32, 4, 20000,
+                                5.0 * kHour);
+
+    PlanningRound round;
+    EXPECT_EQ(
+        admission_feasible(view, config, margin, candidate, false),
+        admission_feasible(view, config, margin, candidate, false,
+                           &round));
+    int failures_a = 0;
+    int failures_b = 0;
+    SchedulerDecision plain = elastic_allocate(
+        view, config, margin, false, &failures_a);
+    SchedulerDecision cached = elastic_allocate(
+        view, config, margin, false, &failures_b, &round);
+    EXPECT_EQ(plain.gpus, cached.gpus);
+    EXPECT_EQ(failures_a, failures_b);
+}
+
 }  // namespace
 }  // namespace ef

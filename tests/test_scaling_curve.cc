@@ -109,5 +109,32 @@ TEST(ScalingCurve, NextStepRequiresPow2)
     EXPECT_DEATH(curve.next_step(3), "not a power of two");
 }
 
+TEST(ScalingCurve, NextStepOnFixedSizeCurve)
+{
+    // A restrict_to_fixed_size() curve pins min_workers == max_useful
+    // == size: the only legal transitions are start (0 -> size) and
+    // "already at the top" (size -> 0).
+    ScalingCurve curve =
+        ScalingCurve::from_pow2_table({1.0, 1.8, 3.0, 4.0});
+    ScalingCurve fixed = restrict_to_fixed_size(curve, 4);
+    EXPECT_EQ(fixed.min_workers(), 4);
+    EXPECT_EQ(fixed.max_useful(), 4);
+    EXPECT_EQ(fixed.next_step(0), 4);
+    EXPECT_EQ(fixed.next_step(4), 0);
+}
+
+TEST(ScalingCurve, NextStepBeyondMaxUsefulDies)
+{
+    // A count above max_useful() means an allocation escaped the
+    // usable() clamp; next_step used to return 0 silently, freezing
+    // the job at an unpriceable size. Now it aborts.
+    ScalingCurve curve =
+        ScalingCurve::from_pow2_table({1.0, 1.8, 3.0, 4.0});
+    ScalingCurve fixed = restrict_to_fixed_size(curve, 2);
+    EXPECT_EQ(fixed.max_useful(), 2);
+    EXPECT_DEATH(fixed.next_step(8), "exceeds max_useful");
+    EXPECT_DEATH(curve.next_step(16), "exceeds max_useful");
+}
+
 }  // namespace
 }  // namespace ef

@@ -195,6 +195,83 @@ TEST(Simulator, DuplicateJobIdsDie)
     EXPECT_DEATH(Simulator sim(trace, &scheduler), "duplicate job id");
 }
 
+/** FixedScheduler with a periodic tick, so tick collisions can occur. */
+class TickingFixedScheduler : public FixedScheduler
+{
+  public:
+    Time reschedule_interval() const override { return 600.0; }
+};
+
+RunResult
+run_replan_config(const Trace &trace, bool coalesce, bool elide)
+{
+    TickingFixedScheduler scheduler;
+    SimConfig config;
+    config.overhead.enabled = false;
+    config.coalesce_replans = coalesce;
+    config.elide_replans = elide;
+    Simulator sim(trace, &scheduler, config);
+    return sim.run();
+}
+
+TEST(Simulator, ReplanElisionPreservesOutcomes)
+{
+    // The second arrival lands exactly on a tick boundary (t = 600 s,
+    // the tick armed by the first flush at t = 0). Arrivals pop before
+    // the tick (lower sequence number), so without coalescing the tick
+    // finds a decision already made at its own timestamp and nothing
+    // dirty — the textbook elidable replan.
+    Trace trace = TraceBuilder(TopologySpec::testbed_32())
+                      .slo(DnnModel::kResNet50, 128, 4, 0.0,
+                           2.0 * kHour, 1.5)
+                      .slo(DnnModel::kBert, 64, 8, 600.0, kHour, 2.0)
+                      .build();
+
+    RunResult baseline = run_replan_config(trace, false, false);
+    RunResult elided = run_replan_config(trace, false, true);
+    RunResult coalesced = run_replan_config(trace, true, false);
+    RunResult both = run_replan_config(trace, true, true);
+
+    EXPECT_EQ(baseline.replans_elided, 0);
+    EXPECT_EQ(baseline.replans_coalesced, 0);
+    EXPECT_GE(elided.replans_elided, 1);
+    EXPECT_GE(coalesced.replans_coalesced, 1);
+
+    // Every event raises the same requests regardless of how they are
+    // serviced, and elision/coalescing must not change any outcome.
+    for (const RunResult *r : {&elided, &coalesced, &both}) {
+        EXPECT_EQ(r->replans_attempted, baseline.replans_attempted);
+        ASSERT_EQ(r->jobs.size(), baseline.jobs.size());
+        for (std::size_t i = 0; i < baseline.jobs.size(); ++i) {
+            const JobOutcome &want = baseline.jobs[i];
+            const JobOutcome &got = r->jobs[i];
+            EXPECT_EQ(got.admitted, want.admitted);
+            EXPECT_EQ(got.finished, want.finished);
+            EXPECT_EQ(got.met_deadline(), want.met_deadline());
+            EXPECT_DOUBLE_EQ(got.finish_time, want.finish_time);
+            EXPECT_DOUBLE_EQ(got.first_run_time, want.first_run_time);
+            EXPECT_DOUBLE_EQ(got.gpu_seconds, want.gpu_seconds);
+        }
+    }
+}
+
+TEST(Simulator, CoalescingMergesSimultaneousArrivals)
+{
+    // Three jobs submitted at the same instant: coalescing services
+    // the burst with one scheduler invocation instead of three.
+    Trace trace = TraceBuilder(TopologySpec::testbed_32())
+                      .slo(DnnModel::kResNet50, 128, 4, 0.0, kHour, 2.0)
+                      .slo(DnnModel::kBert, 64, 4, 0.0, kHour, 2.0)
+                      .slo(DnnModel::kVgg16, 128, 4, 0.0, kHour, 2.0)
+                      .build();
+    RunResult merged = run_replan_config(trace, true, true);
+    EXPECT_GE(merged.replans_coalesced, 2);
+    for (const JobOutcome &job : merged.jobs) {
+        EXPECT_TRUE(job.finished);
+        EXPECT_TRUE(job.met_deadline());
+    }
+}
+
 TEST(Simulator, MigrationsAreCountedAndCharged)
 {
     // Force defragmentation: odd-sized jobs fill servers, then a job
