@@ -20,6 +20,7 @@
 #include <string>
 
 #include "common/table.h"
+#include "fault/fault.h"
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
 #include "workload/trace_gen.h"
@@ -37,6 +38,10 @@ usage()
         << "  run_trace <trace.csv> [--gpus N] [--scheduler NAME]\n"
         << "            [--failures-mtbf-days D] [--noise FRACTION]\n"
         << "            [--no-coalesce] [--no-elide]\n"
+        << "            [--mtbf DAYS] [--repair HOURS]\n"
+        << "            [--gpu-fault-rate PER_GPU_PER_DAY]\n"
+        << "            [--rpc-drop PROB] [--fault-script FILE]\n"
+        << "            [--fault-seed N]\n"
         << "  run_trace --generate <preset> <out.csv>\n"
         << "presets: testbed-small, testbed-large, philly, "
         << "cluster1..cluster10\nschedulers:";
@@ -105,6 +110,19 @@ main(int argc, char **argv)
             sim_config.coalesce_replans = false;
         } else if (arg == "--no-elide") {
             sim_config.elide_replans = false;
+        } else if (arg == "--mtbf") {
+            sim_config.faults.server_mtbf_s = std::stod(next()) * kDay;
+        } else if (arg == "--repair") {
+            sim_config.faults.server_repair_s =
+                std::stod(next()) * kHour;
+        } else if (arg == "--gpu-fault-rate") {
+            sim_config.faults.gpu_mtbf_s = kDay / std::stod(next());
+        } else if (arg == "--rpc-drop") {
+            sim_config.faults.rpc_drop_prob = std::stod(next());
+        } else if (arg == "--fault-script") {
+            sim_config.faults.script = load_fault_script(next());
+        } else if (arg == "--fault-seed") {
+            sim_config.faults.seed = std::stoull(next());
         } else {
             return usage();
         }
@@ -141,6 +159,22 @@ main(int argc, char **argv)
                    std::to_string(executed) + "/" +
                        std::to_string(result.replans_coalesced) + "/" +
                        std::to_string(result.replans_elided)});
+    int fault_total = result.rpc_retries + result.rpc_gave_up +
+                      result.stragglers_observed + result.gpu_faults +
+                      result.ckpt_failures + result.slo_demotions;
+    if (fault_total > 0) {
+        table.add_row({"RPC retries / give-ups",
+                       std::to_string(result.rpc_retries) + "/" +
+                           std::to_string(result.rpc_gave_up)});
+        table.add_row({"stragglers",
+                       std::to_string(result.stragglers_observed)});
+        table.add_row({"GPU faults",
+                       std::to_string(result.gpu_faults)});
+        table.add_row({"checkpoint failures",
+                       std::to_string(result.ckpt_failures)});
+        table.add_row({"SLO demotions",
+                       std::to_string(result.slo_demotions)});
+    }
     std::cout << table.render();
     return 0;
 }

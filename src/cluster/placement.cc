@@ -21,6 +21,11 @@ PlacementManager::PlacementManager(const Topology *topology)
     server_down_.assign(static_cast<std::size_t>(
                             topology_->num_servers()),
                         false);
+    gpu_down_.assign(static_cast<std::size_t>(topology_->total_gpus()),
+                     false);
+    down_per_server_.assign(static_cast<std::size_t>(
+                                topology_->num_servers()),
+                            0);
 }
 
 GpuCount
@@ -34,8 +39,10 @@ PlacementManager::available_gpus() const
 {
     GpuCount total = 0;
     for (int s = 0; s < topology_->num_servers(); ++s) {
-        if (!server_down_[static_cast<std::size_t>(s)])
-            total += topology_->gpus_per_server();
+        if (!server_down_[static_cast<std::size_t>(s)]) {
+            total += topology_->gpus_per_server() -
+                     down_per_server_[static_cast<std::size_t>(s)];
+        }
     }
     return total;
 }
@@ -113,8 +120,11 @@ PlacementManager::set_server_available(int server, bool available)
 {
     EF_CHECK(server >= 0 && server < topology_->num_servers());
     if (!available) {
-        EF_CHECK_MSG(free_per_server_[static_cast<std::size_t>(
-                         server)] == topology_->gpus_per_server(),
+        // Every GPU must be unowned (free or individually down).
+        EF_CHECK_MSG(free_per_server_[static_cast<std::size_t>(server)] +
+                             down_per_server_[static_cast<std::size_t>(
+                                 server)] ==
+                         topology_->gpus_per_server(),
                      "server " << server
                                << " must be drained before going down");
     }
@@ -128,6 +138,44 @@ PlacementManager::server_available(int server) const
     return !server_down_[static_cast<std::size_t>(server)];
 }
 
+void
+PlacementManager::set_gpu_available(GpuCount gpu, bool available)
+{
+    EF_CHECK(gpu >= 0 && gpu < topology_->total_gpus());
+    std::size_t g = static_cast<std::size_t>(gpu);
+    std::size_t s = static_cast<std::size_t>(topology_->server_of(gpu));
+    if (!available) {
+        EF_CHECK_MSG(gpu_owner_[g] == kInvalidJob,
+                     "GPU " << gpu
+                            << " must be released before going down");
+        EF_CHECK_MSG(!gpu_down_[g], "GPU " << gpu << " is already down");
+        gpu_down_[g] = true;
+        --free_per_server_[s];
+        ++down_per_server_[s];
+        ++down_gpus_;
+    } else {
+        EF_CHECK_MSG(gpu_down_[g], "GPU " << gpu << " is not down");
+        gpu_down_[g] = false;
+        ++free_per_server_[s];
+        --down_per_server_[s];
+        --down_gpus_;
+    }
+}
+
+bool
+PlacementManager::gpu_available(GpuCount gpu) const
+{
+    EF_CHECK(gpu >= 0 && gpu < topology_->total_gpus());
+    return !gpu_down_[static_cast<std::size_t>(gpu)];
+}
+
+JobId
+PlacementManager::owner_of(GpuCount gpu) const
+{
+    EF_CHECK(gpu >= 0 && gpu < topology_->total_gpus());
+    return gpu_owner_[static_cast<std::size_t>(gpu)];
+}
+
 std::vector<GpuCount>
 PlacementManager::take_from_server(int server, GpuCount count)
 {
@@ -137,8 +185,10 @@ PlacementManager::take_from_server(int server, GpuCount count)
          g < base + topology_->gpus_per_server() &&
          static_cast<GpuCount>(taken.size()) < count;
          ++g) {
-        if (gpu_owner_[static_cast<std::size_t>(g)] == kInvalidJob)
+        if (gpu_owner_[static_cast<std::size_t>(g)] == kInvalidJob &&
+            !gpu_down_[static_cast<std::size_t>(g)]) {
             taken.push_back(g);
+        }
     }
     EF_CHECK_MSG(static_cast<GpuCount>(taken.size()) == count,
                  "server " << server << " lacks " << count << " free GPUs");
@@ -153,6 +203,8 @@ PlacementManager::assign(JobId job, std::vector<GpuCount> gpus)
     for (GpuCount g : gpus) {
         EF_CHECK_MSG(gpu_owner_[static_cast<std::size_t>(g)] == kInvalidJob,
                      "GPU " << g << " is already owned");
+        EF_CHECK_MSG(!gpu_down_[static_cast<std::size_t>(g)],
+                     "GPU " << g << " is down");
         gpu_owner_[static_cast<std::size_t>(g)] = job;
         --free_per_server_[static_cast<std::size_t>(topology_->server_of(g))];
     }
@@ -212,7 +264,8 @@ PlacementManager::try_best_fit(GpuCount size) const
             GpuCount base = topology_->first_gpu_of_server(best);
             for (GpuCount g = base; g < base + per_server; ++g) {
                 if (gpu_owner_[static_cast<std::size_t>(g)] ==
-                    kInvalidJob) {
+                        kInvalidJob &&
+                    !gpu_down_[static_cast<std::size_t>(g)]) {
                     gpus.push_back(g);
                     if (static_cast<GpuCount>(gpus.size()) == size)
                         return gpus;
@@ -302,7 +355,8 @@ PlacementManager::try_best_fit(GpuCount size) const
         GpuCount base = topology_->first_gpu_of_server(s);
         for (GpuCount g = base;
              g < base + per_server && take > 0; ++g) {
-            if (gpu_owner_[static_cast<std::size_t>(g)] == kInvalidJob) {
+            if (gpu_owner_[static_cast<std::size_t>(g)] == kInvalidJob &&
+                !gpu_down_[static_cast<std::size_t>(g)]) {
                 gpus.push_back(g);
                 --take;
                 --remaining;
@@ -324,7 +378,8 @@ PlacementManager::try_first_fit(GpuCount size) const
                 topology_->server_of(g))]) {
             continue;
         }
-        if (gpu_owner_[static_cast<std::size_t>(g)] == kInvalidJob) {
+        if (gpu_owner_[static_cast<std::size_t>(g)] == kInvalidJob &&
+            !gpu_down_[static_cast<std::size_t>(g)]) {
             gpus.push_back(g);
             if (static_cast<GpuCount>(gpus.size()) == size)
                 return gpus;
@@ -353,7 +408,9 @@ PlacementManager::try_scatter(GpuCount size) const
             while (c < topology_->gpus_per_server()) {
                 GpuCount g = base + c;
                 ++c;
-                if (gpu_owner_[static_cast<std::size_t>(g)] == kInvalidJob) {
+                if (gpu_owner_[static_cast<std::size_t>(g)] ==
+                        kInvalidJob &&
+                    !gpu_down_[static_cast<std::size_t>(g)]) {
                     gpus.push_back(g);
                     progressed = true;
                     break;
@@ -374,6 +431,11 @@ PlacementManager::repack_with(JobId new_job, GpuCount size,
 {
     const GpuCount per_server = topology_->gpus_per_server();
     if (!is_power_of_two(size) || !is_power_of_two(per_server))
+        return false;
+    // Individually-down GPUs break the power-of-two bin invariant the
+    // buddy packing relies on; direct placement still works around
+    // them, so just decline to repack.
+    if (down_gpus_ > 0)
         return false;
     if (idle_gpus() < size)
         return false;
@@ -805,19 +867,30 @@ void
 PlacementManager::validate() const
 {
     std::vector<GpuCount> free_check(free_per_server_.size(), 0);
+    std::vector<GpuCount> down_check(down_per_server_.size(), 0);
+    GpuCount down_total = 0;
     std::map<JobId, GpuCount> counts;
     for (GpuCount g = 0; g < topology_->total_gpus(); ++g) {
         JobId owner = gpu_owner_[static_cast<std::size_t>(g)];
-        if (owner == kInvalidJob) {
+        if (gpu_down_[static_cast<std::size_t>(g)]) {
+            EF_CHECK_MSG(owner == kInvalidJob,
+                         "down GPU " << g << " is owned");
+            ++down_check[static_cast<std::size_t>(
+                topology_->server_of(g))];
+            ++down_total;
+        } else if (owner == kInvalidJob) {
             ++free_check[static_cast<std::size_t>(topology_->server_of(g))];
         } else {
             ++counts[owner];
         }
     }
     EF_CHECK(free_check == free_per_server_);
+    EF_CHECK(down_check == down_per_server_);
+    EF_CHECK(down_total == down_gpus_);
     for (int s = 0; s < topology_->num_servers(); ++s) {
         if (server_down_[static_cast<std::size_t>(s)]) {
-            EF_CHECK(free_per_server_[static_cast<std::size_t>(s)] ==
+            EF_CHECK(free_per_server_[static_cast<std::size_t>(s)] +
+                         down_per_server_[static_cast<std::size_t>(s)] ==
                      topology_->gpus_per_server());
         }
     }

@@ -83,6 +83,19 @@ class PlacementManager
     bool server_available(int server) const;
 
     /**
+     * Mark one GPU failed/repaired (ECC-style single-GPU fault): finer
+     * grained than a server failure, so only placements using that GPU
+     * are affected. The GPU must be unowned before it can be taken
+     * down — the caller evicts its owner first. Down GPUs never serve
+     * placements and do not count toward idle or available capacity.
+     */
+    void set_gpu_available(GpuCount gpu, bool available);
+    bool gpu_available(GpuCount gpu) const;
+
+    /** Owning job of one GPU (kInvalidJob when free or down). */
+    JobId owner_of(GpuCount gpu) const;
+
+    /**
      * Place @p job on @p size GPUs. The job must not currently be
      * placed. With kBestFitCompact and @p allow_migration, power-of-two
      * requests succeed whenever idle_gpus() >= size; the result then
@@ -128,8 +141,12 @@ class PlacementManager
     const Topology *topology_;
     std::vector<JobId> gpu_owner_;              // size total_gpus
     std::map<JobId, std::vector<GpuCount>> job_gpus_;
+    /** Unowned AND individually-up GPUs per server. */
     std::vector<GpuCount> free_per_server_;
     std::vector<bool> server_down_;
+    std::vector<bool> gpu_down_;                // size total_gpus
+    std::vector<GpuCount> down_per_server_;
+    GpuCount down_gpus_ = 0;
 };
 
 }  // namespace ef

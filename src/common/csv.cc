@@ -1,5 +1,7 @@
 #include "common/csv.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -77,6 +79,30 @@ CsvTable::cell(std::size_t row, const std::string &column) const
     EF_FATAL_IF(static_cast<std::size_t>(col) >= rows[row].size(),
                 "CSV row " << row << " is missing column '" << column << "'");
     return rows[row][static_cast<std::size_t>(col)];
+}
+
+std::int64_t
+csv_to_int(const std::string &field, const std::string &context)
+{
+    errno = 0;
+    char *end = nullptr;
+    long long value = std::strtoll(field.c_str(), &end, 10);
+    EF_FATAL_IF(field.empty() || end != field.c_str() + field.size() ||
+                    errno == ERANGE,
+                context << ": '" << field << "' is not an integer");
+    return static_cast<std::int64_t>(value);
+}
+
+double
+csv_to_double(const std::string &field, const std::string &context)
+{
+    errno = 0;
+    char *end = nullptr;
+    double value = std::strtod(field.c_str(), &end);
+    EF_FATAL_IF(field.empty() || end != field.c_str() + field.size() ||
+                    errno == ERANGE,
+                context << ": '" << field << "' is not a number");
+    return value;
 }
 
 CsvTable

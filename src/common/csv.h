@@ -8,6 +8,7 @@
 #ifndef EF_COMMON_CSV_H_
 #define EF_COMMON_CSV_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,17 @@ CsvTable parse_csv(const std::string &text);
 
 /** Load and parse a CSV file. */
 CsvTable load_csv(const std::string &path);
+
+/**
+ * Parse a whole field as an integer; aborts via EF_FATAL_IF with
+ * @p context (e.g. "trace line 7, column 'iterations'") when the field
+ * is empty, has trailing garbage, or overflows.
+ */
+std::int64_t csv_to_int(const std::string &field,
+                        const std::string &context);
+
+/** Parse a whole field as a real number; same error contract. */
+double csv_to_double(const std::string &field, const std::string &context);
 
 /** Serialize rows (quoting fields that need it). */
 std::string to_csv(const std::vector<std::string> &header,

@@ -1,6 +1,7 @@
 #include "exec/control_plane.h"
 
 #include "common/check.h"
+#include "fault/fault.h"
 
 namespace ef {
 
@@ -30,8 +31,82 @@ ExecutorFleet::register_job(const JobSpec &spec)
 {
     EF_FATAL_IF(executions_.count(spec.id) > 0,
                 "job " << spec.id << " already registered");
-    executions_.emplace(spec.id, std::make_unique<JobExecution>(
-                                     spec, perf_, overhead_));
+    auto exec = std::make_unique<JobExecution>(spec, perf_, overhead_);
+    exec->set_fault_injector(fault_);
+    executions_.emplace(spec.id, std::move(exec));
+}
+
+void
+ExecutorFleet::set_fault_injector(FaultInjector *fault)
+{
+    fault_ = fault;
+    for (auto &[id, exec] : executions_)
+        exec->set_fault_injector(fault);
+}
+
+void
+ExecutorFleet::set_gpu_available(GpuCount gpu, bool available)
+{
+    if (available)
+        down_gpus_.erase(gpu);
+    else
+        down_gpus_.insert(gpu);
+}
+
+void
+ExecutorFleet::set_server_available(int server, bool available)
+{
+    const Topology &topo = perf_->topology();
+    GpuCount base = topo.first_gpu_of_server(server);
+    for (GpuCount g = base; g < base + topo.gpus_per_server(); ++g)
+        set_gpu_available(g, available);
+}
+
+std::uint64_t
+ExecutorFleet::applied_seq(JobId job) const
+{
+    auto it = applied_seq_.find(job);
+    return it == applied_seq_.end() ? 0 : it->second;
+}
+
+bool
+ExecutorFleet::deliver(JobId job, Time now, CommandAck *ack)
+{
+    if (fault_ == nullptr)
+        return true;
+    // One extra-latency draw per command, not per attempt.
+    ack->applied_at += fault_->rpc_delay();
+    int forced = fault_->take_scripted_rpc_drops(job, now);
+    bool delivered = false;
+    for (;;) {
+        bool lost = forced > 0 || fault_->rpc_attempt_lost();
+        if (forced > 0)
+            --forced;
+        if (!lost) {
+            // Request and ack both arrived. If a lost-ack attempt
+            // already delivered it, the executor sees the same seq
+            // again and drops the duplicate (idempotent application).
+            if (delivered)
+                ++duplicates_suppressed_;
+            return true;
+        }
+        // A loss can be the request (nothing happened) or the ack
+        // (command applied, confirmation lost); either way we retry.
+        if (fault_->rpc_loss_was_ack()) {
+            if (delivered)
+                ++duplicates_suppressed_;
+            delivered = true;
+        }
+        int attempt = ack->retries + 1;
+        if (attempt > fault_->config().rpc_max_retries) {
+            ack->gave_up = true;
+            ++rpc_gave_up_;
+            return delivered;
+        }
+        ack->retries = attempt;
+        ++rpc_retries_;
+        ack->applied_at += fault_->rpc_backoff(attempt);
+    }
 }
 
 bool
@@ -44,8 +119,12 @@ CommandAck
 ExecutorFleet::issue(CommandType type, JobId job,
                      const std::vector<GpuCount> &gpus, Time now)
 {
-    EF_CHECK_MSG(now >= last_issue_,
-                 "commands must be issued in time order");
+    EF_FATAL_IF(now < last_issue_,
+                command_type_name(type)
+                    << " for job " << job << " issued at t=" << now
+                    << " before the previous command at t=" << last_issue_
+                    << "; commands must be issued in non-decreasing "
+                       "time order");
     last_issue_ = now;
 
     Command command;
@@ -66,29 +145,52 @@ ExecutorFleet::issue(CommandType type, JobId job,
         acks_.push_back(ack);
         return ack;
     }
-    JobExecution &exec = *it->second;
-    switch (type) {
-      case CommandType::kLaunch:
-      case CommandType::kScale:
+    if (type == CommandType::kLaunch || type == CommandType::kScale) {
         EF_CHECK_MSG(!gpus.empty(),
                      command_type_name(type) << " needs a GPU set");
-        if (exec.finished()) {
-            ack.ok = false;
+        for (GpuCount g : gpus) {
+            if (down_gpus_.count(g) > 0) {
+                // Never dispatch work onto failed hardware: reject
+                // before delivery, leaving the execution untouched.
+                ack.ok = false;
+                ++rejected_commands_;
+                acks_.push_back(ack);
+                return ack;
+            }
+        }
+    }
+
+    JobExecution &exec = *it->second;
+    bool applied = false;
+    if (deliver(job, now, &ack)) {
+        switch (type) {
+          case CommandType::kLaunch:
+          case CommandType::kScale:
+            if (exec.finished())
+                break;
+            exec.scale(ack.applied_at, gpus);
+            if (fault_ != nullptr && fault_->straggler_starts()) {
+                exec.set_slowdown(fault_->straggler_slowdown());
+                ++stragglers_observed_;
+            }
+            applied = true;
+            break;
+          case CommandType::kSuspend:
+            exec.scale(ack.applied_at, {});
+            applied = true;
+            break;
+          case CommandType::kShutdown:
+            exec.scale(ack.applied_at, {});
+            executions_.erase(it);
+            applied = true;
             break;
         }
-        exec.scale(ack.applied_at, gpus);
-        ack.ok = true;
-        break;
-      case CommandType::kSuspend:
-        exec.scale(ack.applied_at, {});
-        ack.ok = true;
-        break;
-      case CommandType::kShutdown:
-        exec.scale(ack.applied_at, {});
-        executions_.erase(it);
-        ack.ok = true;
-        break;
     }
+    if (applied)
+        applied_seq_[job] = command.seq;
+    // A gave-up command may still have been applied (only acks lost);
+    // the scheduler sees failure either way and must reconcile.
+    ack.ok = applied && !ack.gave_up;
     acks_.push_back(ack);
     return ack;
 }

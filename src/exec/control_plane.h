@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "exec/executor.h"
@@ -43,6 +44,10 @@ struct CommandAck
     std::uint64_t seq = 0;
     Time applied_at = 0.0;  ///< when the worker group acted on it
     bool ok = false;
+    int retries = 0;        ///< delivery attempts beyond the first
+    /** True when every attempt up to rpc_max_retries was lost. The
+     *  command may still have been applied if only acks were lost. */
+    bool gave_up = false;
 };
 
 /** The scheduler-facing executor coordination layer. */
@@ -61,10 +66,27 @@ class ExecutorFleet
     bool knows(JobId job) const;
 
     /**
+     * Borrow a fault injector (may be null). Delivery then becomes
+     * unreliable: a lost request is retried after bounded exponential
+     * backoff, a lost ack redelivers a duplicate that the seq-based
+     * dedup suppresses, and launches can come up straggling.
+     */
+    void set_fault_injector(FaultInjector *fault);
+
+    /**
+     * Mark one GPU / one whole server failed or repaired. While down,
+     * launch/scale commands naming any down GPU are rejected
+     * (ok=false) without touching the execution.
+     */
+    void set_gpu_available(GpuCount gpu, bool available);
+    void set_server_available(int server, bool available);
+
+    /**
      * Issue a command at time @p now (non-decreasing across calls).
      * kLaunch and kScale carry the GPU set; kSuspend checkpoints and
      * frees the workers; kShutdown additionally forgets the job.
-     * Commands to finished or unknown jobs are acked with ok=false.
+     * Commands to finished or unknown jobs, or naming down GPUs, are
+     * acked with ok=false.
      */
     CommandAck issue(CommandType type, JobId job,
                      const std::vector<GpuCount> &gpus, Time now);
@@ -81,16 +103,41 @@ class ExecutorFleet
     const std::vector<Command> &command_log() const { return log_; }
     const std::vector<CommandAck> &ack_log() const { return acks_; }
 
+    // --- fault observability --------------------------------------------
+    int rpc_retries() const { return rpc_retries_; }
+    int rpc_gave_up() const { return rpc_gave_up_; }
+    int duplicates_suppressed() const { return duplicates_suppressed_; }
+    int rejected_commands() const { return rejected_commands_; }
+    int stragglers_observed() const { return stragglers_observed_; }
+    /** Seq of the last command applied to @p job (idempotency record;
+     *  0 when none has been applied). */
+    std::uint64_t applied_seq(JobId job) const;
+
   private:
+    /**
+     * Unreliable delivery of one command: fills retries/gave_up and
+     * returns whether the command reached the executor (possibly via a
+     * lost-ack attempt), bumping applied_at by the backoff spent.
+     */
+    bool deliver(JobId job, Time now, CommandAck *ack);
+
     const PerfModel *perf_;
     const OverheadModel *overhead_;
     Time rpc_latency_s_;
     Time last_issue_ = 0.0;
-    std::uint64_t next_seq_ = 0;
+    std::uint64_t next_seq_ = 1;  ///< 0 is reserved for "never applied"
+    FaultInjector *fault_ = nullptr;  ///< borrowed, may be null
 
     std::map<JobId, std::unique_ptr<JobExecution>> executions_;
     std::vector<Command> log_;
     std::vector<CommandAck> acks_;
+    std::set<GpuCount> down_gpus_;
+    std::map<JobId, std::uint64_t> applied_seq_;
+    int rpc_retries_ = 0;
+    int rpc_gave_up_ = 0;
+    int duplicates_suppressed_ = 0;
+    int rejected_commands_ = 0;
+    int stragglers_observed_ = 0;
 };
 
 }  // namespace ef

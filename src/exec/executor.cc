@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "fault/fault.h"
 
 namespace ef {
 
@@ -40,14 +41,24 @@ JobExecution::scale(Time now, const std::vector<GpuCount> &gpus)
     }
 
     // Checkpoint the parameters (partial iteration is lost), rebuild
-    // the worker group, and restore after the scaling overhead.
+    // the worker group, and restore after the scaling overhead. A
+    // failed checkpoint write falls back to the previous successful
+    // checkpoint: iterations since then are redone.
     ++checkpoints_;
+    if (fault_ != nullptr &&
+        fault_->checkpoint_write_fails(spec_.id, now)) {
+        ++ckpt_failures_;
+        iterations_ = std::min(iterations_, ckpt_iterations_);
+    } else {
+        ckpt_iterations_ = iterations_;
+    }
     Time pause = overhead_->scaling_seconds(spec_.model, old_workers,
                                             new_workers);
     ready_at_ = std::max(ready_at_, now + pause);
 
     workers_.clear();
     iteration_seconds_ = 0.0;
+    slowdown_ = 1.0;  // a re-launch replaces any straggling worker
     if (new_workers == 0)
         return;
 
@@ -75,12 +86,20 @@ JobExecution::scale(Time now, const std::vector<GpuCount> &gpus)
 }
 
 void
+JobExecution::set_slowdown(double factor)
+{
+    EF_CHECK(factor >= 1.0);
+    slowdown_ = factor;
+}
+
+void
 JobExecution::advance(Time now)
 {
     if (workers_.empty() || iteration_seconds_ <= 0.0 || finished()) {
         cursor_ = std::max(cursor_, now);
         return;
     }
+    const double step_s = iteration_seconds_ * slowdown_;
     Time start = std::max(cursor_, ready_at_);
     if (now <= start) {
         return;
@@ -90,18 +109,18 @@ JobExecution::advance(Time now)
     std::int64_t remaining_steps = spec_.iterations - iterations_;
     std::int64_t steps;
     if ((now - start) >=
-        static_cast<double>(remaining_steps) * iteration_seconds_) {
+        static_cast<double>(remaining_steps) * step_s) {
         steps = remaining_steps;
     } else {
         steps = static_cast<std::int64_t>(
-            std::floor((now - start) / iteration_seconds_));
+            std::floor((now - start) / step_s));
         steps = std::min(steps, remaining_steps);
     }
     if (steps <= 0) {
         return;
     }
     iterations_ += steps;
-    cursor_ = start + static_cast<double>(steps) * iteration_seconds_;
+    cursor_ = start + static_cast<double>(steps) * step_s;
     for (Worker &worker : workers_) {
         worker.samples_processed +=
             steps * static_cast<std::int64_t>(worker.local_batch);
@@ -117,7 +136,7 @@ JobExecution::finish_time_estimate() const
         return kTimeInfinity;
     Time start = std::max(cursor_, ready_at_);
     return start + static_cast<double>(spec_.iterations - iterations_) *
-                       iteration_seconds_;
+                       iteration_seconds_ * slowdown_;
 }
 
 }  // namespace ef

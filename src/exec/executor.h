@@ -26,6 +26,8 @@
 
 namespace ef {
 
+class FaultInjector;
+
 /** One data-parallel worker of a running job. */
 struct Worker
 {
@@ -42,6 +44,11 @@ class JobExecution
                  const OverheadModel *overhead);
 
     const JobSpec &spec() const { return spec_; }
+
+    /** Borrow a fault injector (may be null): checkpoint writes taken
+     *  during scale() can then fail, rolling progress back to the last
+     *  checkpoint that succeeded. */
+    void set_fault_injector(FaultInjector *fault) { fault_ = fault; }
 
     /**
      * (Re)assign the job to a concrete GPU set at time @p now
@@ -71,7 +78,18 @@ class JobExecution
     /** Seconds per iteration on the current placement (0 if idle). */
     double iteration_seconds() const { return iteration_seconds_; }
 
+    /**
+     * Mark the current worker group straggling: iterations take
+     * @p factor (>= 1) times longer until the next (re)launch, which
+     * replaces the slow worker and resets the factor to 1.
+     */
+    void set_slowdown(double factor);
+    double slowdown() const { return slowdown_; }
+
     int checkpoints_taken() const { return checkpoints_; }
+    int checkpoint_failures() const { return ckpt_failures_; }
+    /** Iterations captured by the last successful checkpoint. */
+    std::int64_t checkpoint_iterations() const { return ckpt_iterations_; }
 
     /** Predicted completion time at the current rate (infinity when
      *  suspended). */
@@ -81,14 +99,18 @@ class JobExecution
     JobSpec spec_;
     const PerfModel *perf_;
     const OverheadModel *overhead_;
+    FaultInjector *fault_ = nullptr;  ///< borrowed, may be null
 
     std::vector<Worker> workers_;
     double iteration_seconds_ = 0.0;
+    double slowdown_ = 1.0;   ///< straggler factor, 1 = healthy
 
     std::int64_t iterations_ = 0;
     Time cursor_ = 0.0;       ///< progress accounted up to here
     Time ready_at_ = 0.0;     ///< restore completes here; idle before
     int checkpoints_ = 0;
+    int ckpt_failures_ = 0;
+    std::int64_t ckpt_iterations_ = 0;
 };
 
 }  // namespace ef

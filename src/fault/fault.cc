@@ -1,0 +1,260 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/csv.h"
+
+namespace ef {
+namespace {
+
+/** Independent per-class stream seeds derived from the master seed. */
+std::uint64_t
+class_seed(std::uint64_t master, std::uint64_t klass)
+{
+    return master ^ (0x9e3779b97f4a7c15ULL * (klass + 1));
+}
+
+}  // namespace
+
+std::string
+fault_type_name(FaultType type)
+{
+    switch (type) {
+      case FaultType::kServerCrash: return "server-crash";
+      case FaultType::kGpuFault: return "gpu-fault";
+      case FaultType::kStraggler: return "straggler";
+      case FaultType::kRpcDrop: return "rpc-drop";
+      case FaultType::kCkptFail: return "ckpt-fail";
+    }
+    return "?";
+}
+
+FaultType
+fault_type_from_name(const std::string &name, const std::string &context)
+{
+    if (name == "server-crash")
+        return FaultType::kServerCrash;
+    if (name == "gpu-fault")
+        return FaultType::kGpuFault;
+    if (name == "straggler")
+        return FaultType::kStraggler;
+    if (name == "rpc-drop")
+        return FaultType::kRpcDrop;
+    if (name == "ckpt-fail")
+        return FaultType::kCkptFail;
+    EF_FATAL_IF(true, context << ": unknown fault type '" << name << "'");
+    return FaultType::kServerCrash;
+}
+
+bool
+FaultConfig::any() const
+{
+    return server_mtbf_s > 0.0 || gpu_mtbf_s > 0.0 ||
+           rpc_drop_prob > 0.0 || rpc_delay_prob > 0.0 ||
+           straggler_prob > 0.0 || ckpt_failure_prob > 0.0 ||
+           !script.empty();
+}
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(std::move(config)),
+      // The server stream keeps its legacy FailureConfig seed when one
+      // is given, so pre-existing failure runs replay byte-identically.
+      server_rng_(config_.server_seed != 0
+                      ? config_.server_seed
+                      : class_seed(config_.seed, 0)),
+      gpu_rng_(class_seed(config_.seed, 1)),
+      rpc_rng_(class_seed(config_.seed, 2)),
+      straggler_rng_(class_seed(config_.seed, 3)),
+      ckpt_rng_(class_seed(config_.seed, 4))
+{
+    EF_FATAL_IF(config_.rpc_max_retries < 0,
+                "rpc_max_retries must be non-negative");
+    EF_FATAL_IF(config_.straggler_slowdown < 1.0,
+                "straggler_slowdown must be >= 1");
+    for (const FaultEvent &ev : config_.script) {
+        EF_FATAL_IF(ev.time < 0.0, "scripted fault at negative time "
+                                       << ev.time);
+        switch (ev.type) {
+          case FaultType::kServerCrash:
+          case FaultType::kGpuFault:
+          case FaultType::kStraggler:
+            queueable_.push_back(ev);
+            break;
+          case FaultType::kRpcDrop:
+            armed_rpc_.push_back(ev);
+            break;
+          case FaultType::kCkptFail:
+            armed_ckpt_.push_back(ev);
+            break;
+        }
+    }
+    auto by_time = [](const FaultEvent &a, const FaultEvent &b) {
+        return a.time < b.time;
+    };
+    std::stable_sort(queueable_.begin(), queueable_.end(), by_time);
+    std::stable_sort(armed_rpc_.begin(), armed_rpc_.end(), by_time);
+    std::stable_sort(armed_ckpt_.begin(), armed_ckpt_.end(), by_time);
+}
+
+Time
+FaultInjector::server_crash_delay()
+{
+    EF_CHECK(server_crashes_enabled());
+    return server_rng_.exponential(1.0 / config_.server_mtbf_s);
+}
+
+Time
+FaultInjector::gpu_fault_delay(GpuCount total_gpus)
+{
+    EF_CHECK(gpu_faults_enabled() && total_gpus > 0);
+    // Each GPU fails at rate 1/mtbf; the cluster-wide next fault is
+    // the minimum of the per-GPU exponentials.
+    return gpu_rng_.exponential(static_cast<double>(total_gpus) /
+                                config_.gpu_mtbf_s);
+}
+
+GpuCount
+FaultInjector::gpu_fault_target(GpuCount total_gpus)
+{
+    return static_cast<GpuCount>(
+        gpu_rng_.uniform_int(0, total_gpus - 1));
+}
+
+bool
+FaultInjector::rpc_attempt_lost()
+{
+    if (config_.rpc_drop_prob <= 0.0)
+        return false;
+    return rpc_rng_.flip(config_.rpc_drop_prob);
+}
+
+bool
+FaultInjector::rpc_loss_was_ack()
+{
+    if (config_.rpc_ack_loss_fraction <= 0.0)
+        return false;
+    if (config_.rpc_ack_loss_fraction >= 1.0)
+        return true;
+    return rpc_rng_.flip(config_.rpc_ack_loss_fraction);
+}
+
+Time
+FaultInjector::rpc_delay()
+{
+    if (config_.rpc_delay_prob <= 0.0)
+        return 0.0;
+    if (!rpc_rng_.flip(config_.rpc_delay_prob))
+        return 0.0;
+    return rpc_rng_.exponential(1.0 / config_.rpc_delay_mean_s);
+}
+
+Time
+FaultInjector::rpc_backoff(int attempt) const
+{
+    EF_CHECK(attempt >= 1);
+    Time backoff = config_.rpc_backoff_base_s *
+                   std::pow(2.0, static_cast<double>(attempt - 1));
+    return std::min(backoff, config_.rpc_backoff_cap_s);
+}
+
+bool
+FaultInjector::straggler_starts()
+{
+    if (config_.straggler_prob <= 0.0)
+        return false;
+    return straggler_rng_.flip(config_.straggler_prob);
+}
+
+bool
+FaultInjector::checkpoint_write_fails(JobId job, Time now)
+{
+    for (auto it = armed_ckpt_.begin(); it != armed_ckpt_.end(); ++it) {
+        if (it->time > now)
+            break;  // armed entries are time-sorted
+        if (it->target < 0 || it->target == job) {
+            armed_ckpt_.erase(it);
+            return true;
+        }
+    }
+    if (config_.ckpt_failure_prob <= 0.0)
+        return false;
+    return ckpt_rng_.flip(config_.ckpt_failure_prob);
+}
+
+int
+FaultInjector::take_scripted_rpc_drops(JobId job, Time now)
+{
+    int forced = 0;
+    for (auto it = armed_rpc_.begin(); it != armed_rpc_.end();) {
+        if (it->time > now)
+            break;  // armed entries are time-sorted
+        if (it->target < 0 || it->target == job) {
+            forced += std::max(
+                1, static_cast<int>(std::lround(it->magnitude)));
+            it = armed_rpc_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return forced;
+}
+
+std::vector<FaultEvent>
+parse_fault_script(const std::string &text)
+{
+    CsvTable table = parse_csv(text);
+    EF_FATAL_IF(table.column_index("time") < 0 ||
+                    table.column_index("type") < 0 ||
+                    table.column_index("target") < 0,
+                "fault script needs columns time,type,target");
+    bool has_duration = table.column_index("duration") >= 0;
+    bool has_magnitude = table.column_index("magnitude") >= 0;
+    std::vector<FaultEvent> script;
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+        // Header is line 1, so data row r lives on line r + 2.
+        std::ostringstream where;
+        where << "fault script line " << r + 2;
+        const std::string context = where.str();
+        EF_FATAL_IF(table.rows[r].size() != table.header.size(),
+                    context << ": expected " << table.header.size()
+                            << " fields, got " << table.rows[r].size());
+        FaultEvent ev;
+        ev.time = csv_to_double(table.cell(r, "time"),
+                                context + ", column 'time'");
+        EF_FATAL_IF(ev.time < 0.0, context << ": negative time");
+        ev.type = fault_type_from_name(table.cell(r, "type"), context);
+        ev.target = csv_to_int(table.cell(r, "target"),
+                               context + ", column 'target'");
+        if (has_duration) {
+            ev.duration_s = csv_to_double(
+                table.cell(r, "duration"), context + ", column 'duration'");
+            EF_FATAL_IF(ev.duration_s < 0.0,
+                        context << ": negative duration");
+        }
+        if (has_magnitude) {
+            ev.magnitude = csv_to_double(
+                table.cell(r, "magnitude"),
+                context + ", column 'magnitude'");
+            EF_FATAL_IF(ev.magnitude < 0.0,
+                        context << ": negative magnitude");
+        }
+        script.push_back(ev);
+    }
+    return script;
+}
+
+std::vector<FaultEvent>
+load_fault_script(const std::string &path)
+{
+    std::ifstream in(path);
+    EF_FATAL_IF(!in, "cannot open fault script: " << path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse_fault_script(buffer.str());
+}
+
+}  // namespace ef

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Deterministic fault injection for the control plane and simulator.
+ *
+ * A production ElasticFlow deployment survives lossy gRPC links,
+ * straggling workers, single-GPU (ECC-style) faults, failed checkpoint
+ * writes, and whole-server crashes (paper §4.4 "Node failures", §5).
+ * The FaultInjector is the single source of such events: each fault
+ * class draws from its own seeded Rng stream, so enabling one class
+ * never perturbs the event sequence of another, and a run is a pure
+ * function of (trace, config, seed). Faults come from two producers:
+ *
+ *  - per-class rates (MTBFs / probabilities) in FaultConfig, and
+ *  - an explicit scripted fault trace (CSV), for tests and replay —
+ *    scripted events fire at exact timestamps against exact targets.
+ *
+ * The legacy FailureConfig server-crash model is mapped onto the
+ * server-crash class with its original seed, so pre-existing failure
+ * runs replay byte-identically.
+ */
+#ifndef EF_FAULT_FAULT_H_
+#define EF_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace ef {
+
+/** The fault classes the injector can produce. */
+enum class FaultType {
+    kServerCrash,  ///< whole server down (legacy FailureConfig class)
+    kGpuFault,     ///< one GPU fails; its server stays up
+    kStraggler,    ///< a job's workers run slowed for a while
+    kRpcDrop,      ///< a control-plane command delivery is lost
+    kCkptFail,     ///< a checkpoint write fails (previous one survives)
+};
+
+std::string fault_type_name(FaultType type);
+/** Inverse of fault_type_name; aborts (with @p context) on unknown names. */
+FaultType fault_type_from_name(const std::string &name,
+                               const std::string &context);
+
+/** One scripted fault. */
+struct FaultEvent
+{
+    Time time = 0.0;
+    FaultType type = FaultType::kServerCrash;
+    /**
+     * Server index (kServerCrash), GPU id (kGpuFault), or job id
+     * (kStraggler / kRpcDrop / kCkptFail; -1 = first matching job).
+     */
+    std::int64_t target = -1;
+    /** Repair / straggle window; 0 = use the class default. */
+    Time duration_s = 0.0;
+    /** Straggler slowdown factor, or forced RPC-drop count; 0 = default. */
+    double magnitude = 0.0;
+};
+
+/** Per-class fault rates plus the scripted trace. A rate of 0 (or an
+ *  empty script) disables the class entirely — no Rng draws happen. */
+struct FaultConfig
+{
+    /** Master seed; every class stream is derived from it. */
+    std::uint64_t seed = 1;
+
+    // --- server crashes (the legacy FailureConfig class) ---
+    Time server_mtbf_s = 0.0;  ///< per-server MTBF; 0 = disabled
+    Time server_repair_s = 2.0 * kHour;
+    /** Explicit server-class seed (legacy byte-compat); 0 = derive. */
+    std::uint64_t server_seed = 0;
+
+    // --- single-GPU faults ---
+    Time gpu_mtbf_s = 0.0;  ///< per-GPU MTBF; 0 = disabled
+    Time gpu_repair_s = kHour;
+
+    // --- unreliable RPC delivery ---
+    double rpc_drop_prob = 0.0;      ///< per-attempt loss probability
+    /** Fraction of losses where the command arrived but the ack was
+     *  lost (the retry then redelivers a duplicate). */
+    double rpc_ack_loss_fraction = 0.0;
+    double rpc_delay_prob = 0.0;     ///< chance of a slow delivery
+    Time rpc_delay_mean_s = 0.5;
+    Time rpc_backoff_base_s = 0.2;   ///< first retry backoff
+    Time rpc_backoff_cap_s = 5.0;    ///< bounded exponential cap
+    int rpc_max_retries = 5;         ///< give up after this many
+
+    // --- worker stragglers ---
+    double straggler_prob = 0.0;     ///< per-(re)launch probability
+    double straggler_slowdown = 2.0; ///< iteration-time multiplier
+    Time straggler_duration_s = 600.0;
+
+    // --- checkpoint-write failures ---
+    double ckpt_failure_prob = 0.0;  ///< per-checkpoint probability
+
+    /** Scripted faults, applied in addition to the rates. */
+    std::vector<FaultEvent> script;
+
+    /** Whether any class can ever fire. */
+    bool any() const;
+};
+
+/**
+ * Draws fault events from per-class independent Rng streams and hands
+ * out scripted events. Owned by whoever runs the clock (the simulator
+ * or a test harness); the control plane and executors borrow it.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultConfig config);
+
+    const FaultConfig &config() const { return config_; }
+
+    // --- server crashes -------------------------------------------------
+    bool server_crashes_enabled() const
+    {
+        return config_.server_mtbf_s > 0.0;
+    }
+    /** Exponential time-to-failure of one server. */
+    Time server_crash_delay();
+    Time server_repair_s() const { return config_.server_repair_s; }
+
+    // --- single-GPU faults ----------------------------------------------
+    bool gpu_faults_enabled() const { return config_.gpu_mtbf_s > 0.0; }
+    /** Time until the next GPU fault anywhere in the cluster. */
+    Time gpu_fault_delay(GpuCount total_gpus);
+    /** Which GPU the next fault hits. */
+    GpuCount gpu_fault_target(GpuCount total_gpus);
+    Time gpu_repair_s() const { return config_.gpu_repair_s; }
+
+    // --- unreliable RPC delivery ----------------------------------------
+    /** Whether rate-based loss is on (scripted drops fire regardless). */
+    bool rpc_drops_enabled() const { return config_.rpc_drop_prob > 0.0; }
+    /** Was this delivery attempt lost? No draw when the rate is 0. */
+    bool rpc_attempt_lost();
+    /** Was a loss the ack (command applied) rather than the request? */
+    bool rpc_loss_was_ack();
+    /** Extra delivery latency (0 unless the delay class fires). */
+    Time rpc_delay();
+    /** Bounded exponential backoff before retry @p attempt (1-based). */
+    Time rpc_backoff(int attempt) const;
+
+    // --- stragglers -----------------------------------------------------
+    bool stragglers_enabled() const
+    {
+        return config_.straggler_prob > 0.0;
+    }
+    /** Does this (re)launch come up straggling? */
+    bool straggler_starts();
+    double straggler_slowdown() const
+    {
+        return config_.straggler_slowdown;
+    }
+    Time straggler_duration_s() const
+    {
+        return config_.straggler_duration_s;
+    }
+
+    // --- checkpoint-write failures --------------------------------------
+    /**
+     * Does the checkpoint @p job writes at @p now fail? Consumes at
+     * most one armed scripted kCkptFail entry; otherwise draws the
+     * rate (no draw when the rate is 0).
+     */
+    bool checkpoint_write_fails(JobId job, Time now);
+
+    // --- scripted faults ------------------------------------------------
+    /**
+     * Cluster-level scripted events (server crashes, GPU faults,
+     * stragglers) for the caller's event queue. RPC drops and
+     * checkpoint failures are not queueable: they arm and fire when
+     * the matching command/checkpoint happens.
+     */
+    const std::vector<FaultEvent> &queueable_script_events() const
+    {
+        return queueable_;
+    }
+
+    /**
+     * Forced delivery losses armed for a command to @p job issued at
+     * @p now: consumes every armed kRpcDrop whose time has come and
+     * returns the total forced-loss count (magnitude, default 1 each).
+     */
+    int take_scripted_rpc_drops(JobId job, Time now);
+
+  private:
+    FaultConfig config_;
+    Rng server_rng_;
+    Rng gpu_rng_;
+    Rng rpc_rng_;
+    Rng straggler_rng_;
+    Rng ckpt_rng_;
+    std::vector<FaultEvent> queueable_;
+    std::vector<FaultEvent> armed_rpc_;
+    std::vector<FaultEvent> armed_ckpt_;
+};
+
+/**
+ * Parse a scripted fault trace. CSV columns: time,type,target and
+ * optionally duration,magnitude. Types: server-crash, gpu-fault,
+ * straggler, rpc-drop, ckpt-fail. Malformed rows abort with the
+ * offending line number.
+ */
+std::vector<FaultEvent> parse_fault_script(const std::string &text);
+
+/** Load and parse a scripted fault trace file. */
+std::vector<FaultEvent> load_fault_script(const std::string &path);
+
+}  // namespace ef
+
+#endif  // EF_FAULT_FAULT_H_

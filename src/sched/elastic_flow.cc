@@ -1,6 +1,7 @@
 #include "sched/elastic_flow.h"
 
 #include "common/check.h"
+#include "common/logging.h"
 #include <algorithm>
 
 #include "sched/planning_util.h"
@@ -29,7 +30,7 @@ ElasticFlowScheduler::admit(const JobSpec &job)
     config.total_gpus = std::max<GpuCount>(
         1, config.total_gpus - config_.failure_headroom_gpus);
     if (!admission_feasible(*view_, config, margin, job,
-                            /*fixed_size=*/false, &round_)) {
+                            /*fixed_size=*/false, &round_, &demoted_)) {
         return false;
     }
     if (policy_ != nullptr) {
@@ -50,9 +51,34 @@ ElasticFlowScheduler::allocate()
     EF_CHECK(view_ != nullptr);
     PlanningMargin margin{config_.admission_margin,
                           config_.overhead_allowance_s};
-    return elastic_allocate(*view_, planner_config(), margin,
-                            /*fixed_size=*/false, &replan_failures_,
-                            &round_);
+    std::vector<JobId> hard_parked;
+    SchedulerDecision decision = elastic_allocate(
+        *view_, planner_config(), margin,
+        /*fixed_size=*/false, &replan_failures_, &round_, &demoted_,
+        &hard_parked);
+    if (view_->fault_epoch() > 0) {
+        // A hard-SLO job whose deadline no longer fits after a fault
+        // shrank capacity is demoted to best-effort, exactly once. On
+        // a healthy cluster parked jobs keep the legacy
+        // relax-and-retry treatment (overhead drift, not failures).
+        for (JobId id : hard_parked) {
+            if (demoted_.insert(id).second) {
+                fresh_demotions_.push_back(id);
+                EF_INFO("job " << id
+                               << " deadline unmeetable after failure; "
+                                  "demoted to best-effort");
+            }
+        }
+    }
+    return decision;
+}
+
+std::vector<JobId>
+ElasticFlowScheduler::take_demotions()
+{
+    std::vector<JobId> fresh = std::move(fresh_demotions_);
+    fresh_demotions_.clear();
+    return fresh;
 }
 
 }  // namespace ef

@@ -16,7 +16,9 @@
 #ifndef EF_SCHED_ELASTIC_FLOW_H_
 #define EF_SCHED_ELASTIC_FLOW_H_
 
+#include <set>
 #include <string>
+#include <vector>
 
 #include "core/admission.h"
 #include "core/allocator.h"
@@ -100,6 +102,13 @@ class ElasticFlowScheduler : public Scheduler
      */
     int replan_failures() const override { return replan_failures_; }
 
+    /**
+     * Hard-SLO jobs whose deadline became unmeetable after a fault
+     * shrank the cluster (view_->fault_epoch() > 0): each is demoted
+     * to best-effort exactly once and reported here exactly once.
+     */
+    std::vector<JobId> take_demotions() override;
+
   private:
     PlannerConfig planner_config() const;
 
@@ -108,6 +117,10 @@ class ElasticFlowScheduler : public Scheduler
     int replan_failures_ = 0;
     /** Shared admit()/allocate() planner view of the current round. */
     PlanningRound round_;
+    /** Every job ever demoted (exactly-once guard). */
+    std::set<JobId> demoted_;
+    /** Demotions not yet drained by take_demotions(). */
+    std::vector<JobId> fresh_demotions_;
 };
 
 }  // namespace ef

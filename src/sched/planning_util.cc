@@ -88,25 +88,31 @@ PlanningRound::jobs(const ClusterView &view, const PlanningMargin &margin,
 bool
 admission_feasible(const ClusterView &view, const PlannerConfig &config,
                    const PlanningMargin &margin, const JobSpec &candidate,
-                   bool fixed_size, PlanningRound *round)
+                   bool fixed_size, PlanningRound *round,
+                   const std::set<JobId> *exclude)
 {
     EF_CHECK(!candidate.is_best_effort());
+    auto excluded = [exclude](JobId id) {
+        return exclude != nullptr && exclude->count(id) > 0;
+    };
     std::vector<PlanningJob> jobs;
     if (round != nullptr) {
         // Soft-deadline jobs are cached in the SLO list (the allocator
         // wants them there) but never reserve capacity against a hard
-        // admission (§4.4).
+        // admission (§4.4); demoted jobs lost their guarantee the same
+        // way.
         for (const PlanningJob &job :
              round->jobs(view, margin, fixed_size).slo) {
-            if (!job.soft)
+            if (!job.soft && !excluded(job.id))
                 jobs.push_back(job);
         }
     } else {
         for (JobId id : view.active_jobs()) {
             const JobSpec &spec = view.spec(id);
-            // Best-effort and soft-deadline jobs never reserve capacity
-            // against a hard admission (§4.4).
-            if (spec.is_best_effort() || spec.has_soft_deadline())
+            // Best-effort, soft-deadline, and demoted jobs never
+            // reserve capacity against a hard admission (§4.4).
+            if (spec.is_best_effort() || spec.has_soft_deadline() ||
+                excluded(id))
                 continue;
             if (view.remaining_iterations(id) <= 0.0)
                 continue;
@@ -192,7 +198,8 @@ edf_admission_feasible(const ClusterView &view,
 
 MinShareRefresh
 refresh_min_shares(const PlannerConfig &config, Time now,
-                   std::vector<PlanningJob> slo, int *replan_failures)
+                   std::vector<PlanningJob> slo, int *replan_failures,
+                   bool park_infeasible_hard)
 {
     // Minimum satisfactory shares in deadline order (Algorithm 1):
     // hard jobs first — soft-deadline jobs only reserve what hard jobs
@@ -225,6 +232,14 @@ refresh_min_shares(const PlannerConfig &config, Time now,
         if (!fill.has_value() && job.soft) {
             // A soft deadline that cannot be met is not an incident:
             // the job simply continues as best-effort (§4.4).
+            job.deadline = kTimeInfinity;
+            refresh.parked.push_back(std::move(job));
+            continue;
+        }
+        if (!fill.has_value() && park_infeasible_hard) {
+            // Post-fault demotion rule: a hard SLO the shrunken
+            // cluster can no longer satisfy is parked for the caller
+            // to demote, not silently relaxed past its guarantee.
             job.deadline = kTimeInfinity;
             refresh.parked.push_back(std::move(job));
             continue;
@@ -274,10 +289,19 @@ refresh_min_shares(const PlannerConfig &config, Time now,
 SchedulerDecision
 elastic_allocate(const ClusterView &view, const PlannerConfig &base_config,
                  const PlanningMargin &margin, bool fixed_size,
-                 int *replan_failures, PlanningRound *round)
+                 int *replan_failures, PlanningRound *round,
+                 const std::set<JobId> *demoted,
+                 std::vector<JobId> *hard_parked)
 {
     PlannerConfig config = base_config;
     const Time now = view.now();
+
+    if (config.total_gpus <= 0) {
+        // Total outage: every server is down, so there is nothing to
+        // plan — suspend everyone. Deadlines are re-evaluated (and
+        // unmeetable jobs parked/demoted) once capacity returns.
+        return SchedulerDecision{};
+    }
 
     std::vector<PlanningJob> slo;
     std::vector<PlanningJob> best_effort;
@@ -304,12 +328,37 @@ elastic_allocate(const ClusterView &view, const PlannerConfig &base_config,
         }
     }
 
-    MinShareRefresh refresh =
-        refresh_min_shares(config, now, std::move(slo), replan_failures);
+    if (demoted != nullptr && !demoted->empty()) {
+        // Previously demoted jobs plan as best-effort: they keep
+        // running on leftovers but no longer reserve SLO capacity.
+        auto keep = slo.begin();
+        for (auto it = slo.begin(); it != slo.end(); ++it) {
+            if (demoted->count(it->id) > 0) {
+                it->deadline = kTimeInfinity;
+                best_effort.push_back(std::move(*it));
+            } else {
+                if (keep != it)
+                    *keep = std::move(*it);
+                ++keep;
+            }
+        }
+        slo.erase(keep, slo.end());
+    }
+
+    // Failure-aware callers (hard_parked given) switch from
+    // relax-and-retry to the demotion rule once a fault has shrunk
+    // the cluster: an unmeetable hard SLO is parked for demotion.
+    const bool park_hard =
+        hard_parked != nullptr && view.fault_epoch() > 0;
+    MinShareRefresh refresh = refresh_min_shares(
+        config, now, std::move(slo), replan_failures, park_hard);
     // Jobs parked with an infinite deadline move to the best-effort
     // queue so Algorithm 2 can still feed them leftovers.
-    for (PlanningJob &job : refresh.parked)
+    for (PlanningJob &job : refresh.parked) {
+        if (!job.soft && hard_parked != nullptr)
+            hard_parked->push_back(job.id);
         best_effort.push_back(std::move(job));
+    }
 
     AllocationOutcome outcome =
         run_allocation(config, now, refresh.slo, refresh.min_shares,

@@ -7,12 +7,15 @@
  * turning the cluster view into PlanningJobs, checking a candidate's
  * admissibility (Algorithm 1), and computing a full elastic allocation
  * (Algorithm 1 refresh + Algorithm 2). Chronus reuses the same pieces
- * with fixed-size curves.
+ * with fixed-size curves. Failure-aware policies additionally pass the
+ * set of jobs already demoted to best-effort (they stop reserving SLO
+ * capacity) and collect the hard-SLO jobs newly parked by a refresh.
  */
 #ifndef EF_SCHED_PLANNING_UTIL_H_
 #define EF_SCHED_PLANNING_UTIL_H_
 
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "core/admission.h"
@@ -115,7 +118,8 @@ bool admission_feasible(const ClusterView &view,
                         const PlannerConfig &config,
                         const PlanningMargin &margin,
                         const JobSpec &candidate, bool fixed_size,
-                        PlanningRound *round = nullptr);
+                        PlanningRound *round = nullptr,
+                        const std::set<JobId> *exclude = nullptr);
 
 /**
  * Admission check matching *plain EDF allocation* (Fig. 9's
@@ -145,13 +149,18 @@ struct MinShareRefresh
  * Refresh minimum satisfactory shares for @p slo in deadline order
  * (hard before soft), relaxing slipped deadlines in growing steps so a
  * drifted job finishes as close to its original deadline as the
- * cluster allows. Exposed separately from elastic_allocate so tests
- * can assert relaxation invariants (a relaxed job's reservation never
- * reaches past its relaxed horizon).
+ * cluster allows. With @p park_infeasible_hard (the post-fault
+ * demotion rule), a hard job whose original deadline cannot be met is
+ * parked immediately instead of relaxed — the caller then demotes it
+ * to best-effort rather than letting it silently miss. Exposed
+ * separately from elastic_allocate so tests can assert relaxation
+ * invariants (a relaxed job's reservation never reaches past its
+ * relaxed horizon).
  */
 MinShareRefresh refresh_min_shares(const PlannerConfig &config, Time now,
                                    std::vector<PlanningJob> slo,
-                                   int *replan_failures);
+                                   int *replan_failures,
+                                   bool park_infeasible_hard = false);
 
 /**
  * Full elastic allocation pass: refresh minimum satisfactory shares
@@ -162,13 +171,19 @@ MinShareRefresh refresh_min_shares(const PlannerConfig &config, Time now,
  * @p replan_failures. With @p fixed_size, every job's curve is pinned
  * to its requested GPU count. With @p round, the active-job list is
  * served from the round cache instead of being rebuilt from the view.
+ * Jobs in @p demoted plan as best-effort regardless of their spec;
+ * hard-SLO jobs the refresh had to park (deadline unmeetable even
+ * relaxed) are appended to @p hard_parked when given.
  */
 SchedulerDecision elastic_allocate(const ClusterView &view,
                                    const PlannerConfig &config,
                                    const PlanningMargin &margin,
                                    bool fixed_size,
                                    int *replan_failures,
-                                   PlanningRound *round = nullptr);
+                                   PlanningRound *round = nullptr,
+                                   const std::set<JobId> *demoted = nullptr,
+                                   std::vector<JobId> *hard_parked =
+                                       nullptr);
 
 }  // namespace ef
 

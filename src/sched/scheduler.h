@@ -15,6 +15,7 @@
 #ifndef EF_SCHED_SCHEDULER_H_
 #define EF_SCHED_SCHEDULER_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -56,6 +57,13 @@ class ClusterView
 
     /** Total GPU-seconds the job has consumed so far (Tiresias). */
     virtual double attained_gpu_seconds(JobId job) const = 0;
+
+    /**
+     * Count of capacity-affecting fault events (server crashes, GPU
+     * faults) so far. 0 on a healthy cluster; a failure-aware policy
+     * only re-evaluates admitted guarantees when this moved.
+     */
+    virtual std::uint64_t fault_epoch() const { return 0; }
 };
 
 /** Desired GPU count per active job; absent means 0 (suspended). */
@@ -108,6 +116,13 @@ class Scheduler
      * satisfiable during replanning (deadline-aware policies only).
      */
     virtual int replan_failures() const { return 0; }
+
+    /**
+     * SLO jobs the policy demoted to best-effort since the last call
+     * (failure-aware policies only; each job is reported exactly
+     * once). The simulator drains this after every allocate().
+     */
+    virtual std::vector<JobId> take_demotions() { return {}; }
 
   protected:
     const ClusterView *view_ = nullptr;

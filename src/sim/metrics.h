@@ -27,7 +27,9 @@ struct JobOutcome
     double gpu_seconds = 0.0;  ///< attained service
     int scaling_events = 0;    ///< allocation size changes
     int migrations = 0;        ///< defragmentation relocations
-    int failures_suffered = 0; ///< node-failure evictions (§4.4)
+    int failures_suffered = 0; ///< node/GPU-failure evictions (§4.4)
+    /** SLO became unmeetable after a fault; runs on as best-effort. */
+    bool demoted = false;
 
     /** Did the job complete by its deadline? (Dropped jobs did not.) */
     bool met_deadline() const
@@ -75,6 +77,20 @@ struct RunResult
     /** Scheduler calls skipped because the view was provably unchanged
      *  since the last decision at the same timestamp. */
     int replans_elided = 0;
+
+    // --- fault injection (all 0 on a healthy run) -----------------------
+    /** Control-plane delivery attempts repeated after a loss. */
+    int rpc_retries = 0;
+    /** Commands abandoned after rpc_max_retries lost attempts. */
+    int rpc_gave_up = 0;
+    /** Straggler episodes (worker groups launched/turned slow). */
+    int stragglers_observed = 0;
+    /** Single-GPU faults injected (server-level crashes not counted). */
+    int gpu_faults = 0;
+    /** Checkpoint writes that failed (previous checkpoint survived). */
+    int ckpt_failures = 0;
+    /** SLO jobs demoted to best-effort after a fault (each once). */
+    int slo_demotions = 0;
 
     /** Jobs that met their deadline / all submitted SLO jobs. */
     double deadline_ratio() const;

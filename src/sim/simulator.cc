@@ -32,6 +32,9 @@ struct Simulator::JobRt
     double noise_factor = 1.0;      ///< executor-vs-profile mismatch
     double checkpoint_iters = 0.0;  ///< progress safe from failures
 
+    double straggler_factor = 1.0;  ///< >1 while a worker straggles
+    Time straggler_until = -kTimeInfinity;
+
     JobOutcome outcome;
 
     double remaining() const
@@ -49,11 +52,26 @@ struct Simulator::JobRt
 /** Queue entry; min-heap by (time, seq). */
 struct Simulator::Event
 {
-    enum Kind { kArrival, kCompletion, kTick, kServerDown, kServerUp };
+    enum Kind {
+        kArrival,
+        kCompletion,
+        kTick,
+        kServerDown,
+        kServerUp,
+        kGpuDown,
+        kGpuUp,
+        kStragglerStart,
+        kStragglerEnd,
+    };
     Time time = 0.0;
     std::uint64_t seq = 0;
     Kind kind = kArrival;
-    JobId job = kInvalidJob;  ///< server index for failure events
+    /** Job id, or server index / GPU id for failure events. */
+    JobId job = kInvalidJob;
+    Time dur = 0.0;           ///< repair / straggle window (fault events)
+    double mag = 0.0;         ///< straggler slowdown factor
+    /** Scripted faults never reschedule the rate-based stream. */
+    bool from_script = false;
 };
 
 bool
@@ -100,11 +118,23 @@ Simulator::Simulator(const Trace &trace, Scheduler *scheduler,
         jobs_.emplace(spec.id, std::move(job));
         submit_order_.push_back(spec.id);
     }
+    FaultConfig effective = config_.faults;
     if (config_.failures.enabled) {
         EF_FATAL_IF(config_.failures.server_mtbf_s <= 0.0,
                     "failure MTBF must be positive");
-        failure_rng_ = std::make_unique<Rng>(config_.failures.seed);
+        EF_FATAL_IF(effective.server_mtbf_s > 0.0,
+                    "server crashes configured through both "
+                    "FailureConfig and FaultConfig; pick one");
+        // The legacy failure model becomes one producer of server-crash
+        // fault events, keeping its own seed so the draw sequence (and
+        // therefore the whole run) replays byte-identically.
+        effective.server_mtbf_s = config_.failures.server_mtbf_s;
+        effective.server_repair_s = config_.failures.repair_s;
+        if (effective.server_seed == 0)
+            effective.server_seed = config_.failures.seed;
     }
+    if (effective.any())
+        fault_ = std::make_unique<FaultInjector>(std::move(effective));
 }
 
 Simulator::~Simulator() = default;
@@ -238,6 +268,9 @@ Simulator::refresh_throughput(JobRt &job)
     job.current_tpt =
         perf_.throughput(job.spec.model, job.spec.global_batch, shape) *
         job.noise_factor;
+    // A straggling worker gates the whole data-parallel group.
+    if (now_ < job.straggler_until)
+        job.current_tpt /= job.straggler_factor;
     EF_CHECK_MSG(job.current_tpt > 0.0,
                  "job " << job.spec.id << " placed on an infeasible "
                         << job.gpus << "-GPU configuration");
@@ -255,12 +288,53 @@ Simulator::schedule_completion(JobRt &job)
                        job.spec.id});
 }
 
+bool
+Simulator::deliver_resize(JobId id, Time *penalty)
+{
+    if (fault_ == nullptr)
+        return true;
+    // The simulator's control path is synchronous, so delivery
+    // collapses to: how many attempts were lost, and did we give up?
+    // (Ack-vs-request loss only matters for the asynchronous
+    // ExecutorFleet, which models duplicate suppression explicitly.)
+    int forced = fault_->take_scripted_rpc_drops(id, now_);
+    int attempt = 0;
+    for (;;) {
+        bool lost = forced > 0 || fault_->rpc_attempt_lost();
+        if (forced > 0)
+            --forced;
+        if (!lost)
+            break;
+        ++attempt;
+        if (attempt > fault_->config().rpc_max_retries) {
+            ++result_.rpc_gave_up;
+            EF_INFO("command for job "
+                    << id << " lost after "
+                    << fault_->config().rpc_max_retries
+                    << " retries; allocation unchanged");
+            return false;
+        }
+        ++result_.rpc_retries;
+        *penalty += fault_->rpc_backoff(attempt);
+    }
+    *penalty += fault_->rpc_delay();
+    return true;
+}
+
 void
 Simulator::apply_resize(JobRt &job, GpuCount desired)
 {
     const JobId id = job.spec.id;
     const GpuCount old = job.gpus;
     if (desired == old)
+        return;
+
+    // Unreliable control plane: the resize command can be lost. A
+    // given-up command leaves the previous allocation in force until
+    // a later replan reconciles; retries charge backoff latency to
+    // the job below.
+    Time rpc_penalty = 0.0;
+    if (!deliver_resize(id, &rpc_penalty))
         return;
 
     if (desired == 0) {
@@ -308,13 +382,28 @@ Simulator::apply_resize(JobRt &job, GpuCount desired)
     job.gpus = desired;
     job.state = JobState::kRunning;
     ++job.outcome.scaling_events;
-    job.checkpoint_iters = job.executed;  // scaling checkpoints state
+    // Scaling checkpoints state — unless the checkpoint write itself
+    // fails, in which case the previous checkpoint stays the restore
+    // point and progress since then remains at risk.
+    if (fault_ != nullptr && fault_->checkpoint_write_fails(id, now_))
+        ++result_.ckpt_failures;
+    else
+        job.checkpoint_iters = job.executed;
     result_.allocation_log.push_back(
         AllocationEvent{now_, id, placement_.gpus_of(id)});
     if (job.outcome.first_run_time == kTimeInfinity)
         job.outcome.first_run_time = now_;
     charge_pause(job, overhead_.scaling_seconds(job.spec.model, old,
-                                                desired));
+                                                desired) +
+                          rpc_penalty);
+    if (fault_ != nullptr && fault_->straggler_starts()) {
+        // The rebuilt worker group came up with a straggler.
+        job.straggler_factor = fault_->straggler_slowdown();
+        job.straggler_until = now_ + fault_->straggler_duration_s();
+        ++result_.stragglers_observed;
+        events_.push(Event{job.straggler_until, next_seq_++,
+                           Event::kStragglerEnd, id});
+    }
     refresh_throughput(job);
 }
 
@@ -401,17 +490,93 @@ Simulator::arm_tick()
 void
 Simulator::schedule_next_failure(int server)
 {
-    if (!config_.failures.enabled)
+    if (fault_ == nullptr || !fault_->server_crashes_enabled())
         return;
-    Time delay =
-        failure_rng_->exponential(1.0 / config_.failures.server_mtbf_s);
+    Time delay = fault_->server_crash_delay();
     events_.push(Event{now_ + delay, next_seq_++, Event::kServerDown,
                        static_cast<JobId>(server)});
 }
 
 void
-Simulator::handle_server_down(int server)
+Simulator::schedule_next_gpu_fault()
 {
+    if (fault_ == nullptr || !fault_->gpu_faults_enabled())
+        return;
+    Time delay = fault_->gpu_fault_delay(topology_.total_gpus());
+    GpuCount target = fault_->gpu_fault_target(topology_.total_gpus());
+    events_.push(Event{now_ + delay, next_seq_++, Event::kGpuDown,
+                       static_cast<JobId>(target),
+                       fault_->gpu_repair_s()});
+}
+
+void
+Simulator::queue_scripted_faults()
+{
+    if (fault_ == nullptr)
+        return;
+    for (const FaultEvent &ev : fault_->queueable_script_events()) {
+        Event event;
+        event.time = ev.time;
+        event.seq = next_seq_++;
+        event.job = static_cast<JobId>(ev.target);
+        event.from_script = true;
+        switch (ev.type) {
+          case FaultType::kServerCrash:
+            EF_FATAL_IF(ev.target < 0 ||
+                            ev.target >= topology_.num_servers(),
+                        "scripted server-crash target " << ev.target
+                            << " out of range");
+            event.kind = Event::kServerDown;
+            event.dur = ev.duration_s > 0.0 ? ev.duration_s
+                                            : fault_->server_repair_s();
+            break;
+          case FaultType::kGpuFault:
+            EF_FATAL_IF(ev.target < 0 ||
+                            ev.target >= topology_.total_gpus(),
+                        "scripted gpu-fault target " << ev.target
+                            << " out of range");
+            event.kind = Event::kGpuDown;
+            event.dur = ev.duration_s > 0.0 ? ev.duration_s
+                                            : fault_->gpu_repair_s();
+            break;
+          case FaultType::kStraggler:
+            EF_FATAL_IF(jobs_.count(static_cast<JobId>(ev.target)) == 0,
+                        "scripted straggler targets unknown job "
+                            << ev.target);
+            event.kind = Event::kStragglerStart;
+            event.dur = ev.duration_s > 0.0
+                            ? ev.duration_s
+                            : fault_->straggler_duration_s();
+            event.mag = ev.magnitude > 1.0
+                            ? ev.magnitude
+                            : fault_->straggler_slowdown();
+            break;
+          default:
+            continue;  // rpc-drop / ckpt-fail arm inside the injector
+        }
+        events_.push(event);
+    }
+}
+
+void
+Simulator::evict_job(JobId id)
+{
+    JobRt &job = rt(id);
+    placement_.release(id);
+    job.gpus = 0;
+    job.current_tpt = 0.0;
+    job.state = JobState::kWaiting;
+    job.executed = std::min(job.executed, job.checkpoint_iters);
+    ++job.outcome.failures_suffered;
+    result_.allocation_log.push_back(AllocationEvent{now_, id, {}});
+}
+
+void
+Simulator::handle_server_down(const Event &event)
+{
+    const int server = static_cast<int>(event.job);
+    // The rate-based chain reschedules on repair (handle_server_up),
+    // preserving the legacy FailureConfig draw sequence exactly.
     if (!placement_.server_available(server))
         return;  // already down (stale event)
     // Evict every job with a worker on the failed server: it loses its
@@ -425,26 +590,91 @@ Simulator::handle_server_down(int server)
             }
         }
     }
-    for (JobId id : victims) {
-        JobRt &job = rt(id);
-        placement_.release(id);
-        job.gpus = 0;
-        job.current_tpt = 0.0;
-        job.state = JobState::kWaiting;
-        job.executed = std::min(job.executed, job.checkpoint_iters);
-        ++job.outcome.failures_suffered;
-        result_.allocation_log.push_back(
-            AllocationEvent{now_, id, {}});
-    }
+    for (JobId id : victims)
+        evict_job(id);
     placement_.set_server_available(server, false);
     view_dirty_ = true;  // capacity shrank; victims lost their GPUs
+    ++fault_epoch_;
     EF_INFO("server " << server << " failed at "
                       << format_double(now_ / kHour, 2) << " h ("
                       << victims.size() << " jobs evicted)");
-    events_.push(Event{now_ + config_.failures.repair_s, next_seq_++,
-                       Event::kServerUp, static_cast<JobId>(server)});
+    Time repair =
+        event.dur > 0.0 ? event.dur : fault_->server_repair_s();
+    events_.push(Event{now_ + repair, next_seq_++, Event::kServerUp,
+                       static_cast<JobId>(server)});
     if (any_nonterminal_jobs())
         request_replan();
+}
+
+void
+Simulator::handle_gpu_down(const Event &event)
+{
+    const GpuCount gpu = static_cast<GpuCount>(event.job);
+    if (!event.from_script)
+        schedule_next_gpu_fault();
+    const int server = topology_.server_of(gpu);
+    if (!placement_.server_available(server))
+        return;  // the whole server is already down; outage dominates
+    if (!placement_.gpu_available(gpu))
+        return;  // already down (stale event)
+    // Finer-grained than a server crash: only the placement using this
+    // one GPU is evicted; co-located jobs on other GPUs keep running.
+    const JobId victim = placement_.owner_of(gpu);
+    if (victim != kInvalidJob)
+        evict_job(victim);
+    placement_.set_gpu_available(gpu, false);
+    ++result_.gpu_faults;
+    ++fault_epoch_;
+    view_dirty_ = true;
+    EF_INFO("GPU " << gpu << " failed at "
+                   << format_double(now_ / kHour, 2) << " h"
+                   << (victim != kInvalidJob ? " (1 job evicted)"
+                                             : ""));
+    Time repair = event.dur > 0.0 ? event.dur : fault_->gpu_repair_s();
+    events_.push(Event{now_ + repair, next_seq_++, Event::kGpuUp,
+                       static_cast<JobId>(gpu)});
+    if (any_nonterminal_jobs())
+        request_replan();
+}
+
+void
+Simulator::handle_gpu_up(GpuCount gpu)
+{
+    if (placement_.gpu_available(gpu))
+        return;  // stale event
+    placement_.set_gpu_available(gpu, true);
+    view_dirty_ = true;  // capacity grew
+    if (any_nonterminal_jobs())
+        request_replan();
+}
+
+void
+Simulator::handle_straggler_start(const Event &event)
+{
+    JobRt &job = rt(event.job);
+    if (!job.active())
+        return;  // finished or dropped before the fault fired
+    job.straggler_factor = std::max(1.0, event.mag);
+    job.straggler_until = now_ + event.dur;
+    ++result_.stragglers_observed;
+    events_.push(Event{job.straggler_until, next_seq_++,
+                       Event::kStragglerEnd, event.job});
+    // Stragglers change throughput, not capacity: no replan, but the
+    // job's completion must be re-predicted at the slowed rate.
+    if (job.state == JobState::kRunning && job.gpus > 0)
+        refresh_throughput(job);
+}
+
+void
+Simulator::handle_straggler_end(JobId id)
+{
+    JobRt &job = rt(id);
+    if (job.straggler_factor <= 1.0 || now_ < job.straggler_until)
+        return;  // stale event (a newer window superseded this one)
+    job.straggler_factor = 1.0;
+    job.straggler_until = -kTimeInfinity;
+    if (job.state == JobState::kRunning && job.gpus > 0)
+        refresh_throughput(job);
 }
 
 void
@@ -492,6 +722,17 @@ Simulator::flush_replan()
     view_dirty_ = false;
     last_decision_time_ = now_;
     apply_decision(decision);
+    // Failure-aware policies report SLO jobs whose guarantee a fault
+    // broke; each is demoted to best-effort exactly once.
+    for (JobId id : scheduler_->take_demotions()) {
+        JobRt &job = rt(id);
+        if (job.outcome.demoted)
+            continue;
+        job.outcome.demoted = true;
+        ++result_.slo_demotions;
+        EF_INFO("job " << id << " demoted to best-effort at "
+                       << format_double(now_ / kHour, 2) << " h");
+    }
     record_timelines();
     arm_tick();
 }
@@ -574,9 +815,15 @@ Simulator::run()
         events_.push(Event{rt(id).spec.submit_time, next_seq_++,
                            Event::kArrival, id});
     }
-    if (config_.failures.enabled) {
-        for (int server = 0; server < topology_.num_servers(); ++server)
-            schedule_next_failure(server);
+    if (fault_ != nullptr) {
+        if (fault_->server_crashes_enabled()) {
+            for (int server = 0; server < topology_.num_servers();
+                 ++server) {
+                schedule_next_failure(server);
+            }
+        }
+        schedule_next_gpu_fault();
+        queue_scripted_faults();
     }
 
     while (true) {
@@ -592,9 +839,13 @@ Simulator::run()
         Event event = events_.top();
         events_.pop();
         if ((event.kind == Event::kServerDown ||
-             event.kind == Event::kServerUp) &&
+             event.kind == Event::kServerUp ||
+             event.kind == Event::kGpuDown ||
+             event.kind == Event::kGpuUp ||
+             event.kind == Event::kStragglerStart ||
+             event.kind == Event::kStragglerEnd) &&
             !work_pending()) {
-            continue;  // drain the failure stream once all jobs ended
+            continue;  // drain the fault stream once all jobs ended
         }
         if (event.time > config_.max_time) {
             EF_WARN("simulation hit max_time with "
@@ -615,10 +866,22 @@ Simulator::run()
             handle_tick();
             break;
           case Event::kServerDown:
-            handle_server_down(static_cast<int>(event.job));
+            handle_server_down(event);
             break;
           case Event::kServerUp:
             handle_server_up(static_cast<int>(event.job));
+            break;
+          case Event::kGpuDown:
+            handle_gpu_down(event);
+            break;
+          case Event::kGpuUp:
+            handle_gpu_up(static_cast<GpuCount>(event.job));
+            break;
+          case Event::kStragglerStart:
+            handle_straggler_start(event);
+            break;
+          case Event::kStragglerEnd:
+            handle_straggler_end(event.job);
             break;
         }
     }

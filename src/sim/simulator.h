@@ -25,6 +25,7 @@
 
 #include "cluster/placement.h"
 #include "common/rng.h"
+#include "fault/fault.h"
 #include "sched/scheduler.h"
 #include "sim/metrics.h"
 #include "sim/overhead_model.h"
@@ -33,7 +34,13 @@
 
 namespace ef {
 
-/** Random server failures (§4.4 "Node failures"). */
+/**
+ * Random server failures (§4.4 "Node failures"). Legacy knob: it is
+ * mapped onto the FaultInjector's server-crash class (with this seed,
+ * so existing runs replay byte-identically). New code should prefer
+ * SimConfig::faults; configuring server crashes through both at once
+ * is an error.
+ */
 struct FailureConfig
 {
     bool enabled = false;
@@ -43,7 +50,8 @@ struct FailureConfig
     Time repair_s = 2.0 * kHour;
     /**
      * Jobs auto-checkpoint this often; a failure rolls a victim back
-     * to its last checkpoint (in addition to losing its GPUs).
+     * to its last checkpoint (in addition to losing its GPUs). Applies
+     * to every fault class that evicts jobs, not only this one.
      */
     Time checkpoint_interval_s = 1800.0;
     std::uint64_t seed = 1;
@@ -66,6 +74,10 @@ struct SimConfig
     Time max_time = 400.0 * kDay;
     OverheadConfig overhead;
     FailureConfig failures;
+    /** Fault injection (GPU faults, RPC loss, stragglers, checkpoint
+     *  failures, scripted traces). All-zero rates = fully disabled:
+     *  the run is then byte-identical to one without this member. */
+    FaultConfig faults;
     NoiseConfig noise;
     /** Record cluster-efficiency samples (Fig. 10). */
     bool record_efficiency = true;
@@ -116,6 +128,7 @@ class Simulator : public ClusterView
     double remaining_iterations(JobId job) const override;
     GpuCount current_gpus(JobId job) const override;
     double attained_gpu_seconds(JobId job) const override;
+    std::uint64_t fault_epoch() const override { return fault_epoch_; }
 
   private:
     struct JobRt;
@@ -125,9 +138,24 @@ class Simulator : public ClusterView
     void handle_arrival(JobId id);
     void handle_completion_check(JobId id);
     void handle_tick();
-    void handle_server_down(int server);
+    void handle_server_down(const Event &event);
     void handle_server_up(int server);
+    void handle_gpu_down(const Event &event);
+    void handle_gpu_up(GpuCount gpu);
+    void handle_straggler_start(const Event &event);
+    void handle_straggler_end(JobId id);
     void schedule_next_failure(int server);
+    void schedule_next_gpu_fault();
+    void queue_scripted_faults();
+    /** Evict one placed job (fault path): release, roll back to its
+     *  last checkpoint, count the failure. */
+    void evict_job(JobId id);
+    /**
+     * Unreliable delivery of the resize command for @p job: charges
+     * retry backoff into @p penalty and returns false when every
+     * attempt was lost (the command must not be applied).
+     */
+    bool deliver_resize(JobId id, Time *penalty);
 
     /**
      * Note that the current event wants the scheduler re-run. The
@@ -175,7 +203,10 @@ class Simulator : public ClusterView
     /** Scheduler-visible state changed since the last decision. */
     bool view_dirty_ = true;
     Time last_decision_time_ = -kTimeInfinity;
-    std::unique_ptr<Rng> failure_rng_;
+    /** Null unless some fault class is enabled. */
+    std::unique_ptr<FaultInjector> fault_;
+    /** Capacity-affecting fault events so far (ClusterView). */
+    std::uint64_t fault_epoch_ = 0;
 
     RunResult result_;
 };

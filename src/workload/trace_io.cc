@@ -21,11 +21,11 @@ format_time(Time t)
 }
 
 Time
-parse_time(const std::string &s)
+parse_time(const std::string &s, const std::string &context)
 {
     if (s == "inf")
         return kTimeInfinity;
-    return std::stod(s);
+    return csv_to_double(s, context);
 }
 
 }  // namespace
@@ -73,16 +73,32 @@ parse_trace_csv(const std::string &text, const TopologySpec &topology,
     trace.name = name;
     trace.topology = topology;
     for (std::size_t r = 0; r < table.rows.size(); ++r) {
+        // Header is line 1, so data row r lives on line r + 2. Every
+        // malformed field aborts with this position instead of an
+        // uncaught std::sto* exception.
+        std::ostringstream where;
+        where << "trace line " << r + 2;
+        const std::string context = where.str();
+        EF_FATAL_IF(table.rows[r].size() != table.header.size(),
+                    context << ": expected " << table.header.size()
+                            << " fields, got " << table.rows[r].size());
+        auto column = [&context](const char *col) {
+            return context + ", column '" + col + "'";
+        };
         JobSpec job;
-        job.id = std::stoll(table.cell(r, "id"));
+        job.id = csv_to_int(table.cell(r, "id"), column("id"));
         job.name = table.cell(r, "name");
         if (table.column_index("user") >= 0)
             job.user = table.cell(r, "user");
         job.model = model_from_name(table.cell(r, "model"));
-        job.global_batch = std::stoi(table.cell(r, "global_batch"));
-        job.iterations = std::stoll(table.cell(r, "iterations"));
-        job.submit_time = parse_time(table.cell(r, "submit_time"));
-        job.deadline = parse_time(table.cell(r, "deadline"));
+        job.global_batch = static_cast<int>(csv_to_int(
+            table.cell(r, "global_batch"), column("global_batch")));
+        job.iterations = csv_to_int(table.cell(r, "iterations"),
+                                    column("iterations"));
+        job.submit_time = parse_time(table.cell(r, "submit_time"),
+                                     column("submit_time"));
+        job.deadline =
+            parse_time(table.cell(r, "deadline"), column("deadline"));
         const std::string &kind = table.cell(r, "kind");
         if (kind == "slo") {
             job.kind = JobKind::kSlo;
@@ -91,15 +107,20 @@ parse_trace_csv(const std::string &text, const TopologySpec &topology,
         } else if (kind == "best-effort") {
             job.kind = JobKind::kBestEffort;
         } else {
-            EF_FATAL_IF(true, "unknown job kind '" << kind << "'");
+            EF_FATAL_IF(true, context << ": unknown job kind '" << kind
+                                      << "'");
         }
-        job.requested_gpus = std::stoi(table.cell(r, "requested_gpus"));
+        job.requested_gpus = static_cast<int>(csv_to_int(
+            table.cell(r, "requested_gpus"), column("requested_gpus")));
         EF_FATAL_IF(job.iterations <= 0,
-                    "job " << job.id << " has non-positive iterations");
+                    context << ": job " << job.id
+                            << " has non-positive iterations");
         EF_FATAL_IF(job.global_batch <= 0,
-                    "job " << job.id << " has non-positive batch");
+                    context << ": job " << job.id
+                            << " has non-positive batch");
         EF_FATAL_IF(job.requested_gpus <= 0,
-                    "job " << job.id << " has non-positive GPU request");
+                    context << ": job " << job.id
+                            << " has non-positive GPU request");
         trace.jobs.push_back(std::move(job));
     }
     trace.sort_by_submit_time();

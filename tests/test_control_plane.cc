@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "exec/control_plane.h"
+#include "fault/fault.h"
 
 namespace ef {
 namespace {
@@ -137,6 +138,106 @@ TEST_F(ControlPlaneTest, CommandTypeNames)
 {
     EXPECT_EQ(command_type_name(CommandType::kLaunch), "launch");
     EXPECT_EQ(command_type_name(CommandType::kShutdown), "shutdown");
+}
+
+// --- unreliable delivery (fault injection) ------------------------------
+
+TEST_F(ControlPlaneTest, RetryOnDroppedRpcEventuallyApplies)
+{
+    FaultConfig config;
+    config.script.push_back({0.0, FaultType::kRpcDrop, 1, 0.0, 2.0});
+    FaultInjector injector(config);
+    fleet_.set_fault_injector(&injector);
+    fleet_.register_job(spec(1));
+    CommandAck ack =
+        fleet_.issue(CommandType::kLaunch, 1, {0, 1, 2, 3}, 0.0);
+    EXPECT_TRUE(ack.ok);
+    EXPECT_EQ(ack.retries, 2);
+    EXPECT_FALSE(ack.gave_up);
+    // Base latency plus bounded exponential backoff 0.2 + 0.4 s.
+    EXPECT_DOUBLE_EQ(ack.applied_at, 0.05 + 0.2 + 0.4);
+    EXPECT_EQ(fleet_.rpc_retries(), 2);
+    EXPECT_EQ(fleet_.rpc_gave_up(), 0);
+    EXPECT_EQ(fleet_.running_count(), 1u);
+    EXPECT_EQ(fleet_.applied_seq(1), ack.seq);
+}
+
+TEST_F(ControlPlaneTest, GiveUpAfterMaxRetriesLeavesJobUntouched)
+{
+    FaultConfig config;
+    config.rpc_max_retries = 2;
+    config.script.push_back({0.0, FaultType::kRpcDrop, 1, 0.0, 10.0});
+    FaultInjector injector(config);
+    fleet_.set_fault_injector(&injector);
+    fleet_.register_job(spec(1));
+    CommandAck ack =
+        fleet_.issue(CommandType::kLaunch, 1, {0, 1, 2, 3}, 0.0);
+    EXPECT_FALSE(ack.ok);
+    EXPECT_TRUE(ack.gave_up);
+    EXPECT_EQ(ack.retries, 2);
+    EXPECT_EQ(fleet_.rpc_gave_up(), 1);
+    EXPECT_EQ(fleet_.running_count(), 0u);
+    EXPECT_EQ(fleet_.applied_seq(1), 0u);  // never applied
+    // A later clean reissue still works (scripted drops consumed).
+    ack = fleet_.issue(CommandType::kLaunch, 1, {0, 1, 2, 3}, 1.0);
+    EXPECT_TRUE(ack.ok);
+    EXPECT_EQ(fleet_.running_count(), 1u);
+}
+
+TEST_F(ControlPlaneTest, LostAcksApplyOnceAndSuppressDuplicates)
+{
+    // Every attempt loses its ack: the command is applied by the first
+    // attempt, each redelivery is suppressed by the seq-based dedup,
+    // and after max retries the fleet reports gave_up even though the
+    // execution did act.
+    FaultConfig config;
+    config.rpc_drop_prob = 1.0;
+    config.rpc_ack_loss_fraction = 1.0;
+    config.rpc_max_retries = 2;
+    FaultInjector injector(config);
+    fleet_.set_fault_injector(&injector);
+    fleet_.register_job(spec(1));
+    CommandAck ack =
+        fleet_.issue(CommandType::kLaunch, 1, {0, 1, 2, 3}, 0.0);
+    EXPECT_FALSE(ack.ok);  // no confirmation ever arrived
+    EXPECT_TRUE(ack.gave_up);
+    EXPECT_EQ(fleet_.duplicates_suppressed(), 2);
+    EXPECT_EQ(fleet_.rpc_retries(), 2);
+    // ...but the worker group is up: idempotent application happened
+    // exactly once.
+    EXPECT_EQ(fleet_.running_count(), 1u);
+    EXPECT_EQ(fleet_.execution(1).worker_count(), 4);
+    EXPECT_EQ(fleet_.applied_seq(1), ack.seq);
+}
+
+TEST_F(ControlPlaneTest, RejectsCommandsNamingDownGpus)
+{
+    fleet_.register_job(spec(1, 1000000));
+    fleet_.set_gpu_available(2, false);
+    CommandAck ack =
+        fleet_.issue(CommandType::kLaunch, 1, {0, 1, 2, 3}, 0.0);
+    EXPECT_FALSE(ack.ok);
+    EXPECT_EQ(fleet_.rejected_commands(), 1);
+    EXPECT_EQ(fleet_.running_count(), 0u);
+    // Other GPUs still accept work; repair re-enables the GPU.
+    EXPECT_TRUE(fleet_.issue(CommandType::kLaunch, 1, {4, 5}, 1.0).ok);
+    fleet_.set_gpu_available(2, true);
+    EXPECT_TRUE(
+        fleet_.issue(CommandType::kScale, 1, {0, 1, 2, 3}, 2.0).ok);
+    EXPECT_EQ(fleet_.rejected_commands(), 1);
+}
+
+TEST_F(ControlPlaneTest, RejectsCommandsToDownServers)
+{
+    fleet_.register_job(spec(1, 1000000));
+    fleet_.set_server_available(0, false);
+    // GPUs 0-7 are down with their server.
+    EXPECT_FALSE(fleet_.issue(CommandType::kLaunch, 1, {7}, 0.0).ok);
+    EXPECT_TRUE(fleet_.issue(CommandType::kLaunch, 1, {8, 9}, 1.0).ok);
+    // Suspend carries no GPU set and is never hardware-gated.
+    EXPECT_TRUE(fleet_.issue(CommandType::kSuspend, 1, {}, 2.0).ok);
+    fleet_.set_server_available(0, true);
+    EXPECT_TRUE(fleet_.issue(CommandType::kScale, 1, {0, 1}, 3.0).ok);
 }
 
 }  // namespace

@@ -169,6 +169,69 @@ TEST(Failures, DeterministicUnderFailures)
     }
 }
 
+TEST(Failures, PostFailureReplanIsNeverElided)
+{
+    // With immediate (uncoalesced) replans and elision on, three
+    // requests land at t = 600 in order: arrival (flushes, decides),
+    // scripted crash (must NOT be elided — the fault dirtied the
+    // view), and the colliding tick (elidable). The crash victim must
+    // be re-placed by the crash-triggered replan at that same
+    // timestamp.
+    class TickingFixedScheduler : public Scheduler
+    {
+      public:
+        std::string name() const override { return "fixed"; }
+        Time reschedule_interval() const override { return 600.0; }
+        SchedulerDecision
+        allocate() override
+        {
+            SchedulerDecision decision;
+            GpuCount free = view_->total_gpus();
+            for (JobId id : view_->active_jobs()) {
+                GpuCount req = view_->spec(id).requested_gpus;
+                if (view_->remaining_iterations(id) > 0.0 &&
+                    req <= free) {
+                    decision.gpus[id] = req;
+                    free -= req;
+                }
+            }
+            return decision;
+        }
+    };
+    Trace trace = TraceBuilder(TopologySpec::testbed_32())
+                      .slo(DnnModel::kVgg16, 256, 8, 0.0, kHour, 4.0)
+                      .slo(DnnModel::kBert, 64, 4, 600.0, kHour, 4.0)
+                      .build();
+    TickingFixedScheduler scheduler;
+    SimConfig config;
+    config.overhead.enabled = false;
+    config.coalesce_replans = false;
+    config.elide_replans = true;
+    config.faults.script.push_back(
+        {600.0, FaultType::kServerCrash, 0, 1800.0, 0.0});
+    Simulator sim(trace, &scheduler, config);
+    RunResult result = sim.run();
+
+    EXPECT_GE(result.replans_elided, 1);  // elision is active...
+    EXPECT_EQ(result.jobs[0].failures_suffered, 1);
+    bool evicted_at_600 = false;
+    bool replaced_at_600 = false;
+    for (const AllocationEvent &event : result.allocation_log) {
+        if (event.job != 0 || event.time != 600.0)
+            continue;
+        if (event.gpus.empty())
+            evicted_at_600 = true;
+        else if (evicted_at_600)
+            replaced_at_600 = true;
+    }
+    EXPECT_TRUE(evicted_at_600);
+    // ...yet the post-failure replan ran despite a decision already
+    // made at t = 600, because the fault dirtied the view.
+    EXPECT_TRUE(replaced_at_600);
+    for (const JobOutcome &job : result.jobs)
+        EXPECT_TRUE(job.finished) << job.spec.id;
+}
+
 TEST(Noise, SmallProfilingErrorIsAbsorbedByMargin)
 {
     TraceGenConfig gen = testbed_small_preset();

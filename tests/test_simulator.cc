@@ -286,5 +286,45 @@ TEST(Simulator, MigrationsAreCountedAndCharged)
     EXPECT_GT(migrations, 0);
 }
 
+TEST(Simulator, FailureAtArrivalBurstCoalescesIntoOneReplan)
+{
+    // Three replan sources collide at t = 600: an arrival, a scripted
+    // server crash, and the periodic tick armed at t = 0. Coalescing
+    // must merge them into a single scheduler invocation, and the
+    // crash victim must be re-placed by that very invocation.
+    Trace trace = TraceBuilder(TopologySpec::testbed_32())
+                      .slo(DnnModel::kVgg16, 256, 8, 0.0, kHour, 4.0)
+                      .slo(DnnModel::kBert, 64, 4, 600.0, kHour, 4.0)
+                      .build();
+    TickingFixedScheduler scheduler;
+    SimConfig config;
+    config.overhead.enabled = false;
+    config.faults.script.push_back(
+        {600.0, FaultType::kServerCrash, 0, 1800.0, 0.0});
+    Simulator sim(trace, &scheduler, config);
+    RunResult result = sim.run();
+
+    EXPECT_GE(result.replans_coalesced, 2);
+    EXPECT_EQ(result.jobs[0].failures_suffered, 1);
+    EXPECT_EQ(result.jobs[1].failures_suffered, 0);
+    for (const JobOutcome &job : result.jobs)
+        EXPECT_TRUE(job.finished) << job.spec.id;
+    // The coalesced replan at t = 600 both evicted and re-placed the
+    // victim: its allocation log shows the eviction followed by a new
+    // placement at the same timestamp.
+    bool evicted_at_600 = false;
+    bool replaced_at_600 = false;
+    for (const AllocationEvent &event : result.allocation_log) {
+        if (event.job != 0 || event.time != 600.0)
+            continue;
+        if (event.gpus.empty())
+            evicted_at_600 = true;
+        else if (evicted_at_600)
+            replaced_at_600 = true;
+    }
+    EXPECT_TRUE(evicted_at_600);
+    EXPECT_TRUE(replaced_at_600);
+}
+
 }  // namespace
 }  // namespace ef

@@ -153,6 +153,43 @@ TEST(TraceIo, FileRoundTrip)
     EXPECT_EQ(copy.jobs.size(), trace.jobs.size());
 }
 
+TEST(TraceIoDeathTest, MalformedRowsNameTheLine)
+{
+    const std::string header =
+        "id,name,user,model,global_batch,iterations,submit_time,"
+        "deadline,kind,requested_gpus\n";
+    const TopologySpec topo = TopologySpec::testbed_32();
+    // Non-numeric iterations on data row 1 = file line 2.
+    EXPECT_DEATH(
+        parse_trace_csv(header +
+                            "0,j0,u,ResNet50,128,lots,0,100,slo,4\n",
+                        topo),
+        "trace line 2.*iterations");
+    // Bad row lands on line 3 even when line 2 is fine.
+    EXPECT_DEATH(
+        parse_trace_csv(header +
+                            "0,j0,u,ResNet50,128,10,0,100,slo,4\n"
+                            "1,j1,u,ResNet50,128,10,0,1e,slo,4\n",
+                        topo),
+        "trace line 3.*deadline");
+    // Wrong field count.
+    EXPECT_DEATH(parse_trace_csv(header + "0,j0,u,ResNet50,128,10\n",
+                                 topo),
+                 "trace line 2.*expected 10 fields, got 6");
+    // Unknown job kind.
+    EXPECT_DEATH(
+        parse_trace_csv(header +
+                            "0,j0,u,ResNet50,128,10,0,100,urgent,4\n",
+                        topo),
+        "trace line 2.*unknown job kind 'urgent'");
+    // Non-positive GPU request.
+    EXPECT_DEATH(
+        parse_trace_csv(header +
+                            "0,j0,u,ResNet50,128,10,0,100,slo,0\n",
+                        topo),
+        "trace line 2.*non-positive GPU request");
+}
+
 TEST(Trace, IterationsForDurationInvertsStandalone)
 {
     Topology topo(TopologySpec::testbed_128());
