@@ -7,6 +7,7 @@
  * traded for SLO compliance at higher ones.
  */
 #include "bench_util.h"
+#include "common/math_util.h"
 
 int
 main()
@@ -53,7 +54,7 @@ main()
             header.push_back(name);
         ConsoleTable table(header);
         for (double fraction : fractions) {
-            if (fraction == 0.0)
+            if (almost_equal(fraction, 0.0))
                 continue;  // no best-effort jobs to measure
             double gandiva_jct =
                 grid[fraction].at("gandiva").average_jct(

@@ -16,6 +16,7 @@
  * "best-effort" for jobs without one; kind "soft" for soft deadlines).
  */
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <string>
 
@@ -41,7 +42,7 @@ usage()
         << "            [--mtbf DAYS] [--repair HOURS]\n"
         << "            [--gpu-fault-rate PER_GPU_PER_DAY]\n"
         << "            [--rpc-drop PROB] [--fault-script FILE]\n"
-        << "            [--fault-seed N]\n"
+        << "            [--fault-seed N] [--state-hash]\n"
         << "  run_trace --generate <preset> <out.csv>\n"
         << "presets: testbed-small, testbed-large, philly, "
         << "cluster1..cluster10\nschedulers:";
@@ -89,6 +90,7 @@ main(int argc, char **argv)
     std::string trace_path = argv[1];
     int gpus = 128;
     std::string scheduler_name = "elasticflow";
+    bool show_state_hash = false;
     SimConfig sim_config;
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
@@ -123,6 +125,8 @@ main(int argc, char **argv)
             sim_config.faults.script = load_fault_script(next());
         } else if (arg == "--fault-seed") {
             sim_config.faults.seed = std::stoull(next());
+        } else if (arg == "--state-hash") {
+            show_state_hash = true;
         } else {
             return usage();
         }
@@ -176,5 +180,11 @@ main(int argc, char **argv)
                        std::to_string(result.slo_demotions)});
     }
     std::cout << table.render();
+    if (show_state_hash) {
+        // Fixed single-line format so CI can diff two runs directly.
+        std::cout << "state-hash: " << std::hex << std::setw(16)
+                  << std::setfill('0') << result.state_hash << std::dec
+                  << " samples: " << result.state_hash_samples << "\n";
+    }
     return 0;
 }

@@ -1,0 +1,50 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace ef {
+namespace detail {
+
+struct CheckMessage::Impl
+{
+    std::ostringstream oss;
+};
+
+CheckMessage::CheckMessage() : impl_(new Impl) {}
+
+CheckMessage::~CheckMessage()
+{
+    delete impl_;
+}
+
+std::ostream &
+CheckMessage::stream()
+{
+    return impl_->oss;
+}
+
+std::string
+CheckMessage::str() const
+{
+    return impl_->oss.str();
+}
+
+void
+check_failed(const char *kind, const char *file, int line,
+             const char *expr, const std::string &msg)
+{
+    std::fprintf(stderr, "%s at %s:%d: %s", kind, file, line, expr);
+    if (!msg.empty())
+        std::fprintf(stderr, " — %s", msg.c_str());
+    std::fputc('\n', stderr);
+    // abort() raises SIGABRT without running stream destructors or
+    // atexit handlers; flush so the message is not lost in a buffered
+    // CI log pipe.
+    std::fflush(stderr);
+    std::abort();
+}
+
+}  // namespace detail
+}  // namespace ef

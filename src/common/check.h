@@ -7,29 +7,53 @@
  * configuration (gem5's fatal()). Both are always on, including in
  * release builds: scheduler invariants are cheap relative to simulation
  * work and silent corruption of an allocation plan is much worse than an
- * abort.
+ * abort. EF_DCHECK is for hot-path invariants too expensive to keep in
+ * release builds; it compiles out (condition unevaluated) under NDEBUG.
+ *
+ * This header is included almost everywhere, so it deliberately pulls
+ * in only <ostream>/<string>: the string-stream machinery and the
+ * abort path live behind CheckMessage / check_failed in check.cc.
  */
 #ifndef EF_COMMON_CHECK_H_
 #define EF_COMMON_CHECK_H_
 
-#include <cstdlib>
-#include <iostream>
-#include <sstream>
+#include <ostream>
 #include <string>
 
 namespace ef {
 namespace detail {
 
-[[noreturn]] inline void
-check_failed(const char *kind, const char *file, int line,
-             const char *expr, const std::string &msg)
+/**
+ * Accumulates the streamed message of EF_CHECK_MSG / EF_FATAL_IF.
+ * The backing string stream is hidden behind a pimpl so that this
+ * widely-included header does not drag <sstream> into every
+ * translation unit.
+ */
+class CheckMessage
 {
-    std::cerr << kind << " at " << file << ":" << line << ": " << expr;
-    if (!msg.empty())
-        std::cerr << " — " << msg;
-    std::cerr << std::endl;
-    std::abort();
-}
+  public:
+    CheckMessage();
+    ~CheckMessage();
+
+    CheckMessage(const CheckMessage &) = delete;
+    CheckMessage &operator=(const CheckMessage &) = delete;
+
+    /** Stream the message parts are appended to. */
+    std::ostream &stream();
+    /** The message accumulated so far. */
+    std::string str() const;
+
+  private:
+    struct Impl;
+    Impl *impl_;
+};
+
+/**
+ * Print the failure to stderr, flush it (so the message survives CI
+ * log buffering even though abort() skips atexit handlers), and abort.
+ */
+[[noreturn]] void check_failed(const char *kind, const char *file, int line,
+                               const char *expr, const std::string &msg);
 
 }  // namespace detail
 }  // namespace ef
@@ -39,7 +63,7 @@ check_failed(const char *kind, const char *file, int line,
     do {                                                                    \
         if (!(cond)) {                                                      \
             ::ef::detail::check_failed("EF_CHECK failed", __FILE__,         \
-                                       __LINE__, #cond, "");                \
+                                       __LINE__, #cond, std::string());     \
         }                                                                   \
     } while (0)
 
@@ -47,11 +71,11 @@ check_failed(const char *kind, const char *file, int line,
 #define EF_CHECK_MSG(cond, msg_expr)                                        \
     do {                                                                    \
         if (!(cond)) {                                                      \
-            std::ostringstream ef_check_oss_;                               \
-            ef_check_oss_ << msg_expr;                                      \
+            ::ef::detail::CheckMessage ef_check_msg_;                       \
+            ef_check_msg_.stream() << msg_expr;                             \
             ::ef::detail::check_failed("EF_CHECK failed", __FILE__,         \
                                        __LINE__, #cond,                     \
-                                       ef_check_oss_.str());                \
+                                       ef_check_msg_.str());                \
         }                                                                   \
     } while (0)
 
@@ -59,11 +83,33 @@ check_failed(const char *kind, const char *file, int line,
 #define EF_FATAL_IF(cond, msg_expr)                                         \
     do {                                                                    \
         if (cond) {                                                         \
-            std::ostringstream ef_check_oss_;                               \
-            ef_check_oss_ << msg_expr;                                      \
+            ::ef::detail::CheckMessage ef_check_msg_;                       \
+            ef_check_msg_.stream() << msg_expr;                             \
             ::ef::detail::check_failed("fatal", __FILE__, __LINE__, #cond,  \
-                                       ef_check_oss_.str());                \
+                                       ef_check_msg_.str());                \
         }                                                                   \
     } while (0)
+
+/**
+ * Debug-only invariants for hot paths (per-candidate planner loops,
+ * per-event simulator bookkeeping) where an always-on EF_CHECK would
+ * show up in profiles. Under NDEBUG the condition is NOT evaluated
+ * (sizeof keeps it an unevaluated operand, which still suppresses
+ * unused-variable warnings), so it must be side-effect free — ef-lint
+ * rule check-side-effect enforces that.
+ */
+#ifndef NDEBUG
+#define EF_DCHECK(cond) EF_CHECK(cond)
+#define EF_DCHECK_MSG(cond, msg_expr) EF_CHECK_MSG(cond, msg_expr)
+#else
+#define EF_DCHECK(cond)                                                     \
+    do {                                                                    \
+        (void)sizeof(!(cond));                                              \
+    } while (0)
+#define EF_DCHECK_MSG(cond, msg_expr)                                       \
+    do {                                                                    \
+        (void)sizeof(!(cond));                                              \
+    } while (0)
+#endif
 
 #endif  // EF_COMMON_CHECK_H_

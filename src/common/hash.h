@@ -1,0 +1,85 @@
+/**
+ * @file
+ * FNV-1a 64-bit hashing for the runtime determinism auditor.
+ *
+ * The auditor folds all determinism-relevant scheduler + simulator
+ * state (job queue, allocations, event clock, RNG cursors) into one
+ * digest at every replan; two runs of the same trace and config must
+ * produce identical digests or a hidden nondeterminism source crept
+ * in. FNV-1a is used because it is trivially portable, endianness is
+ * pinned by feeding bytes LSB-first, and speed matters more than
+ * collision resistance here (a divergence flips essentially every
+ * subsequent sample, so even a weak hash catches it).
+ */
+#ifndef EF_COMMON_HASH_H_
+#define EF_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace ef {
+
+/** Incremental FNV-1a 64-bit hasher with canonical (LSB-first) input. */
+class Fnv1a
+{
+  public:
+    static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+    static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+    /** Digest of everything mixed in so far. */
+    std::uint64_t digest() const { return state_; }
+
+    void
+    byte(std::uint8_t b)
+    {
+        state_ = (state_ ^ b) * kPrime;
+    }
+
+    void
+    bytes(const void *data, std::size_t len)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        for (std::size_t i = 0; i < len; ++i)
+            byte(p[i]);
+    }
+
+    /** Mix a 64-bit value, LSB first (endianness-independent). */
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    /**
+     * Mix a double by bit pattern. Bit-exact on purpose: the auditor
+     * asserts byte-identical replay, so even an ULP of drift (or a
+     * -0.0 vs +0.0 flip) is a real divergence worth catching.
+     */
+    void
+    f64(double v)
+    {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    /** Mix a length-prefixed string. */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+  private:
+    std::uint64_t state_ = kOffsetBasis;
+};
+
+}  // namespace ef
+
+#endif  // EF_COMMON_HASH_H_

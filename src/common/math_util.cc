@@ -126,4 +126,20 @@ relative_difference(double a, double b, double eps)
     return std::fabs(a - b) / denom;
 }
 
+bool
+almost_equal(double a, double b, double rel_tol, double abs_tol)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return false;
+    if (std::isinf(a) || std::isinf(b)) {
+        // Equal infinities are exactly equal; anything else is not
+        // within any tolerance of an infinity.
+        return a == b;  // ef-lint: allow(float-eq: exact sentinel compare is this function's job)
+    }
+    double diff = std::fabs(a - b);
+    if (diff <= abs_tol)
+        return true;
+    return diff <= rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
 }  // namespace ef

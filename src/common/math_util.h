@@ -51,6 +51,18 @@ double clamp(double value, double lo, double hi);
 /** Relative difference |a-b| / max(|a|,|b|,eps). */
 double relative_difference(double a, double b, double eps = 1e-12);
 
+/**
+ * Tolerant floating-point equality. ef-lint bans ==/!= on
+ * floating-point expressions (rule float-eq) because exact comparison
+ * on computed values is a classic hidden-nondeterminism trap; this is
+ * the sanctioned replacement. True when |a-b| <= abs_tol (covers
+ * denormals and sign-crossing near zero, where relative error is
+ * meaningless) or |a-b| <= rel_tol * max(|a|,|b|). NaN never compares
+ * equal to anything, including itself; equal infinities compare equal.
+ */
+bool almost_equal(double a, double b, double rel_tol = 1e-9,
+                  double abs_tol = 1e-12);
+
 }  // namespace ef
 
 #endif  // EF_COMMON_MATH_UTIL_H_

@@ -19,6 +19,7 @@ Rng::fork()
 std::int64_t
 Rng::uniform_int(std::int64_t lo, std::int64_t hi)
 {
+    ++draws_;
     EF_CHECK_MSG(lo <= hi, "uniform_int(" << lo << ", " << hi << ")");
     std::uniform_int_distribution<std::int64_t> dist(lo, hi);
     return dist(engine_);
@@ -27,6 +28,7 @@ Rng::uniform_int(std::int64_t lo, std::int64_t hi)
 double
 Rng::uniform_real(double lo, double hi)
 {
+    ++draws_;
     EF_CHECK_MSG(lo <= hi, "uniform_real(" << lo << ", " << hi << ")");
     std::uniform_real_distribution<double> dist(lo, hi);
     return dist(engine_);
@@ -35,6 +37,7 @@ Rng::uniform_real(double lo, double hi)
 double
 Rng::exponential(double rate)
 {
+    ++draws_;
     EF_CHECK_MSG(rate > 0, "exponential rate must be positive: " << rate);
     std::exponential_distribution<double> dist(rate);
     return dist(engine_);
@@ -43,6 +46,7 @@ Rng::exponential(double rate)
 double
 Rng::log_normal(double mu, double sigma)
 {
+    ++draws_;
     std::lognormal_distribution<double> dist(mu, sigma);
     return dist(engine_);
 }
@@ -50,6 +54,7 @@ Rng::log_normal(double mu, double sigma)
 double
 Rng::normal(double mean, double stddev)
 {
+    ++draws_;
     std::normal_distribution<double> dist(mean, stddev);
     return dist(engine_);
 }
@@ -57,6 +62,7 @@ Rng::normal(double mean, double stddev)
 bool
 Rng::flip(double probability)
 {
+    ++draws_;
     EF_CHECK(probability >= 0.0 && probability <= 1.0);
     std::bernoulli_distribution dist(probability);
     return dist(engine_);

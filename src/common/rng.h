@@ -33,6 +33,17 @@ class Rng
     /** Derive an independent child stream (stable across calls). */
     Rng fork();
 
+    /**
+     * Number of draws taken from this stream so far (its "cursor").
+     * Together with seed() this pins the stream's position: two runs
+     * are in sync iff every stream has the same (seed, draws, forks).
+     * Folded into the simulator's determinism state hash.
+     */
+    std::uint64_t draws() const { return draws_; }
+
+    /** Number of child streams forked off so far. */
+    std::uint64_t forks() const { return fork_count_; }
+
     /** Uniform integer in [lo, hi], inclusive. */
     std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
@@ -62,6 +73,7 @@ class Rng
     void
     shuffle(std::vector<T> &values)
     {
+        ++draws_;
         std::shuffle(values.begin(), values.end(), engine_);
     }
 
@@ -69,6 +81,7 @@ class Rng
     std::mt19937_64 engine_;
     std::uint64_t seed_;
     std::uint64_t fork_count_ = 0;
+    std::uint64_t draws_ = 0;
 };
 
 }  // namespace ef

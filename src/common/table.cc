@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/math_util.h"
 
 namespace ef {
 namespace {
@@ -139,8 +140,8 @@ render_sparkline(const std::vector<double> &values, int height)
                             static_cast<double>(height), 1)
             << "\t|";
         for (double v : values)
-            out << (span == 0.0 ? (row == 0 ? '#' : ' ')
-                                : (v >= threshold ? '#' : ' '));
+            out << (almost_equal(span, 0.0) ? (row == 0 ? '#' : ' ')
+                                            : (v >= threshold ? '#' : ' '));
         out << '\n';
     }
     out << "\t+" << std::string(values.size(), '-') << '\n';

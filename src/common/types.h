@@ -29,6 +29,14 @@ inline constexpr JobId kInvalidJob = -1;
 /** Sentinel time for "never" (used for best-effort job deadlines). */
 inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
 
+/**
+ * True iff @p t is the "never" sentinel. Use this instead of comparing
+ * against kTimeInfinity with ==/!= (banned by ef-lint rule float-eq):
+ * >= is exact for the sentinel and also absorbs values that overflowed
+ * past any representable finite time.
+ */
+inline constexpr bool is_unbounded(Time t) { return t >= kTimeInfinity; }
+
 /** Seconds in common calendar units, for readable experiment configs. */
 inline constexpr Time kMinute = 60.0;
 inline constexpr Time kHour = 3600.0;

@@ -64,7 +64,7 @@ int
 deadline_slots(Time now, Time deadline, Time slot_seconds, int max_slots)
 {
     EF_CHECK(slot_seconds > 0.0 && max_slots >= 0);
-    if (deadline == kTimeInfinity)
+    if (is_unbounded(deadline))
         return max_slots;
     if (deadline <= now)
         return 0;
@@ -78,7 +78,7 @@ plan_horizon(Time now, Time deadline, Time slot_seconds, int max_slots)
 {
     EF_CHECK(slot_seconds > 0.0 && max_slots >= 0);
     PlanHorizon horizon;
-    if (deadline == kTimeInfinity) {
+    if (is_unbounded(deadline)) {
         horizon.slots = max_slots;
         horizon.last_weight = 1.0;
         return horizon;

@@ -66,7 +66,7 @@ struct PlanningJob
      */
     bool soft = false;
 
-    bool best_effort() const { return deadline == kTimeInfinity; }
+    bool best_effort() const { return is_unbounded(deadline); }
 };
 
 /**

@@ -412,6 +412,9 @@ run_allocation(const PlannerConfig &config, Time now,
             return;
         }
         GpuCount delta = g0n - g0;
+        EF_DCHECK_MSG(delta > 0, "next_step did not grow job "
+                                     << job.id << " (" << g0 << " -> "
+                                     << g0n << ")");
         if (delta > available[0]) {
             st.dead = true;  // slot-0 headroom never grows back
             return;
@@ -444,7 +447,7 @@ run_allocation(const PlannerConfig &config, Time now,
             // against availability with this job's own reservation
             // returned. The scratch buffer only needs this job's
             // horizon: progressive_fill never reads past d.slots.
-            EF_CHECK(plan[i].horizon() <= d.slots);
+            EF_DCHECK(plan[i].horizon() <= d.slots);
             avail_self.assign(available.begin(),
                               available.begin() + d.slots);
             for (int t = 1; t < plan[i].horizon(); ++t)
@@ -509,6 +512,9 @@ run_allocation(const PlannerConfig &config, Time now,
             return;
         }
         GpuCount delta = gn - g;
+        EF_DCHECK_MSG(delta > 0, "next_step did not grow job "
+                                     << job.id << " (" << g << " -> "
+                                     << gn << ")");
         if (delta > available[0]) {
             st.dead = true;
             return;
@@ -563,7 +569,10 @@ run_allocation(const PlannerConfig &config, Time now,
                 GpuCount &a = available[static_cast<std::size_t>(t)];
                 GpuCount before = a;
                 a += diff;
-                EF_CHECK(a >= 0);
+                // Per-winner per-slot: debug-only (the reference
+                // allocator keeps the always-on EF_CHECK and the
+                // equivalence fuzz pins both to the same outcome).
+                EF_DCHECK(a >= 0);
                 if (t >= 1)
                     changes.push_back(
                         SlotChange{t, std::min(before, a), diff > 0});

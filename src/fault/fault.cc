@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/csv.h"
+#include "common/hash.h"
 
 namespace ef {
 namespace {
@@ -201,6 +202,22 @@ FaultInjector::take_scripted_rpc_drops(JobId job, Time now)
         }
     }
     return forced;
+}
+
+std::uint64_t
+FaultInjector::state_fingerprint() const
+{
+    Fnv1a h;
+    for (const Rng *rng : {&server_rng_, &gpu_rng_, &rpc_rng_,
+                           &straggler_rng_, &ckpt_rng_}) {
+        h.u64(rng->seed());
+        h.u64(rng->draws());
+        h.u64(rng->forks());
+    }
+    h.u64(queueable_.size());
+    h.u64(armed_rpc_.size());
+    h.u64(armed_ckpt_.size());
+    return h.digest();
 }
 
 std::vector<FaultEvent>

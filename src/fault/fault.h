@@ -187,6 +187,14 @@ class FaultInjector
      */
     int take_scripted_rpc_drops(JobId job, Time now);
 
+    /**
+     * FNV-1a fingerprint of the injector's mutable state: every
+     * per-class RNG cursor plus the armed scripted-event backlogs.
+     * Folded into the simulator's determinism state hash — two runs
+     * agree only if their fault streams advanced in lockstep.
+     */
+    std::uint64_t state_fingerprint() const;
+
   private:
     FaultConfig config_;
     Rng server_rng_;

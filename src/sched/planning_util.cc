@@ -256,7 +256,7 @@ refresh_min_shares(const PlannerConfig &config, Time now,
                 EF_DEBUG("job " << job.id
                                 << " cannot meet its deadline; relaxing");
             }
-            if (job.deadline == kTimeInfinity)
+            if (is_unbounded(job.deadline))
                 break;
             job.deadline += extension;
             extension *= 1.6;

@@ -92,6 +92,17 @@ struct RunResult
     /** SLO jobs demoted to best-effort after a fault (each once). */
     int slo_demotions = 0;
 
+    // --- determinism audit ----------------------------------------------
+    /**
+     * Chained FNV-1a digest of Simulator::state_hash() sampled at
+     * every replan and once after the run. A pure function of (trace,
+     * scheduler, config): any cross-run difference means a hidden
+     * nondeterminism source. Compare via run_trace --state-hash.
+     */
+    std::uint64_t state_hash = 0;
+    /** Samples folded into state_hash (= replans run + elided + 1). */
+    std::uint64_t state_hash_samples = 0;
+
     /** Jobs that met their deadline / all submitted SLO jobs. */
     double deadline_ratio() const;
 

@@ -32,14 +32,14 @@ jobs_report_csv(const RunResult &result)
             std::to_string(spec.global_batch),
             std::to_string(spec.iterations),
             format_double(spec.submit_time, 3),
-            spec.deadline == kTimeInfinity
+            is_unbounded(spec.deadline)
                 ? "inf"
                 : format_double(spec.deadline, 3),
             job.admitted ? "1" : "0",
             job.finished ? "1" : "0",
             job.finished ? format_double(job.finish_time, 3) : "inf",
             job.met_deadline() ? "1" : "0",
-            job.first_run_time == kTimeInfinity
+            is_unbounded(job.first_run_time)
                 ? "inf"
                 : format_double(job.first_run_time, 3),
             format_double(job.gpu_seconds, 1),

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/table.h"
 
@@ -391,7 +392,7 @@ Simulator::apply_resize(JobRt &job, GpuCount desired)
         job.checkpoint_iters = job.executed;
     result_.allocation_log.push_back(
         AllocationEvent{now_, id, placement_.gpus_of(id)});
-    if (job.outcome.first_run_time == kTimeInfinity)
+    if (is_unbounded(job.outcome.first_run_time))
         job.outcome.first_run_time = now_;
     charge_pause(job, overhead_.scaling_seconds(job.spec.model, old,
                                                 desired) +
@@ -689,6 +690,57 @@ Simulator::handle_server_up(int server)
         request_replan();
 }
 
+std::uint64_t
+Simulator::state_hash() const
+{
+    Fnv1a h;
+    // Event clock.
+    h.f64(now_);
+    h.u64(next_seq_);
+    h.u64(fault_epoch_);
+    // Job queue, in the (deterministic) submission order.
+    for (JobId id : submit_order_) {
+        const JobRt &job = rt(id);
+        h.i64(id);
+        h.u64(static_cast<std::uint64_t>(job.state));
+        h.byte(job.arrived ? 1 : 0);
+        h.f64(job.executed);
+        h.f64(job.attained_gpu_seconds);
+        h.f64(job.last_update);
+        h.f64(job.progress_resume);
+        h.f64(job.checkpoint_iters);
+        h.f64(job.current_tpt);
+        h.f64(job.straggler_factor);
+        h.f64(job.straggler_until);
+        h.i64(job.gpus);
+    }
+    // Concrete allocations and per-GPU health: which job owns which
+    // GPU id, not just the counts — placement choices are part of the
+    // determinism contract (they feed topology-dependent throughput).
+    const GpuCount total = topology_.total_gpus();
+    for (GpuCount gpu = 0; gpu < total; ++gpu) {
+        h.i64(placement_.owner_of(gpu));
+        h.byte(placement_.gpu_available(gpu) ? 1 : 0);
+    }
+    for (int server = 0; server < topology_.num_servers(); ++server)
+        h.byte(placement_.server_available(server) ? 1 : 0);
+    // RNG cursors: a fault stream that advanced differently is a
+    // divergence even before it changes any allocation.
+    if (fault_ != nullptr)
+        h.u64(fault_->state_fingerprint());
+    return h.digest();
+}
+
+void
+Simulator::audit_state()
+{
+    Fnv1a h;
+    h.u64(result_.state_hash);
+    h.u64(state_hash());
+    result_.state_hash = h.digest();
+    ++result_.state_hash_samples;
+}
+
 void
 Simulator::request_replan()
 {
@@ -715,6 +767,7 @@ Simulator::flush_replan()
         // deterministic policy would return the same decision, and
         // re-applying a decision is a no-op — skip the call.
         ++result_.replans_elided;
+        audit_state();
         arm_tick();
         return;
     }
@@ -734,6 +787,7 @@ Simulator::flush_replan()
                        << format_double(now_ / kHour, 2) << " h");
     }
     record_timelines();
+    audit_state();
     arm_tick();
 }
 
@@ -897,6 +951,7 @@ Simulator::run()
         }
     }
     result_.replan_failures = scheduler_->replan_failures();
+    audit_state();  // final digest over the terminal state
     return result_;
 }
 

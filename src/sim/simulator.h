@@ -118,6 +118,19 @@ class Simulator : public ClusterView
     /** Run to completion and return the metrics. */
     RunResult run();
 
+    /**
+     * Determinism auditor: FNV-1a hash of all determinism-relevant
+     * state — event clock, job queue (state, progress, attained
+     * service, pause windows), concrete GPU allocations and
+     * availability, and the fault injector's RNG cursors. Sampled and
+     * chained into RunResult::state_hash at every replan; two runs of
+     * the same (trace, scheduler, config) must produce identical
+     * digests, otherwise a hidden nondeterminism source crept in.
+     * Scheduler-internal state is not hashed directly: every decision
+     * it makes lands in the allocations, which are.
+     */
+    std::uint64_t state_hash() const;
+
     // --- ClusterView ----------------------------------------------------
     GpuCount total_gpus() const override;
     Time now() const override { return now_; }
@@ -166,6 +179,8 @@ class Simulator : public ClusterView
     void request_replan();
     /** Run the scheduler (unless elidable) and apply its decision. */
     void flush_replan();
+    /** Fold state_hash() into the chained RunResult digest. */
+    void audit_state();
     void apply_decision(const SchedulerDecision &decision);
     void apply_resize(JobRt &job, GpuCount desired);
     void charge_pause(JobRt &job, Time seconds);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <sstream>
 
 #include "common/check.h"
 #include "common/csv.h"
@@ -12,7 +13,7 @@ namespace {
 std::string
 format_time(Time t)
 {
-    if (t == kTimeInfinity)
+    if (is_unbounded(t))
         return "inf";
     std::ostringstream out;
     out.precision(9);

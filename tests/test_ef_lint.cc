@@ -1,0 +1,250 @@
+/**
+ * @file
+ * ef-lint rule-engine tests. Each rule is exercised on a small fixture
+ * snippet, once violating and once with the allow() escape hatch, plus
+ * path classification, annotation validation, and the lexer corner
+ * cases (comments, strings, raw strings, digit separators) that must
+ * never produce false positives.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace ef {
+namespace {
+
+using lint::FileClass;
+using lint::Issue;
+using lint::classify;
+using lint::lint_source;
+
+/** Rule names of all issues found in @p text under @p cls. */
+std::vector<std::string>
+rules_in(std::string_view text, const FileClass &cls)
+{
+    std::vector<std::string> out;
+    for (const Issue &issue : lint_source("fixture.cc", text, cls))
+        out.push_back(issue.rule);
+    return out;
+}
+
+bool
+has_rule(const std::vector<std::string> &rules, std::string_view name)
+{
+    return std::find(rules.begin(), rules.end(), name) != rules.end();
+}
+
+FileClass
+library_class()
+{
+    return classify("src/core/foo.cc");
+}
+
+FileClass
+order_sensitive_class()
+{
+    return classify("src/sched/foo.cc");
+}
+
+TEST(EfLintClassify, PathsMapToRuleScopes)
+{
+    EXPECT_TRUE(classify("src/core/allocator.cc").library);
+    EXPECT_FALSE(classify("src/core/allocator.cc").order_sensitive);
+    EXPECT_TRUE(classify("src/sched/elastic_flow.cc").order_sensitive);
+    EXPECT_TRUE(classify("src/sim/simulator.cc").order_sensitive);
+    EXPECT_FALSE(classify("tests/test_smoke.cc").library);
+    EXPECT_FALSE(classify("bench/fig7.cc").library);
+    EXPECT_TRUE(classify("src/common/logging.cc").io_exempt);
+    EXPECT_TRUE(classify("src/common/check.h").io_exempt);
+    EXPECT_FALSE(classify("src/common/table.cc").io_exempt);
+    EXPECT_TRUE(classify("src/common/rng.cc").rng_exempt);
+    EXPECT_FALSE(classify("src/common/hash.h").rng_exempt);
+}
+
+TEST(EfLintNondet, FlagsEnginesAndCallsInLibraryCode)
+{
+    const char *text = "std::mt19937_64 gen(std::random_device{}());\n"
+                       "int r = rand();\n"
+                       "const char *home = getenv(\"HOME\");\n"
+                       "auto t = std::chrono::system_clock::now();\n";
+    auto rules = rules_in(text, library_class());
+    EXPECT_EQ(std::count(rules.begin(), rules.end(), "nondet"), 5);
+    // Same text outside src/ is fine (tests may use real clocks).
+    EXPECT_TRUE(rules_in(text, classify("tests/t.cc")).empty());
+    // The sanctioned source (common/rng.*) is exempt.
+    EXPECT_FALSE(has_rule(
+        rules_in("std::mt19937_64 gen_;", classify("src/common/rng.h")),
+        "nondet"));
+}
+
+TEST(EfLintNondet, MemberNamedTimeIsNotACall)
+{
+    // `spec.time(...)`-style member access must not trip the time()
+    // heuristic, and `event.time` has no call parens at all.
+    const char *text = "double t = event.time; obj->clock();\n";
+    EXPECT_TRUE(rules_in(text, library_class()).empty());
+}
+
+TEST(EfLintUnordered, OnlyInOrderSensitiveCode)
+{
+    const char *text = "std::unordered_map<int, int> m;\n";
+    EXPECT_TRUE(has_rule(rules_in(text, order_sensitive_class()),
+                         "unordered"));
+    EXPECT_FALSE(has_rule(rules_in(text, library_class()), "unordered"));
+
+    const char *allowed =
+        "// ef-lint: allow(unordered: order never observed)\n"
+        "std::unordered_map<int, int> m;\n";
+    EXPECT_TRUE(rules_in(allowed, order_sensitive_class()).empty());
+}
+
+TEST(EfLintFloatEq, LiteralsAndSentinelBothSides)
+{
+    FileClass cls = library_class();
+    EXPECT_TRUE(has_rule(rules_in("if (x == 1.0) {}", cls), "float-eq"));
+    EXPECT_TRUE(has_rule(rules_in("if (0.5f != y) {}", cls), "float-eq"));
+    EXPECT_TRUE(
+        has_rule(rules_in("if (t != kTimeInfinity) {}", cls), "float-eq"));
+    EXPECT_TRUE(
+        has_rule(rules_in("return kTimeInfinity == deadline;", cls),
+                 "float-eq"));
+    // Scientific notation and hex floats count as floats.
+    EXPECT_TRUE(has_rule(rules_in("if (x == 1e-9) {}", cls), "float-eq"));
+    // Integer comparisons do not.
+    EXPECT_FALSE(has_rule(rules_in("if (n == 3) {}", cls), "float-eq"));
+    EXPECT_FALSE(
+        has_rule(rules_in("if (a.time != b.time) {}", cls), "float-eq"));
+    // A float in a *different* clause must not bleed across && or ;.
+    EXPECT_FALSE(has_rule(
+        rules_in("if (x > 1.0 && n == 3) {}", cls), "float-eq"));
+    EXPECT_FALSE(has_rule(
+        rules_in("double d = 1.0; if (n == 3) {}", cls), "float-eq"));
+    // Escape hatch on the same line.
+    EXPECT_TRUE(rules_in("bool eq = a == b && x == 1.0;  "
+                         "// ef-lint: allow(float-eq: exact by design)",
+                         cls)
+                    .empty());
+}
+
+TEST(EfLintCheckSideEffect, ConditionOnlyNotMessage)
+{
+    FileClass cls = library_class();
+    EXPECT_TRUE(has_rule(rules_in("EF_CHECK(n++ > 0);", cls),
+                         "check-side-effect"));
+    EXPECT_TRUE(has_rule(rules_in("EF_DCHECK(total += step);", cls),
+                         "check-side-effect"));
+    EXPECT_TRUE(has_rule(
+        rules_in("EF_CHECK_MSG(x = 1, \"oops\");", cls),
+        "check-side-effect"));
+    EXPECT_TRUE(has_rule(rules_in("EF_FATAL_IF(--n == 0, \"gone\");", cls),
+                         "check-side-effect"));
+    // Comparisons are not side effects; the tokenizer must keep
+    // ==, !=, <=, >= distinct from =.
+    EXPECT_TRUE(rules_in("EF_CHECK(a == b && c <= d);", cls).empty());
+    // The message argument may mutate (it only renders on failure).
+    EXPECT_TRUE(
+        rules_in("EF_CHECK_MSG(ok, \"retry \" << attempts++);", cls)
+            .empty());
+    // Calls with internal commas stay inside the condition argument.
+    EXPECT_TRUE(has_rule(
+        rules_in("EF_DCHECK_MSG(fits(a, b += 1), \"m\");", cls),
+        "check-side-effect"));
+}
+
+TEST(EfLintIo, LibraryOnlyWithExemptions)
+{
+    const char *text = "std::cout << \"hi\";\nstd::cerr << \"uh\";\n";
+    auto rules = rules_in(text, library_class());
+    EXPECT_EQ(std::count(rules.begin(), rules.end(), "io"), 2);
+    EXPECT_TRUE(rules_in(text, classify("examples/run.cpp")).empty());
+    EXPECT_TRUE(rules_in(text, classify("src/common/logging.cc")).empty());
+    // A member named cerr is not the global stream.
+    EXPECT_TRUE(rules_in("sink.cerr << x;", library_class()).empty());
+}
+
+TEST(EfLintUsingNamespace, LibraryOnly)
+{
+    const char *text = "using namespace std;\n";
+    EXPECT_TRUE(
+        has_rule(rules_in(text, library_class()), "using-namespace"));
+    EXPECT_TRUE(rules_in(text, classify("bench/fig7.cc")).empty());
+    // Plain using-declarations are fine.
+    EXPECT_TRUE(
+        rules_in("using std::vector;", library_class()).empty());
+}
+
+TEST(EfLintLexer, CommentsStringsAndRawStringsAreOpaque)
+{
+    FileClass cls = order_sensitive_class();
+    EXPECT_TRUE(rules_in("// std::unordered_map in a comment\n"
+                         "/* rand() in a block comment */\n"
+                         "const char *s = \"rand() == 1.0\";\n"
+                         "const char *r = R\"(using namespace std)\";\n",
+                         cls)
+                    .empty());
+    // Digit separators don't split numbers; 1'000 is an int.
+    EXPECT_FALSE(
+        has_rule(rules_in("if (n == 1'000) {}", cls), "float-eq"));
+    // Character literals are opaque too.
+    EXPECT_TRUE(rules_in("char c = '\\\"'; (void)c;", cls).empty());
+}
+
+TEST(EfLintAnnotations, MalformedAndUnknownAreReported)
+{
+    FileClass cls = library_class();
+    auto issues =
+        lint_source("fixture.cc", "// ef-lint: allow(float-eq)\n", cls);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_EQ(issues[0].rule, "bad-annotation");
+    EXPECT_EQ(issues[0].line, 1);
+
+    issues = lint_source(
+        "fixture.cc", "// ef-lint: allow(not-a-rule: because)\n", cls);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_EQ(issues[0].rule, "bad-annotation");
+
+    issues =
+        lint_source("fixture.cc", "// ef-lint: suppress(io: x)\n", cls);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_EQ(issues[0].rule, "bad-annotation");
+
+    // An allow() for rule A does not silence rule B on that line.
+    EXPECT_TRUE(has_rule(
+        rules_in("bool b = x == 1.0;  // ef-lint: allow(io: wrong rule)",
+                 cls),
+        "float-eq"));
+
+    // Unused-but-well-formed annotations are legal (may document
+    // sites the lexical heuristics cannot see).
+    EXPECT_TRUE(
+        rules_in("// ef-lint: allow(float-eq: documented intent)\n"
+                 "bool eq = close_enough(a, b);\n",
+                 cls)
+            .empty());
+}
+
+TEST(EfLintIssues, FormatAndLineNumbers)
+{
+    auto issues = lint_source("src/sched/x.cc",
+                              "int a;\nint b;\nstd::unordered_set<int> s;\n",
+                              classify("src/sched/x.cc"));
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_EQ(issues[0].line, 3);
+    const std::string formatted = lint::format_issue(issues[0]);
+    EXPECT_EQ(formatted.find("src/sched/x.cc:3: [unordered] "), 0u);
+}
+
+TEST(EfLintRules, NamesAreStable)
+{
+    const std::vector<std::string> expected = {
+        "nondet",            "unordered", "float-eq",
+        "check-side-effect", "io",        "using-namespace"};
+    EXPECT_EQ(lint::rule_names(), expected);
+}
+
+}  // namespace
+}  // namespace ef

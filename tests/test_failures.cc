@@ -7,6 +7,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "common/math_util.h"
 #include "sched/elastic_flow.h"
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
@@ -217,7 +218,7 @@ TEST(Failures, PostFailureReplanIsNeverElided)
     bool evicted_at_600 = false;
     bool replaced_at_600 = false;
     for (const AllocationEvent &event : result.allocation_log) {
-        if (event.job != 0 || event.time != 600.0)
+        if (event.job != 0 || !almost_equal(event.time, 600.0))
             continue;
         if (event.gpus.empty())
             evicted_at_600 = true;

@@ -97,6 +97,63 @@ TEST(MathUtil, ConcaveEnvelopePropertySweep)
     }
 }
 
+TEST(MathUtil, AlmostEqualBasics)
+{
+    EXPECT_TRUE(almost_equal(1.0, 1.0));
+    EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(almost_equal(1.0, 1.0 + 1e-6));
+    // Relative tolerance scales with magnitude.
+    EXPECT_TRUE(almost_equal(1e12, 1e12 + 1.0));
+    EXPECT_FALSE(almost_equal(1e12, 1e12 + 1e5));
+    // Caller-supplied tolerances are honored.
+    EXPECT_TRUE(almost_equal(100.0, 101.0, 0.02));
+    EXPECT_FALSE(almost_equal(100.0, 101.0, 0.005));
+}
+
+TEST(MathUtil, AlmostEqualNanAndInfinity)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    // NaN equals nothing, itself included (IEEE semantics, and a NaN
+    // in a schedule is a bug we must not mask).
+    EXPECT_FALSE(almost_equal(nan, nan));
+    EXPECT_FALSE(almost_equal(nan, 0.0));
+    EXPECT_FALSE(almost_equal(1.0, nan));
+    // Equal infinities compare equal (the kTimeInfinity sentinel),
+    // opposite or mixed ones do not.
+    EXPECT_TRUE(almost_equal(inf, inf));
+    EXPECT_TRUE(almost_equal(-inf, -inf));
+    EXPECT_FALSE(almost_equal(inf, -inf));
+    EXPECT_FALSE(almost_equal(inf, 1e308));
+    EXPECT_TRUE(almost_equal(kTimeInfinity, kTimeInfinity));
+}
+
+TEST(MathUtil, AlmostEqualNearZeroAndDenormals)
+{
+    const double denorm = std::numeric_limits<double>::denorm_min();
+    // Near zero the relative test collapses; the absolute floor keeps
+    // tiny opposite-sign values equal instead of never-equal.
+    EXPECT_TRUE(almost_equal(0.0, 0.0));
+    EXPECT_TRUE(almost_equal(0.0, -0.0));
+    EXPECT_TRUE(almost_equal(denorm, -denorm));
+    EXPECT_TRUE(almost_equal(1e-300, -1e-300));
+    EXPECT_TRUE(almost_equal(0.0, 1e-13));
+    EXPECT_FALSE(almost_equal(0.0, 1e-11));
+    // Sign-crossing values above the absolute floor stay distinct.
+    EXPECT_FALSE(almost_equal(1e-9, -1e-9));
+    EXPECT_FALSE(almost_equal(1.0, -1.0));
+}
+
+TEST(MathUtil, IsUnboundedSentinel)
+{
+    EXPECT_TRUE(is_unbounded(kTimeInfinity));
+    EXPECT_TRUE(
+        is_unbounded(std::numeric_limits<double>::infinity()));
+    EXPECT_FALSE(is_unbounded(0.0));
+    EXPECT_FALSE(is_unbounded(1e308));
+    EXPECT_FALSE(is_unbounded(-kTimeInfinity));
+}
+
 TEST(MathUtil, ClampAndRelativeDifference)
 {
     EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 3.0), 3.0);

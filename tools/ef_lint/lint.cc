@@ -1,0 +1,560 @@
+#include "lint.h"
+
+#include <cctype>
+#include <cstddef>
+#include <set>
+#include <sstream>
+
+namespace ef {
+namespace lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+/**
+ * A token of preprocessed-enough C++: comments are stripped (their
+ * ef-lint annotations captured separately), string and character
+ * literals are collapsed to opaque tokens so rule patterns never match
+ * inside them, and numbers know whether they are floating-point.
+ */
+struct Token
+{
+    enum Kind { kIdent, kNumber, kPunct, kString, kChar };
+    Kind kind = kPunct;
+    std::string text;
+    int line = 0;
+    bool is_float = false;
+};
+
+/** One `ef-lint: allow(rule: reason)` comment, or a malformed try. */
+struct Annotation
+{
+    int line = 0;
+    std::string rule;
+    std::string reason;
+    bool malformed = false;
+    std::string error;
+};
+
+struct Lexed
+{
+    std::vector<Token> tokens;
+    std::vector<Annotation> annotations;
+};
+
+bool
+ident_start(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+ident_char(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string
+trim(std::string_view s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return std::string(s.substr(b, e - b));
+}
+
+/**
+ * Parse an ef-lint annotation out of one line comment's body. The
+ * closing ')' is optional so a long reason may run to the end of the
+ * comment; the rule name and a non-empty reason are not.
+ */
+void
+parse_annotation(std::string_view comment, int line,
+                 std::vector<Annotation> &out)
+{
+    const std::string_view kTag = "ef-lint:";
+    std::size_t pos = comment.find(kTag);
+    if (pos == std::string_view::npos)
+        return;
+    Annotation a;
+    a.line = line;
+    std::size_t i = pos + kTag.size();
+    while (i < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[i]))) {
+        ++i;
+    }
+    const std::string_view kAllow = "allow(";
+    if (comment.substr(i, kAllow.size()) != kAllow) {
+        a.malformed = true;
+        a.error = "expected 'ef-lint: allow(<rule>: <reason>)'";
+        out.push_back(std::move(a));
+        return;
+    }
+    i += kAllow.size();
+    std::size_t colon = comment.find(':', i);
+    std::size_t close = comment.find(')', i);
+    if (colon == std::string_view::npos ||
+        (close != std::string_view::npos && close < colon)) {
+        a.malformed = true;
+        a.error = "allow() needs a reason: allow(<rule>: <reason>)";
+        out.push_back(std::move(a));
+        return;
+    }
+    a.rule = trim(comment.substr(i, colon - i));
+    std::size_t reason_end = close == std::string_view::npos
+                                 ? comment.size()
+                                 : close;
+    a.reason = trim(comment.substr(colon + 1, reason_end - colon - 1));
+    if (a.rule.empty() || a.reason.empty()) {
+        a.malformed = true;
+        a.error = "allow() needs a rule name and a non-empty reason";
+    }
+    out.push_back(std::move(a));
+}
+
+Lexed
+lex(std::string_view text)
+{
+    Lexed out;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+    auto peek = [&](std::size_t k) {
+        return i + k < n ? text[i + k] : '\0';
+    };
+
+    while (i < n) {
+        char c = text[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            std::size_t end = text.find('\n', i);
+            if (end == std::string_view::npos)
+                end = n;
+            parse_annotation(text.substr(i + 2, end - i - 2), line,
+                             out.annotations);
+            i = end;  // the newline itself bumps `line` next round
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            i += 2;
+            while (i < n && !(text[i] == '*' && peek(1) == '/')) {
+                if (text[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            i = i + 2 <= n ? i + 2 : n;
+            continue;
+        }
+        if (c == 'R' && peek(1) == '"') {
+            // Raw string: skip to the matching )delim" unprocessed.
+            std::size_t open = text.find('(', i + 2);
+            std::string closer = ")";
+            if (open != std::string_view::npos)
+                closer += std::string(text.substr(i + 2, open - i - 2));
+            closer += '"';
+            std::size_t end = open == std::string_view::npos
+                                  ? std::string_view::npos
+                                  : text.find(closer, open + 1);
+            std::size_t stop = end == std::string_view::npos
+                                   ? n
+                                   : end + closer.size();
+            out.tokens.push_back({Token::kString, "", line, false});
+            for (std::size_t k = i; k < stop; ++k) {
+                if (text[k] == '\n')
+                    ++line;
+            }
+            i = stop;
+            continue;
+        }
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            ++i;
+            while (i < n && text[i] != quote) {
+                if (text[i] == '\\')
+                    ++i;
+                else if (text[i] == '\n')
+                    ++line;  // unterminated-literal safety net
+                ++i;
+            }
+            if (i < n)
+                ++i;  // closing quote
+            out.tokens.push_back(
+                {quote == '"' ? Token::kString : Token::kChar, "", line,
+                 false});
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            const std::size_t start = i;
+            bool is_float = false;
+            const bool hex = c == '0' && (peek(1) == 'x' || peek(1) == 'X');
+            if (hex)
+                i += 2;
+            while (i < n) {
+                char d = text[i];
+                if (std::isdigit(static_cast<unsigned char>(d)) ||
+                    d == '\'' ||
+                    (hex &&
+                     std::isxdigit(static_cast<unsigned char>(d)))) {
+                    ++i;
+                    continue;
+                }
+                if (d == '.') {
+                    is_float = true;
+                    ++i;
+                    continue;
+                }
+                if ((!hex && (d == 'e' || d == 'E')) ||
+                    (hex && (d == 'p' || d == 'P'))) {
+                    is_float = true;
+                    ++i;
+                    if (i < n && (text[i] == '+' || text[i] == '-'))
+                        ++i;
+                    continue;
+                }
+                if (std::isalpha(static_cast<unsigned char>(d))) {
+                    // Suffixes (u, l, f, z). Hex digits a-f were
+                    // consumed above, so an 'f' here is a suffix.
+                    if (d == 'f' || d == 'F')
+                        is_float = true;
+                    ++i;
+                    continue;
+                }
+                break;
+            }
+            out.tokens.push_back({Token::kNumber,
+                                  std::string(text.substr(start, i - start)),
+                                  line, is_float});
+            continue;
+        }
+        if (ident_start(c)) {
+            const std::size_t start = i;
+            while (i < n && ident_char(text[i]))
+                ++i;
+            out.tokens.push_back({Token::kIdent,
+                                  std::string(text.substr(start, i - start)),
+                                  line, false});
+            continue;
+        }
+        // Punctuation, longest match first.
+        static const std::string_view kThree[] = {"<<=", ">>=", "<=>",
+                                                  "->*", "..."};
+        static const std::string_view kTwo[] = {
+            "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--",
+            "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->", "::",
+            ".*"};
+        std::size_t len = 1;
+        for (std::string_view op : kThree) {
+            if (text.substr(i, 3) == op) {
+                len = 3;
+                break;
+            }
+        }
+        if (len == 1) {
+            for (std::string_view op : kTwo) {
+                if (text.substr(i, 2) == op) {
+                    len = 2;
+                    break;
+                }
+            }
+        }
+        out.tokens.push_back({Token::kPunct,
+                              std::string(text.substr(i, len)), line,
+                              false});
+        i += len;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+const std::set<std::string> kNondetCalls = {"rand", "srand", "getenv",
+                                            "time", "clock"};
+const std::set<std::string> kNondetTypes = {
+    "random_device", "system_clock",         "steady_clock",
+    "high_resolution_clock", "mt19937",      "mt19937_64",
+    "minstd_rand",    "minstd_rand0",        "default_random_engine",
+    "knuth_b",        "ranlux24",            "ranlux48",
+    "random_shuffle"};
+const std::set<std::string> kUnordered = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+const std::set<std::string> kIoSinks = {"cout", "cerr", "clog"};
+const std::set<std::string> kSideEffectOps = {
+    "=",  "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "<<=", ">>=", "++", "--"};
+const std::set<std::string> kCondMacros = {"EF_CHECK", "EF_DCHECK"};
+const std::set<std::string> kCondMsgMacros = {"EF_CHECK_MSG",
+                                              "EF_DCHECK_MSG",
+                                              "EF_FATAL_IF"};
+
+/** Is tokens[idx] a member access (preceded by '.' or '->')? */
+bool
+is_member(const std::vector<Token> &tokens, std::size_t idx)
+{
+    if (idx == 0)
+        return false;
+    const Token &prev = tokens[idx - 1];
+    return prev.kind == Token::kPunct &&
+           (prev.text == "." || prev.text == "->");
+}
+
+bool
+next_is(const std::vector<Token> &tokens, std::size_t idx,
+        std::string_view text)
+{
+    return idx + 1 < tokens.size() &&
+           tokens[idx + 1].kind == Token::kPunct &&
+           tokens[idx + 1].text == text;
+}
+
+/** Is this punct/ident a boundary that ends an ==/!= operand scan? */
+bool
+operand_boundary(const Token &tok)
+{
+    if (tok.kind == Token::kIdent)
+        return tok.text == "return" || tok.text == "case";
+    if (tok.kind != Token::kPunct)
+        return false;
+    static const std::set<std::string> kBoundary = {
+        ";", "{", "}", ",", "?", ":", "&&", "||", "=",  "+=", "-=",
+        "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=", "#"};
+    return kBoundary.count(tok.text) > 0;
+}
+
+/**
+ * Does the operand neighborhood of the ==/!= at @p idx contain a
+ * floating-point literal or the kTimeInfinity sentinel? Scans outward
+ * in both directions until an expression boundary at paren depth 0
+ * (bounded, so pathological lines cannot blow up).
+ */
+bool
+float_operand_nearby(const std::vector<Token> &tokens, std::size_t idx)
+{
+    constexpr int kMaxScan = 64;
+    auto is_float_tok = [](const Token &tok) {
+        return (tok.kind == Token::kNumber && tok.is_float) ||
+               (tok.kind == Token::kIdent &&
+                tok.text == "kTimeInfinity");
+    };
+    int depth = 0;
+    for (std::size_t j = idx; j-- > 0 && idx - j <= kMaxScan;) {
+        const Token &tok = tokens[j];
+        if (tok.kind == Token::kPunct &&
+            (tok.text == ")" || tok.text == "]")) {
+            ++depth;
+        } else if (tok.kind == Token::kPunct &&
+                   (tok.text == "(" || tok.text == "[")) {
+            if (depth == 0)
+                break;
+            --depth;
+        } else if (depth == 0 && operand_boundary(tok)) {
+            break;
+        } else if (is_float_tok(tok)) {
+            return true;
+        }
+    }
+    depth = 0;
+    for (std::size_t j = idx + 1;
+         j < tokens.size() && j - idx <= kMaxScan; ++j) {
+        const Token &tok = tokens[j];
+        if (tok.kind == Token::kPunct &&
+            (tok.text == "(" || tok.text == "[")) {
+            ++depth;
+        } else if (tok.kind == Token::kPunct &&
+                   (tok.text == ")" || tok.text == "]")) {
+            if (depth == 0)
+                break;
+            --depth;
+        } else if (depth == 0 && operand_boundary(tok)) {
+            break;
+        } else if (is_float_tok(tok)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+add_issue(std::vector<Issue> &issues, std::string_view path, int line,
+          const char *rule, std::string message)
+{
+    issues.push_back(
+        Issue{std::string(path), line, rule, std::move(message)});
+}
+
+}  // namespace
+
+FileClass
+classify(std::string_view path)
+{
+    auto starts = [&](std::string_view prefix) {
+        return path.substr(0, prefix.size()) == prefix;
+    };
+    FileClass cls;
+    cls.library = starts("src/");
+    cls.order_sensitive = starts("src/sched/") || starts("src/sim/");
+    cls.io_exempt =
+        starts("src/common/logging.") || starts("src/common/check.");
+    cls.rng_exempt = starts("src/common/rng.");
+    return cls;
+}
+
+const std::vector<std::string> &
+rule_names()
+{
+    static const std::vector<std::string> kNames = {
+        "nondet",           "unordered", "float-eq",
+        "check-side-effect", "io",        "using-namespace"};
+    return kNames;
+}
+
+std::string
+format_issue(const Issue &issue)
+{
+    std::ostringstream out;
+    out << issue.file << ":" << issue.line << ": [" << issue.rule
+        << "] " << issue.message;
+    return out.str();
+}
+
+std::vector<Issue>
+lint_source(std::string_view path, std::string_view text,
+            const FileClass &cls)
+{
+    Lexed lexed = lex(text);
+    const std::vector<Token> &tokens = lexed.tokens;
+    std::vector<Issue> issues;
+
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const Token &tok = tokens[i];
+        if (tok.kind == Token::kIdent) {
+            if (cls.library && !cls.rng_exempt && !is_member(tokens, i)) {
+                if (kNondetTypes.count(tok.text) > 0 ||
+                    (kNondetCalls.count(tok.text) > 0 &&
+                     next_is(tokens, i, "("))) {
+                    add_issue(issues, path, tok.line, "nondet",
+                              "nondeterminism source '" + tok.text +
+                                  "' in library code — route "
+                                  "randomness through ef::Rng and "
+                                  "time through the simulated clock");
+                }
+            }
+            if (cls.order_sensitive && kUnordered.count(tok.text) > 0) {
+                add_issue(issues, path, tok.line, "unordered",
+                          "'" + tok.text +
+                              "' in order-sensitive code: iteration "
+                              "order can leak into plan or event "
+                              "order — use std::map/std::set or a "
+                              "sorted vector");
+            }
+            if (cls.library && !cls.io_exempt &&
+                kIoSinks.count(tok.text) > 0 &&
+                !is_member(tokens, i)) {
+                add_issue(issues, path, tok.line, "io",
+                          "direct std::" + tok.text +
+                              " in library code — log through "
+                              "EF_INFO/EF_WARN or return text to the "
+                              "caller");
+            }
+            if (cls.library && tok.text == "using" &&
+                i + 1 < tokens.size() &&
+                tokens[i + 1].kind == Token::kIdent &&
+                tokens[i + 1].text == "namespace") {
+                add_issue(issues, path, tok.line, "using-namespace",
+                          "'using namespace' in library code — "
+                          "qualify names explicitly");
+            }
+            const bool cond_macro = kCondMacros.count(tok.text) > 0;
+            const bool msg_macro = kCondMsgMacros.count(tok.text) > 0;
+            if ((cond_macro || msg_macro) && next_is(tokens, i, "(")) {
+                // Scan the condition argument (for _MSG/_FATAL_IF
+                // variants: up to the first top-level comma) for
+                // side-effect operators.
+                int depth = 0;
+                for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+                    const Token &arg = tokens[j];
+                    if (arg.kind != Token::kPunct) {
+                        continue;
+                    } else if (arg.text == "(" || arg.text == "[" ||
+                               arg.text == "{") {
+                        ++depth;
+                    } else if (arg.text == ")" || arg.text == "]" ||
+                               arg.text == "}") {
+                        if (--depth == 0)
+                            break;
+                    } else if (msg_macro && depth == 1 &&
+                               arg.text == ",") {
+                        break;  // message argument may stream freely
+                    } else if (kSideEffectOps.count(arg.text) > 0) {
+                        add_issue(
+                            issues, path, arg.line,
+                            "check-side-effect",
+                            "side effect ('" + arg.text + "') inside " +
+                                tok.text +
+                                " condition — EF_DCHECK conditions "
+                                "are not evaluated in release builds "
+                                "and checks must never mutate state");
+                    }
+                }
+            }
+        } else if (tok.kind == Token::kPunct &&
+                   (tok.text == "==" || tok.text == "!=")) {
+            if (float_operand_nearby(tokens, i)) {
+                add_issue(issues, path, tok.line, "float-eq",
+                          "floating-point ==/!= — use "
+                          "ef::almost_equal (common/math_util) or "
+                          "ef::is_unbounded for kTimeInfinity "
+                          "sentinels");
+            }
+        }
+    }
+
+    // Annotation validation + suppression.
+    std::set<std::pair<std::string, int>> allows;
+    const std::vector<std::string> &known = rule_names();
+    for (const Annotation &a : lexed.annotations) {
+        if (a.malformed) {
+            add_issue(issues, path, a.line, "bad-annotation", a.error);
+            continue;
+        }
+        bool valid = false;
+        for (const std::string &name : known)
+            valid = valid || name == a.rule;
+        if (!valid) {
+            add_issue(issues, path, a.line, "bad-annotation",
+                      "unknown rule '" + a.rule +
+                          "' in ef-lint: allow(...)");
+            continue;
+        }
+        allows.insert({a.rule, a.line});
+    }
+    std::vector<Issue> kept;
+    for (Issue &issue : issues) {
+        if (issue.rule != "bad-annotation" &&
+            (allows.count({issue.rule, issue.line}) > 0 ||
+             allows.count({issue.rule, issue.line - 1}) > 0)) {
+            continue;  // suppressed by an allow() on this/previous line
+        }
+        kept.push_back(std::move(issue));
+    }
+    return kept;
+}
+
+}  // namespace lint
+}  // namespace ef

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * ef-lint: ElasticFlow-specific static analysis.
+ *
+ * A lightweight lexer-based analyzer (no libclang) that enforces the
+ * repo's determinism and scheduler-invariant contracts:
+ *
+ *   nondet            No nondeterminism sources in library code
+ *                     (std::rand, random_device, system_clock,
+ *                     steady_clock, time(), clock(), getenv, raw
+ *                     standard engines). All randomness flows through
+ *                     ef::Rng; all time through the simulated clock.
+ *   unordered         No std::unordered_map / unordered_set in
+ *                     src/sched/ and src/sim/, where iteration order
+ *                     can leak into plan or event order.
+ *   float-eq          No ==/!= whose operand expression contains a
+ *                     floating-point literal or the kTimeInfinity
+ *                     sentinel; use ef::almost_equal / ef::is_unbounded.
+ *   check-side-effect No assignments or ++/-- inside the condition of
+ *                     EF_CHECK / EF_CHECK_MSG / EF_FATAL_IF /
+ *                     EF_DCHECK / EF_DCHECK_MSG (the EF_DCHECK
+ *                     condition is not evaluated in release builds).
+ *   io                No std::cout / std::cerr / std::clog in library
+ *                     code outside common/logging and common/check.
+ *   using-namespace   No using-namespace directives in library code.
+ *
+ * Escape hatch: a violation is suppressed by a line comment on the
+ * same line or the line directly above it, naming the rule and a
+ * non-empty reason:
+ *
+ *     // ef-lint: allow(unordered: order never observed, keys drained
+ *     //                into a sorted vector)
+ *
+ * Malformed annotations (unknown rule, missing reason) are themselves
+ * reported, as rule "bad-annotation". Unused annotations are legal:
+ * they may document intent at sites the lexical heuristics are too
+ * weak to flag.
+ */
+#ifndef EF_TOOLS_EF_LINT_LINT_H_
+#define EF_TOOLS_EF_LINT_LINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ef {
+namespace lint {
+
+/** Which rule groups apply to a file, derived from its repo path. */
+struct FileClass
+{
+    /** Library code (under src/): nondet, io, using-namespace apply. */
+    bool library = false;
+    /** Iteration order can leak into decisions (src/sched, src/sim). */
+    bool order_sensitive = false;
+    /** The sanctioned stderr sinks (common/logging.*, common/check.*). */
+    bool io_exempt = false;
+    /** The sanctioned randomness source (common/rng.*). */
+    bool rng_exempt = false;
+};
+
+/** Classify a forward-slash path relative to the repo root. */
+FileClass classify(std::string_view repo_relative_path);
+
+/** One rule violation (or malformed annotation). */
+struct Issue
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** "file:line: [rule] message" */
+std::string format_issue(const Issue &issue);
+
+/** All valid rule names, for annotation validation and --list-rules. */
+const std::vector<std::string> &rule_names();
+
+/**
+ * Lint one file's contents. @p path is used for issue reporting only;
+ * pass @p cls from classify() (or hand-build it in tests).
+ */
+std::vector<Issue> lint_source(std::string_view path,
+                               std::string_view text,
+                               const FileClass &cls);
+
+}  // namespace lint
+}  // namespace ef
+
+#endif  // EF_TOOLS_EF_LINT_LINT_H_
