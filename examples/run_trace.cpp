@@ -16,12 +16,18 @@
  * "best-effort" for jobs without one; kind "soft" for soft deadlines).
  */
 #include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <optional>
 #include <string>
 
+#include "common/logging.h"
 #include "common/table.h"
 #include "fault/fault.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/scheduler.h"
 #include "sim/simulator.h"
 #include "workload/trace_gen.h"
@@ -43,6 +49,8 @@ usage()
         << "            [--gpu-fault-rate PER_GPU_PER_DAY]\n"
         << "            [--rpc-drop PROB] [--fault-script FILE]\n"
         << "            [--fault-seed N] [--state-hash]\n"
+        << "            [--trace-out FILE.json] [--metrics-out FILE]\n"
+        << "            [--log-level debug|info|warn|error]\n"
         << "  run_trace --generate <preset> <out.csv>\n"
         << "presets: testbed-small, testbed-large, philly, "
         << "cluster1..cluster10\nschedulers:";
@@ -91,6 +99,8 @@ main(int argc, char **argv)
     int gpus = 128;
     std::string scheduler_name = "elasticflow";
     bool show_state_hash = false;
+    std::string trace_out;
+    std::string metrics_out;
     SimConfig sim_config;
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
@@ -127,7 +137,21 @@ main(int argc, char **argv)
             sim_config.faults.seed = std::stoull(next());
         } else if (arg == "--state-hash") {
             show_state_hash = true;
+        } else if (arg == "--trace-out") {
+            trace_out = next();
+        } else if (arg == "--metrics-out") {
+            metrics_out = next();
+        } else if (arg == "--log-level") {
+            std::string name = next();
+            auto level = log_level_from_name(name);
+            if (!level.has_value()) {
+                std::cerr << "run_trace: unknown log level '" << name
+                          << "' (want debug|info|warn|error)\n";
+                return usage();
+            }
+            set_log_level(*level);
         } else {
+            std::cerr << "run_trace: unknown flag '" << arg << "'\n";
             return usage();
         }
     }
@@ -136,7 +160,36 @@ main(int argc, char **argv)
         trace_path, TopologySpec::with_total_gpus(gpus));
     auto scheduler = make_scheduler(scheduler_name);
     Simulator simulator(trace, scheduler.get(), sim_config);
+
+    // Observability is opt-in: sinks are installed only when an output
+    // file was requested, so the default path stays recorder-free.
+    obs::RingBufferSink ring(std::size_t{1} << 20);
+    obs::MetricsRegistry registry;
+    std::optional<obs::TraceScope> trace_scope;
+    std::optional<obs::MetricsScope> metrics_scope;
+    if (!trace_out.empty())
+        trace_scope.emplace(&ring);
+    if (!metrics_out.empty())
+        metrics_scope.emplace(&registry);
+
     RunResult result = simulator.run();
+
+    trace_scope.reset();
+    metrics_scope.reset();
+    if (!trace_out.empty()) {
+        std::ofstream out(trace_out);
+        EF_FATAL_IF(!out, "cannot open " << trace_out << " for writing");
+        out << chrome_trace_json(ring.events(), ring.dropped());
+        std::cout << "wrote " << ring.events().size()
+                  << " trace events to " << trace_out << "\n";
+    }
+    if (!metrics_out.empty()) {
+        std::ofstream out(metrics_out);
+        EF_FATAL_IF(!out,
+                    "cannot open " << metrics_out << " for writing");
+        out << registry.text_dump();
+        std::cout << "wrote metrics to " << metrics_out << "\n";
+    }
 
     std::cout << summarize(result) << "\n\n";
     ConsoleTable table({"metric", "value"});

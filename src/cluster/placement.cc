@@ -6,6 +6,7 @@
 #include "cluster/buddy.h"
 #include "common/check.h"
 #include "common/math_util.h"
+#include "obs/metrics.h"
 
 namespace ef {
 
@@ -773,9 +774,12 @@ PlacementManager::place(JobId job, GpuCount size, PlacementStrategy strategy,
 {
     EF_CHECK_MSG(!is_placed(job), "job " << job << " is already placed");
     EF_CHECK_MSG(size > 0, "placement size must be positive");
+    obs::count("cluster.place_requests");
     PlacementResult result;
-    if (size > idle_gpus())
+    if (size > idle_gpus()) {
+        obs::count("cluster.place_failures");
         return result;
+    }
 
     auto direct = try_direct(size, strategy);
     if (strategy == PlacementStrategy::kBestFitCompact && allow_migration) {
@@ -792,8 +796,12 @@ PlacementManager::place(JobId job, GpuCount size, PlacementStrategy strategy,
             direct.has_value() &&
             topology_->server_span(*direct) <= compact_span &&
             topology_->rack_span(*direct) <= compact_racks;
-        if (!direct_compact && repack_with(job, size, &result))
+        if (!direct_compact && repack_with(job, size, &result)) {
+            obs::count("cluster.repacks");
+            obs::count("cluster.migrations",
+                       result.migrations.size());
             return result;
+        }
     }
     if (direct.has_value()) {
         result.ok = true;
@@ -802,6 +810,7 @@ PlacementManager::place(JobId job, GpuCount size, PlacementStrategy strategy,
         std::sort(result.gpus.begin(), result.gpus.end());
         return result;
     }
+    obs::count("cluster.place_failures");
     return result;
 }
 
@@ -811,6 +820,7 @@ PlacementManager::resize(JobId job, GpuCount new_size,
 {
     EF_CHECK(is_placed(job));
     EF_CHECK(new_size > 0);
+    obs::count("cluster.resize_requests");
     std::vector<GpuCount> current = gpus_of(job);
     GpuCount old_size = static_cast<GpuCount>(current.size());
     PlacementResult result;
@@ -860,6 +870,7 @@ PlacementManager::resize(JobId job, GpuCount new_size,
 void
 PlacementManager::release(JobId job)
 {
+    obs::count("cluster.releases");
     unassign(job);
 }
 

@@ -1,0 +1,402 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace ef {
+
+std::string
+json_escape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::before_value()
+{
+    if (stack_.empty()) {
+        EF_CHECK_MSG(out_.empty(), "JSON document already complete");
+        return;
+    }
+    if (stack_.back() == Frame::kObject) {
+        EF_CHECK_MSG(key_pending_, "object value needs a key first");
+        key_pending_ = false;
+        return;
+    }
+    if (counts_.back() > 0)
+        out_ += ',';
+    ++counts_.back();
+}
+
+void
+JsonWriter::before_key()
+{
+    EF_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kObject,
+                 "key() outside an object");
+    EF_CHECK_MSG(!key_pending_, "two keys in a row");
+    if (counts_.back() > 0)
+        out_ += ',';
+    ++counts_.back();
+}
+
+JsonWriter &
+JsonWriter::begin_object()
+{
+    before_value();
+    out_ += '{';
+    stack_.push_back(Frame::kObject);
+    counts_.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::end_object()
+{
+    EF_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kObject &&
+                     !key_pending_,
+                 "end_object() without a matching open object");
+    out_ += '}';
+    stack_.pop_back();
+    counts_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::begin_array()
+{
+    before_value();
+    out_ += '[';
+    stack_.push_back(Frame::kArray);
+    counts_.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::end_array()
+{
+    EF_CHECK_MSG(!stack_.empty() && stack_.back() == Frame::kArray,
+                 "end_array() without a matching open array");
+    out_ += ']';
+    stack_.pop_back();
+    counts_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    before_key();
+    out_ += '"';
+    out_ += json_escape(name);
+    out_ += "\":";
+    key_pending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view text)
+{
+    before_value();
+    out_ += '"';
+    out_ += json_escape(text);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string_view(text));
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    before_value();
+    out_ += b ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    before_value();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    before_value();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    before_value();
+    if (!std::isfinite(v)) {
+        out_ += "null";
+        return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", v);
+    std::string text(buf);
+    // Trim trailing zeros but keep one digit after the point, so the
+    // token stays a JSON number ("1.0", not "1.").
+    std::size_t last = text.find_last_not_of('0');
+    if (text[last] == '.')
+        ++last;
+    text.erase(last + 1);
+    out_ += text;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    before_value();
+    out_ += "null";
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    EF_CHECK_MSG(stack_.empty(), "unclosed JSON container");
+    EF_CHECK_MSG(!out_.empty(), "empty JSON document");
+    return out_;
+}
+
+namespace {
+
+/** Cursor over the document being validated. */
+struct Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool fail(const std::string &what)
+    {
+        if (error.empty()) {
+            error = what + " at offset " + std::to_string(pos);
+        }
+        return false;
+    }
+
+    void skip_ws()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    bool eat(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool parse_literal(std::string_view lit)
+    {
+        if (text.substr(pos, lit.size()) != lit)
+            return fail("bad literal");
+        pos += lit.size();
+        return true;
+    }
+
+    bool parse_string()
+    {
+        if (!eat('"'))
+            return fail("expected string");
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c == '\\') {
+                ++pos;
+                if (pos >= text.size())
+                    return fail("truncated escape");
+                char e = text[pos];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos + static_cast<std::size_t>(i) >=
+                                text.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                text[pos + static_cast<std::size_t>(
+                                              i)]))) {
+                            return fail("bad \\u escape");
+                        }
+                    }
+                    pos += 4;
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return fail("bad escape");
+                }
+            }
+            ++pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool parse_number()
+    {
+        std::size_t start = pos;
+        if (eat('-')) {
+        }
+        if (!(pos < text.size() &&
+              std::isdigit(static_cast<unsigned char>(text[pos])))) {
+            return fail("expected digit");
+        }
+        // JSON forbids leading zeros: "0" is fine, "01" is not.
+        if (text[pos] == '0' && pos + 1 < text.size() &&
+            std::isdigit(static_cast<unsigned char>(text[pos + 1]))) {
+            return fail("leading zero in number");
+        }
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+        if (eat('.')) {
+            if (!(pos < text.size() &&
+                  std::isdigit(static_cast<unsigned char>(text[pos])))) {
+                return fail("expected fraction digit");
+            }
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos]))) {
+                ++pos;
+            }
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-')) {
+                ++pos;
+            }
+            if (!(pos < text.size() &&
+                  std::isdigit(static_cast<unsigned char>(text[pos])))) {
+                return fail("expected exponent digit");
+            }
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos]))) {
+                ++pos;
+            }
+        }
+        return pos > start;
+    }
+
+    bool parse_value(int depth)
+    {
+        if (depth > 256)
+            return fail("nesting too deep");
+        skip_ws();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            skip_ws();
+            if (eat('}'))
+                return true;
+            for (;;) {
+                skip_ws();
+                if (!parse_string())
+                    return false;
+                skip_ws();
+                if (!eat(':'))
+                    return fail("expected ':'");
+                if (!parse_value(depth + 1))
+                    return false;
+                skip_ws();
+                if (eat(','))
+                    continue;
+                if (eat('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            skip_ws();
+            if (eat(']'))
+                return true;
+            for (;;) {
+                if (!parse_value(depth + 1))
+                    return false;
+                skip_ws();
+                if (eat(','))
+                    continue;
+                if (eat(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"')
+            return parse_string();
+        if (c == 't')
+            return parse_literal("true");
+        if (c == 'f')
+            return parse_literal("false");
+        if (c == 'n')
+            return parse_literal("null");
+        return parse_number();
+    }
+};
+
+}  // namespace
+
+bool
+json_validate(std::string_view text, std::string *error)
+{
+    Parser p;
+    p.text = text;
+    bool ok = p.parse_value(0);
+    if (ok) {
+        p.skip_ws();
+        if (p.pos != text.size()) {
+            ok = p.fail("trailing characters");
+        }
+    }
+    if (!ok && error != nullptr)
+        *error = p.error;
+    return ok;
+}
+
+}  // namespace ef

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal JSON emission and validation.
+ *
+ * JsonWriter builds syntactically correct JSON with deterministic
+ * formatting (fixed-precision doubles, escaped strings, no locale
+ * dependence), so exported artifacts — Chrome traces, run reports —
+ * are byte-stable across runs and platforms. json_validate is a small
+ * recursive-descent syntax checker used by tests to prove an exporter
+ * emits well-formed output without pulling in a JSON library.
+ */
+#ifndef EF_COMMON_JSON_H_
+#define EF_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ef {
+
+/** Escape @p text for inclusion inside a JSON string literal. */
+std::string json_escape(std::string_view text);
+
+/**
+ * Streaming JSON builder. Containers are opened/closed explicitly;
+ * the writer inserts commas and enforces key/value alternation in
+ * objects via EF_CHECK. Doubles are emitted with up to 6 significant
+ * fractional digits (trailing zeros trimmed); non-finite doubles are
+ * emitted as null, matching what strict parsers accept.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &begin_object();
+    JsonWriter &end_object();
+    JsonWriter &begin_array();
+    JsonWriter &end_array();
+
+    /** Object key; must be followed by exactly one value/container. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(bool b);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(double v);
+    JsonWriter &null();
+
+    /** Shorthand: key + value. */
+    template <typename T>
+    JsonWriter &kv(std::string_view name, T v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** The finished document; all containers must be closed. */
+    std::string str() const;
+
+  private:
+    enum class Frame { kObject, kArray };
+    void before_value();
+    void before_key();
+
+    std::string out_;
+    std::vector<Frame> stack_;
+    /** Number of values already emitted in each open container. */
+    std::vector<std::size_t> counts_;
+    bool key_pending_ = false;
+};
+
+/**
+ * Syntax-check a complete JSON document. Returns true iff @p text is
+ * one valid JSON value with nothing but whitespace after it; on
+ * failure, *error (if non-null) describes the first problem and the
+ * byte offset where it was found.
+ */
+bool json_validate(std::string_view text, std::string *error = nullptr);
+
+}  // namespace ef
+
+#endif  // EF_COMMON_JSON_H_

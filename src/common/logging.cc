@@ -1,6 +1,6 @@
 #include "common/logging.h"
 
-#include <iostream>
+#include <cstdio>
 
 namespace ef {
 namespace {
@@ -33,10 +33,26 @@ set_log_level(LogLevel level)
     g_level = level;
 }
 
+std::optional<LogLevel>
+log_level_from_name(std::string_view name)
+{
+    if (name == "debug")
+        return LogLevel::kDebug;
+    if (name == "info")
+        return LogLevel::kInfo;
+    if (name == "warn")
+        return LogLevel::kWarn;
+    if (name == "error")
+        return LogLevel::kError;
+    return std::nullopt;
+}
+
 void
 log_message(LogLevel level, const std::string &msg)
 {
-    std::cerr << "[ef:" << level_name(level) << "] " << msg << "\n";
+    // One fprintf per line so concurrent writers (e.g. a test harness
+    // running child processes) cannot interleave mid-line.
+    std::fprintf(stderr, "[ef:%s] %s\n", level_name(level), msg.c_str());
 }
 
 }  // namespace ef

@@ -10,8 +10,10 @@
 #ifndef EF_COMMON_LOGGING_H_
 #define EF_COMMON_LOGGING_H_
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace ef {
 
@@ -20,6 +22,9 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /** Global log threshold; messages below it are discarded. */
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/** Parse "debug"/"info"/"warn"/"error"; nullopt on anything else. */
+std::optional<LogLevel> log_level_from_name(std::string_view name);
 
 /** Emit one log line (no layout guarantees beyond "level: message"). */
 void log_message(LogLevel level, const std::string &msg);

@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "common/math_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ef {
 namespace {
@@ -101,13 +103,34 @@ run_admission(const PlannerConfig &config, Time now,
         max_horizon = std::max(max_horizon, horizons[i].slots);
     }
 
+    obs::count("core.admission.runs");
     std::vector<GpuCount> available(static_cast<std::size_t>(max_horizon),
                                     config.total_gpus);
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const PlanningJob &job = jobs[i];
         auto plan = progressive_fill(job, available, horizons[i], config);
-        if (!plan.has_value())
+        if (!plan.has_value()) {
+            obs::count("core.admission.infeasible");
+            if (obs::tracing()) {
+                obs::emit({now, obs::EventKind::kAdmissionOutcome,
+                           job.id, /*feasible=*/0,
+                           static_cast<std::int64_t>(i)});
+            }
             return outcome;  // infeasible; plans discarded
+        }
+        if (obs::tracing()) {
+            // The job's minimum satisfactory share, reported as the
+            // peak GPU level of the filled plan.
+            GpuCount peak = 0;
+            for (int t = 0; t < plan->horizon(); ++t)
+                peak = std::max(peak, plan->at(t));
+            obs::TraceEvent share{now, obs::EventKind::kAdmissionShare,
+                                  job.id, peak,
+                                  static_cast<std::int64_t>(
+                                      plan->horizon())};
+            share.x = job.deadline;
+            obs::emit(share);
+        }
         for (int t = 0; t < plan->horizon(); ++t) {
             GpuCount &a = available[static_cast<std::size_t>(t)];
             a -= plan->at(t);
@@ -116,6 +139,11 @@ run_admission(const PlannerConfig &config, Time now,
         outcome.plans.emplace(job.id, std::move(*plan));
     }
     outcome.feasible = true;
+    if (obs::tracing()) {
+        obs::emit({now, obs::EventKind::kAdmissionOutcome, kInvalidJob,
+                   /*feasible=*/1,
+                   static_cast<std::int64_t>(jobs.size())});
+    }
     return outcome;
 }
 

@@ -7,6 +7,8 @@
 #include <queue>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ef {
 namespace {
@@ -637,6 +639,15 @@ run_allocation(const PlannerConfig &config, Time now,
     for (std::size_t j = 0; j < m; ++j)
         outcome.gpus_now[best_effort_jobs[j].id] = be_gpus[j];
     outcome.unallocated = available[0];
+    obs::count("core.allocation.runs");
+    if (obs::tracing()) {
+        obs::TraceEvent round{now, obs::EventKind::kAllocationRound,
+                              kInvalidJob,
+                              static_cast<std::int64_t>(n),
+                              static_cast<std::int64_t>(m)};
+        round.x = static_cast<double>(outcome.unallocated);
+        obs::emit(round);
+    }
     return outcome;
 }
 

@@ -2,6 +2,8 @@
 
 #include "common/check.h"
 #include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ef {
 
@@ -101,10 +103,14 @@ ExecutorFleet::deliver(JobId job, Time now, CommandAck *ack)
         if (attempt > fault_->config().rpc_max_retries) {
             ack->gave_up = true;
             ++rpc_gave_up_;
+            obs::emit({now, obs::EventKind::kRpcGiveUp, job, attempt});
+            obs::count("exec.rpc.gave_up");
             return delivered;
         }
         ack->retries = attempt;
         ++rpc_retries_;
+        obs::emit({now, obs::EventKind::kRpcRetry, job, attempt});
+        obs::count("exec.rpc.retries");
         ack->applied_at += fault_->rpc_backoff(attempt);
     }
 }
@@ -134,6 +140,10 @@ ExecutorFleet::issue(CommandType type, JobId job,
     command.job = job;
     command.gpus = gpus;
     log_.push_back(command);
+    obs::emit({now, obs::EventKind::kCommand, job,
+               static_cast<std::int64_t>(command.seq),
+               static_cast<std::int64_t>(type)});
+    obs::count("exec.commands");
 
     CommandAck ack;
     ack.seq = command.seq;

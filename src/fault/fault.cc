@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/csv.h"
 #include "common/hash.h"
+#include "obs/metrics.h"
 
 namespace ef {
 namespace {
@@ -105,6 +106,7 @@ Time
 FaultInjector::server_crash_delay()
 {
     EF_CHECK(server_crashes_enabled());
+    obs::count("fault.server_crash_draws");
     return server_rng_.exponential(1.0 / config_.server_mtbf_s);
 }
 
@@ -112,6 +114,7 @@ Time
 FaultInjector::gpu_fault_delay(GpuCount total_gpus)
 {
     EF_CHECK(gpu_faults_enabled() && total_gpus > 0);
+    obs::count("fault.gpu_fault_draws");
     // Each GPU fails at rate 1/mtbf; the cluster-wide next fault is
     // the minimum of the per-GPU exponentials.
     return gpu_rng_.exponential(static_cast<double>(total_gpus) /
@@ -130,7 +133,10 @@ FaultInjector::rpc_attempt_lost()
 {
     if (config_.rpc_drop_prob <= 0.0)
         return false;
-    return rpc_rng_.flip(config_.rpc_drop_prob);
+    bool lost = rpc_rng_.flip(config_.rpc_drop_prob);
+    if (lost)
+        obs::count("fault.rpc_losses");
+    return lost;
 }
 
 bool
@@ -167,7 +173,10 @@ FaultInjector::straggler_starts()
 {
     if (config_.straggler_prob <= 0.0)
         return false;
-    return straggler_rng_.flip(config_.straggler_prob);
+    bool starts = straggler_rng_.flip(config_.straggler_prob);
+    if (starts)
+        obs::count("fault.stragglers");
+    return starts;
 }
 
 bool
@@ -178,12 +187,16 @@ FaultInjector::checkpoint_write_fails(JobId job, Time now)
             break;  // armed entries are time-sorted
         if (it->target < 0 || it->target == job) {
             armed_ckpt_.erase(it);
+            obs::count("fault.ckpt_failures");
             return true;
         }
     }
     if (config_.ckpt_failure_prob <= 0.0)
         return false;
-    return ckpt_rng_.flip(config_.ckpt_failure_prob);
+    bool fails = ckpt_rng_.flip(config_.ckpt_failure_prob);
+    if (fails)
+        obs::count("fault.ckpt_failures");
+    return fails;
 }
 
 int

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Chrome `trace_event` JSON export of a recorded event stream.
+ *
+ * The exporter is a pure post-processing pass over TraceEvents: it
+ * pairs allocation events into duration spans and writes the JSON
+ * object format (`{"traceEvents": [...]}`) that `chrome://tracing` and
+ * Perfetto load directly. Timestamps are simulation microseconds.
+ *
+ * Track layout:
+ *   pid 1 "jobs"      one row (tid = job id) per job: complete "X"
+ *                     spans for every interval the job held GPUs
+ *                     (named "run xN"), plus instant events for
+ *                     lifecycle transitions (submit/admit/finish/...).
+ *   pid 2 "GPUs"      one row (tid = GPU id) per device: a span per
+ *                     owning job, so fragmentation and idle gaps are
+ *                     visible per device.
+ *   pid 3 "scheduler" async "b"/"e" spans for every replan (args say
+ *                     executed vs elided and how many resizes were
+ *                     applied) plus instants for admission verdicts,
+ *                     faults, and control-plane retries.
+ */
+#ifndef EF_OBS_CHROME_TRACE_H_
+#define EF_OBS_CHROME_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace ef {
+namespace obs {
+
+/**
+ * Render @p events (emission order) as a Chrome trace JSON document.
+ * @p dropped_events, when nonzero (ring-buffer overflow), is surfaced
+ * in the document's otherData section so a truncated timeline is
+ * self-describing.
+ */
+std::string chrome_trace_json(const std::vector<TraceEvent> &events,
+                              std::uint64_t dropped_events = 0);
+
+}  // namespace obs
+}  // namespace ef
+
+#endif  // EF_OBS_CHROME_TRACE_H_

@@ -1,0 +1,175 @@
+#include "obs/metrics.h"
+
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace ef {
+namespace obs {
+namespace {
+
+/**
+ * Fixed formatting for dump values: enough digits to round-trip the
+ * quantities we record (seconds, ratios, GPU counts) while staying
+ * byte-stable.
+ */
+std::string
+format_value(double v)
+{
+    return format_double(v, 6);
+}
+
+}  // namespace
+
+void
+Counter::inc(std::uint64_t n)
+{
+    // Saturate: a counter that has seen ~1.8e19 increments is pegged,
+    // not wrapped back to small values that would read as a reset.
+    const std::uint64_t room =
+        std::numeric_limits<std::uint64_t>::max() - value_;
+    value_ += n < room ? n : room;
+}
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)),
+      buckets_(edges_.size() + 1, 0)
+{
+    EF_CHECK_MSG(!edges_.empty(), "histogram needs at least one edge");
+    for (std::size_t i = 1; i < edges_.size(); ++i) {
+        EF_CHECK_MSG(edges_[i - 1] < edges_[i],
+                     "histogram edges must be strictly increasing");
+    }
+}
+
+void
+Histogram::observe(double v)
+{
+    std::size_t bucket = edges_.size();  // overflow by default
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        if (v <= edges_[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    ++buckets_[bucket];
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    ++count_;
+    sum_ += v;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_.emplace(std::string(name), Counter{}).first;
+    return it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        it = gauges_.emplace(std::string(name), Gauge{}).first;
+    return it->second;
+}
+
+Histogram &
+MetricsRegistry::histogram(std::string_view name,
+                           const std::vector<double> &edges)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(std::string(name), Histogram(edges))
+                 .first;
+    }
+    return it->second;
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+std::string
+MetricsRegistry::text_dump() const
+{
+    std::ostringstream out;
+    for (const auto &[name, c] : counters_)
+        out << name << "=" << c.value() << "\n";
+    for (const auto &[name, g] : gauges_)
+        out << name << "=" << format_value(g.value()) << "\n";
+    for (const auto &[name, h] : histograms_) {
+        out << name << ".count=" << h.count() << "\n"
+            << name << ".sum=" << format_value(h.sum()) << "\n"
+            << name << ".mean=" << format_value(h.mean()) << "\n"
+            << name << ".min=" << format_value(h.min()) << "\n"
+            << name << ".max=" << format_value(h.max()) << "\n";
+        for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+            out << name << ".le.";
+            if (i < h.edges().size())
+                out << format_value(h.edges()[i]);
+            else
+                out << "inf";
+            out << "=" << h.buckets()[i] << "\n";
+        }
+    }
+    return out.str();
+}
+
+std::string
+MetricsRegistry::csv_dump() const
+{
+    std::vector<std::string> header = {"name", "type", "field", "value"};
+    std::vector<std::vector<std::string>> rows;
+    for (const auto &[name, c] : counters_)
+        rows.push_back({name, "counter", "value",
+                        std::to_string(c.value())});
+    for (const auto &[name, g] : gauges_)
+        rows.push_back({name, "gauge", "value",
+                        format_value(g.value())});
+    for (const auto &[name, h] : histograms_) {
+        rows.push_back({name, "histogram", "count",
+                        std::to_string(h.count())});
+        rows.push_back({name, "histogram", "sum",
+                        format_value(h.sum())});
+        rows.push_back({name, "histogram", "mean",
+                        format_value(h.mean())});
+        rows.push_back({name, "histogram", "min",
+                        format_value(h.min())});
+        rows.push_back({name, "histogram", "max",
+                        format_value(h.max())});
+        for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+            std::string field = "le.";
+            field += i < h.edges().size()
+                         ? format_value(h.edges()[i])
+                         : std::string("inf");
+            rows.push_back({name, "histogram", field,
+                            std::to_string(h.buckets()[i])});
+        }
+    }
+    return to_csv(header, rows);
+}
+
+}  // namespace obs
+}  // namespace ef

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges, and fixed-bucket
+ * histograms with a deterministic snapshot/dump API.
+ *
+ * Instruments publish through the process-wide registry hook (null
+ * when disabled — one branch per call site, mirroring obs/trace.h).
+ * All state is plain arithmetic on sim-derived values: no wall clocks,
+ * no allocation ordering effects, so a metered run stays byte-identical
+ * to an unmetered one. Names are dotted lowercase paths
+ * ("sim.replans.executed"); the registry stores them in sorted order
+ * so every dump is stable across runs and platforms.
+ */
+#ifndef EF_OBS_METRICS_H_
+#define EF_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ef {
+namespace obs {
+
+/** Monotonic counter; add() saturates instead of wrapping. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1);
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Last-write-wins scalar. */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram. @p edges are strictly increasing inclusive
+ * upper bounds; a sample lands in the first bucket whose edge it does
+ * not exceed, or in the implicit overflow bucket past the last edge.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> edges);
+
+    void observe(double v);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double mean() const;
+
+    const std::vector<double> &edges() const { return edges_; }
+    /** Per-bucket counts; size() == edges().size() + 1 (overflow last). */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+  private:
+    std::vector<double> edges_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Owns all metrics of one run; instruments look up by name. */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(std::string_view name);
+    Gauge &gauge(std::string_view name);
+    /**
+     * @p edges apply on first creation; later lookups of the same name
+     * return the existing histogram unchanged.
+     */
+    Histogram &histogram(std::string_view name,
+                         const std::vector<double> &edges);
+
+    bool empty() const;
+
+    /**
+     * Deterministic dump, one metric per line in name order:
+     *   counter:   name=value
+     *   gauge:     name=value
+     *   histogram: name.count=, name.sum=, name.mean=, name.min=,
+     *              name.max=, and name.le.<edge>=count per bucket
+     *              (name.le.inf for the overflow bucket).
+     */
+    std::string text_dump() const;
+
+    /** Same content as CSV rows: name,type,field,value. */
+    std::string csv_dump() const;
+
+  private:
+    std::map<std::string, Counter, std::less<>> counters_;
+    std::map<std::string, Gauge, std::less<>> gauges_;
+    std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+namespace detail {
+/** The installed registry; null = metrics disabled. */
+inline MetricsRegistry *g_metrics = nullptr;
+}  // namespace detail
+
+/** The active registry, or null when metrics are disabled. */
+inline MetricsRegistry *
+metrics()
+{
+    return detail::g_metrics;
+}
+
+/** Install a registry for the lifetime of the scope (nests). */
+class MetricsScope
+{
+  public:
+    explicit MetricsScope(MetricsRegistry *registry)
+        : prev_(detail::g_metrics)
+    {
+        detail::g_metrics = registry;
+    }
+    ~MetricsScope() { detail::g_metrics = prev_; }
+
+    MetricsScope(const MetricsScope &) = delete;
+    MetricsScope &operator=(const MetricsScope &) = delete;
+
+  private:
+    MetricsRegistry *prev_;
+};
+
+// --- one-branch-when-disabled emission helpers --------------------------
+
+inline void
+count(std::string_view name, std::uint64_t n = 1)
+{
+    if (detail::g_metrics != nullptr)
+        detail::g_metrics->counter(name).inc(n);
+}
+
+inline void
+gauge_set(std::string_view name, double v)
+{
+    if (detail::g_metrics != nullptr)
+        detail::g_metrics->gauge(name).set(v);
+}
+
+inline void
+observe(std::string_view name, const std::vector<double> &edges,
+        double v)
+{
+    if (detail::g_metrics != nullptr)
+        detail::g_metrics->histogram(name, edges).observe(v);
+}
+
+}  // namespace obs
+}  // namespace ef
+
+#endif  // EF_OBS_METRICS_H_

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Trace recording: the TraceSink interface, the in-memory ring-buffer
+ * sink, and the process-wide recorder hook instrumented code emits
+ * through.
+ *
+ * Design constraints (see DESIGN.md "Observability"):
+ *
+ *  - A *disabled* recorder must cost exactly one predictable branch at
+ *    every instrumentation site: `emit()` loads one pointer and
+ *    returns. Call sites that need to build a non-trivial event (GPU
+ *    id vectors) guard with `tracing()` first so the payload is never
+ *    materialized when nobody listens.
+ *  - Recording must not perturb the simulation: sinks only copy the
+ *    event; nothing flows back. Tests assert RunResult::state_hash is
+ *    identical with tracing on and off.
+ *  - Single-threaded by design, like the simulator itself. The hook is
+ *    installed with an RAII scope so tests and tools cannot leak a
+ *    recorder into a later run.
+ */
+#ifndef EF_OBS_TRACE_H_
+#define EF_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace ef {
+namespace obs {
+
+/** Receives every emitted event while installed. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void record(const TraceEvent &event) = 0;
+};
+
+/**
+ * Fixed-capacity in-memory sink: keeps the most recent @p capacity
+ * events and counts the ones it had to drop. events() returns them in
+ * emission order.
+ */
+class RingBufferSink : public TraceSink
+{
+  public:
+    explicit RingBufferSink(std::size_t capacity);
+
+    void record(const TraceEvent &event) override;
+
+    /** Buffered events, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+    /** Events evicted because the buffer was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+  private:
+    std::size_t capacity_;
+    std::vector<TraceEvent> ring_;
+    std::size_t head_ = 0;  ///< next write position once full
+    bool full_ = false;
+    std::uint64_t dropped_ = 0;
+};
+
+namespace detail {
+/** The installed sink; null = recording disabled (the common case). */
+inline TraceSink *g_trace_sink = nullptr;
+}  // namespace detail
+
+/** Is a recorder installed? Use to gate expensive event construction. */
+inline bool
+tracing()
+{
+    return detail::g_trace_sink != nullptr;
+}
+
+/** Emit one event; a single branch and no work when disabled. */
+inline void
+emit(const TraceEvent &event)
+{
+    if (detail::g_trace_sink != nullptr)
+        detail::g_trace_sink->record(event);
+}
+
+/**
+ * Install @p sink for the lifetime of the scope (restores the previous
+ * sink on destruction, so scopes nest).
+ */
+class TraceScope
+{
+  public:
+    explicit TraceScope(TraceSink *sink) : prev_(detail::g_trace_sink)
+    {
+        detail::g_trace_sink = sink;
+    }
+    ~TraceScope() { detail::g_trace_sink = prev_; }
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+  private:
+    TraceSink *prev_;
+};
+
+}  // namespace obs
+}  // namespace ef
+
+#endif  // EF_OBS_TRACE_H_

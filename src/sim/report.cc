@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/csv.h"
+#include "common/json.h"
 #include "common/table.h"
 
 namespace ef {
@@ -101,6 +102,76 @@ summary_report(const RunResult &result)
 }
 
 std::string
+jobs_report_json(const RunResult &result)
+{
+    JsonWriter w;
+    w.begin_array();
+    for (const JobOutcome &job : result.jobs) {
+        const JobSpec &spec = job.spec;
+        w.begin_object();
+        w.kv("id", spec.id);
+        w.kv("name", spec.name);
+        w.kv("user", spec.user);
+        w.kv("kind", job_kind_name(spec.kind));
+        w.kv("model", model_name(spec.model));
+        w.kv("global_batch", spec.global_batch);
+        w.kv("iterations", spec.iterations);
+        w.kv("submit_time", spec.submit_time);
+        if (is_unbounded(spec.deadline))
+            w.key("deadline").null();
+        else
+            w.kv("deadline", spec.deadline);
+        w.kv("admitted", job.admitted);
+        w.kv("finished", job.finished);
+        if (job.finished)
+            w.kv("finish_time", job.finish_time);
+        else
+            w.key("finish_time").null();
+        w.kv("met_deadline", job.met_deadline());
+        if (is_unbounded(job.first_run_time))
+            w.key("first_run").null();
+        else
+            w.kv("first_run", job.first_run_time);
+        w.kv("gpu_seconds", job.gpu_seconds);
+        w.kv("scalings", job.scaling_events);
+        w.kv("migrations", job.migrations);
+        w.kv("failures", job.failures_suffered);
+        w.end_object();
+    }
+    w.end_array();
+    return w.str();
+}
+
+std::string
+summary_report_json(const RunResult &result)
+{
+    JsonWriter w;
+    w.begin_object();
+    w.kv("scheduler", result.scheduler_name);
+    w.kv("trace", result.trace_name);
+    w.kv("total_gpus", result.total_gpus);
+    w.kv("jobs", static_cast<std::uint64_t>(result.jobs.size()));
+    w.kv("admitted",
+         static_cast<std::int64_t>(result.admitted_count()));
+    w.kv("dropped", static_cast<std::int64_t>(result.dropped_count()));
+    w.kv("finished",
+         static_cast<std::int64_t>(result.finished_count()));
+    w.kv("deadlines_met",
+         static_cast<std::int64_t>(result.deadlines_met()));
+    w.kv("deadline_ratio", result.deadline_ratio());
+    w.kv("soft_deadline_ratio",
+         result.deadline_ratio_of(JobKind::kSoftDeadline));
+    w.kv("avg_best_effort_jct_s",
+         result.average_jct(JobKind::kBestEffort));
+    w.kv("makespan_s", result.makespan);
+    w.kv("gpu_seconds", result.total_gpu_seconds());
+    w.kv("replan_failures", result.replan_failures);
+    w.kv("placement_failures", result.placement_failures);
+    w.end_object();
+    return w.str();
+}
+
+std::string
 save_run_report(const std::string &prefix, const RunResult &result)
 {
     auto write = [](const std::string &path, const std::string &text) {
@@ -110,6 +181,8 @@ save_run_report(const std::string &prefix, const RunResult &result)
     };
     write(prefix + ".jobs.csv", jobs_report_csv(result));
     write(prefix + ".alloc.csv", allocation_report_csv(result));
+    write(prefix + ".jobs.json", jobs_report_json(result));
+    write(prefix + ".summary.json", summary_report_json(result));
     std::string summary = summary_report(result);
     write(prefix + ".summary", summary);
     return summary;

@@ -23,6 +23,12 @@ std::string allocation_report_csv(const RunResult &result);
 /** Headline metrics as "key=value" lines (grep-friendly). */
 std::string summary_report(const RunResult &result);
 
+/** Per-job report as a JSON array (same fields as the CSV). */
+std::string jobs_report_json(const RunResult &result);
+
+/** Headline metrics as a JSON object (same fields as the summary). */
+std::string summary_report_json(const RunResult &result);
+
 /**
  * Write <prefix>.jobs.csv, <prefix>.alloc.csv, and <prefix>.summary
  * (overwriting). Returns the summary text.

@@ -7,11 +7,32 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ef {
 namespace {
 
 constexpr double kIterEpsilon = 1e-6;
+
+// Histogram bucket edges for the run-level obs metrics. Chosen once
+// here so every run's dump is comparable.
+const std::vector<double> kQueueDepthEdges = {0,  1,  2,   4,  8,
+                                              16, 32, 64, 128, 256};
+const std::vector<double> kFragmentationEdges = {0.0, 0.05, 0.1, 0.2,
+                                                 0.4, 0.6,  0.8};
+const std::vector<double> kReplanIntervalEdges = {
+    1.0, 10.0, 60.0, 300.0, 600.0, 1800.0, 3600.0, 7200.0};
+const std::vector<double> kResizeEdges = {0, 1, 2, 4, 8, 16, 32, 64};
+const std::vector<double> kEfficiencyEdges = {0.1, 0.25, 0.5, 0.75,
+                                              0.9, 1.0};
+
+/** ids payload of an alloc-change event, from concrete GPU ids. */
+std::vector<std::int64_t>
+trace_ids(const std::vector<GpuCount> &gpus)
+{
+    return std::vector<std::int64_t>(gpus.begin(), gpus.end());
+}
 
 }  // namespace
 
@@ -309,6 +330,8 @@ Simulator::deliver_resize(JobId id, Time *penalty)
         ++attempt;
         if (attempt > fault_->config().rpc_max_retries) {
             ++result_.rpc_gave_up;
+            obs::emit({now_, obs::EventKind::kRpcGiveUp, id, attempt});
+            obs::count("sim.rpc.gave_up");
             EF_INFO("command for job "
                     << id << " lost after "
                     << fault_->config().rpc_max_retries
@@ -316,6 +339,8 @@ Simulator::deliver_resize(JobId id, Time *penalty)
             return false;
         }
         ++result_.rpc_retries;
+        obs::emit({now_, obs::EventKind::kRpcRetry, id, attempt});
+        obs::count("sim.rpc.retries");
         *penalty += fault_->rpc_backoff(attempt);
     }
     *penalty += fault_->rpc_delay();
@@ -346,6 +371,10 @@ Simulator::apply_resize(JobRt &job, GpuCount desired)
         ++job.outcome.scaling_events;
         result_.allocation_log.push_back(
             AllocationEvent{now_, id, {}});
+        if (obs::tracing()) {
+            obs::emit({now_, obs::EventKind::kScale, id, old, 0});
+            obs::emit({now_, obs::EventKind::kAllocChange, id, old});
+        }
         return;
     }
 
@@ -361,6 +390,7 @@ Simulator::apply_resize(JobRt &job, GpuCount desired)
     }
     if (!res.ok) {
         ++result_.placement_failures;
+        obs::emit({now_, obs::EventKind::kPlacementFail, id, desired});
         EF_DEBUG("placement failed for job " << id << " (" << desired
                                              << " GPUs)");
         return;  // keep the previous allocation
@@ -378,6 +408,17 @@ Simulator::apply_resize(JobRt &job, GpuCount desired)
             refresh_throughput(other);
         result_.allocation_log.push_back(
             AllocationEvent{now_, m.job, m.to});
+        if (obs::tracing()) {
+            obs::TraceEvent moved{now_, obs::EventKind::kAllocChange,
+                                  m.job, other.gpus};
+            moved.ids = trace_ids(m.to);
+            obs::emit(moved);
+            obs::TraceEvent mig{now_, obs::EventKind::kMigration,
+                                m.job, other.gpus};
+            mig.ids = trace_ids(m.to);
+            obs::emit(mig);
+        }
+        obs::count("sim.migrations");
     }
 
     job.gpus = desired;
@@ -386,12 +427,25 @@ Simulator::apply_resize(JobRt &job, GpuCount desired)
     // Scaling checkpoints state — unless the checkpoint write itself
     // fails, in which case the previous checkpoint stays the restore
     // point and progress since then remains at risk.
-    if (fault_ != nullptr && fault_->checkpoint_write_fails(id, now_))
+    bool ckpt_ok = true;
+    if (fault_ != nullptr && fault_->checkpoint_write_fails(id, now_)) {
         ++result_.ckpt_failures;
-    else
+        ckpt_ok = false;
+    } else {
         job.checkpoint_iters = job.executed;
+    }
     result_.allocation_log.push_back(
         AllocationEvent{now_, id, placement_.gpus_of(id)});
+    if (obs::tracing()) {
+        obs::emit({now_, obs::EventKind::kScale, id, old, desired});
+        obs::emit({now_, obs::EventKind::kCheckpoint, id,
+                   ckpt_ok ? 1 : 0});
+        obs::TraceEvent alloc{now_, obs::EventKind::kAllocChange, id,
+                              old};
+        alloc.ids = trace_ids(placement_.gpus_of(id));
+        obs::emit(alloc);
+    }
+    obs::count("sim.scalings");
     if (is_unbounded(job.outcome.first_run_time))
         job.outcome.first_run_time = now_;
     charge_pause(job, overhead_.scaling_seconds(job.spec.model, old,
@@ -402,6 +456,13 @@ Simulator::apply_resize(JobRt &job, GpuCount desired)
         job.straggler_factor = fault_->straggler_slowdown();
         job.straggler_until = now_ + fault_->straggler_duration_s();
         ++result_.stragglers_observed;
+        if (obs::tracing()) {
+            obs::TraceEvent straggle{
+                now_, obs::EventKind::kStragglerStart, id};
+            straggle.x = job.straggler_factor;
+            obs::emit(straggle);
+        }
+        obs::count("sim.stragglers");
         events_.push(Event{job.straggler_until, next_seq_++,
                            Event::kStragglerEnd, id});
     }
@@ -461,8 +522,16 @@ Simulator::record_timelines()
         // that is simply T_actual(g) / T(1).
         ce += job.current_tpt / per_gpu_base;
     }
-    result_.cluster_efficiency.record(
-        now_, ce / static_cast<double>(topology_.total_gpus()));
+    const double efficiency =
+        ce / static_cast<double>(topology_.total_gpus());
+    result_.cluster_efficiency.record(now_, efficiency);
+    if (obs::metrics() != nullptr) {
+        obs::gauge_set("sim.cluster_efficiency_last", efficiency);
+        obs::observe("sim.cluster_efficiency", kEfficiencyEdges,
+                     efficiency);
+        obs::gauge_set("sim.used_gpus_last",
+                       static_cast<double>(placement_.used_gpus()));
+    }
 }
 
 bool
@@ -563,6 +632,9 @@ void
 Simulator::evict_job(JobId id)
 {
     JobRt &job = rt(id);
+    const GpuCount old = job.gpus;
+    const double rolled_back =
+        std::max(0.0, job.executed - job.checkpoint_iters);
     placement_.release(id);
     job.gpus = 0;
     job.current_tpt = 0.0;
@@ -570,6 +642,14 @@ Simulator::evict_job(JobId id)
     job.executed = std::min(job.executed, job.checkpoint_iters);
     ++job.outcome.failures_suffered;
     result_.allocation_log.push_back(AllocationEvent{now_, id, {}});
+    if (obs::tracing()) {
+        obs::TraceEvent evict{now_, obs::EventKind::kJobEvict, id,
+                              old};
+        evict.x = rolled_back;
+        obs::emit(evict);
+        obs::emit({now_, obs::EventKind::kAllocChange, id, old});
+    }
+    obs::count("sim.evictions");
 }
 
 void
@@ -596,6 +676,9 @@ Simulator::handle_server_down(const Event &event)
     placement_.set_server_available(server, false);
     view_dirty_ = true;  // capacity shrank; victims lost their GPUs
     ++fault_epoch_;
+    obs::emit({now_, obs::EventKind::kServerDown, kInvalidJob, server,
+               static_cast<std::int64_t>(victims.size())});
+    obs::count("sim.faults.server_down");
     EF_INFO("server " << server << " failed at "
                       << format_double(now_ / kHour, 2) << " h ("
                       << victims.size() << " jobs evicted)");
@@ -627,6 +710,9 @@ Simulator::handle_gpu_down(const Event &event)
     ++result_.gpu_faults;
     ++fault_epoch_;
     view_dirty_ = true;
+    obs::emit({now_, obs::EventKind::kGpuDown, kInvalidJob, gpu,
+               victim != kInvalidJob ? 1 : 0});
+    obs::count("sim.faults.gpu_down");
     EF_INFO("GPU " << gpu << " failed at "
                    << format_double(now_ / kHour, 2) << " h"
                    << (victim != kInvalidJob ? " (1 job evicted)"
@@ -645,6 +731,7 @@ Simulator::handle_gpu_up(GpuCount gpu)
         return;  // stale event
     placement_.set_gpu_available(gpu, true);
     view_dirty_ = true;  // capacity grew
+    obs::emit({now_, obs::EventKind::kGpuUp, kInvalidJob, gpu});
     if (any_nonterminal_jobs())
         request_replan();
 }
@@ -658,6 +745,13 @@ Simulator::handle_straggler_start(const Event &event)
     job.straggler_factor = std::max(1.0, event.mag);
     job.straggler_until = now_ + event.dur;
     ++result_.stragglers_observed;
+    if (obs::tracing()) {
+        obs::TraceEvent straggle{
+            now_, obs::EventKind::kStragglerStart, event.job};
+        straggle.x = job.straggler_factor;
+        obs::emit(straggle);
+    }
+    obs::count("sim.stragglers");
     events_.push(Event{job.straggler_until, next_seq_++,
                        Event::kStragglerEnd, event.job});
     // Stragglers change throughput, not capacity: no replan, but the
@@ -674,6 +768,7 @@ Simulator::handle_straggler_end(JobId id)
         return;  // stale event (a newer window superseded this one)
     job.straggler_factor = 1.0;
     job.straggler_until = -kTimeInfinity;
+    obs::emit({now_, obs::EventKind::kStragglerEnd, id});
     if (job.state == JobState::kRunning && job.gpus > 0)
         refresh_throughput(job);
 }
@@ -685,6 +780,7 @@ Simulator::handle_server_up(int server)
         return;
     placement_.set_server_available(server, true);
     view_dirty_ = true;  // capacity grew
+    obs::emit({now_, obs::EventKind::kServerUp, kInvalidJob, server});
     schedule_next_failure(server);
     if (any_nonterminal_jobs())
         request_replan();
@@ -747,6 +843,7 @@ Simulator::request_replan()
     ++result_.replans_attempted;
     if (replan_pending_) {
         ++result_.replans_coalesced;
+        obs::count("sim.replans.coalesced");
         return;
     }
     replan_pending_ = true;
@@ -759,6 +856,7 @@ Simulator::flush_replan()
 {
     EF_CHECK(replan_pending_);
     replan_pending_ = false;
+    const Time since_last = now_ - last_decision_time_;
     if (config_.elide_replans && !view_dirty_ &&
         now_ == last_decision_time_) {
         // No arrival/completion/failure touched scheduler-visible
@@ -767,14 +865,69 @@ Simulator::flush_replan()
         // deterministic policy would return the same decision, and
         // re-applying a decision is a no-op — skip the call.
         ++result_.replans_elided;
+        if (obs::tracing()) {
+            obs::emit({now_, obs::EventKind::kReplanBegin, kInvalidJob,
+                       static_cast<std::int64_t>(
+                           active_jobs().size())});
+            obs::emit({now_, obs::EventKind::kReplanEnd, kInvalidJob,
+                       /*executed=*/0, /*resizes=*/0});
+        }
+        obs::count("sim.replans.elided");
         audit_state();
         arm_tick();
         return;
     }
+    if (obs::tracing()) {
+        obs::emit({now_, obs::EventKind::kReplanBegin, kInvalidJob,
+                   static_cast<std::int64_t>(active_jobs().size())});
+    }
+    const std::size_t log_before = result_.allocation_log.size();
     SchedulerDecision decision = scheduler_->allocate();
     view_dirty_ = false;
     last_decision_time_ = now_;
     apply_decision(decision);
+    const std::size_t resizes =
+        result_.allocation_log.size() - log_before;
+    if (obs::tracing()) {
+        obs::emit({now_, obs::EventKind::kReplanEnd, kInvalidJob,
+                   /*executed=*/1,
+                   static_cast<std::int64_t>(resizes)});
+    }
+    if (obs::metrics() != nullptr) {
+        obs::count("sim.replans.executed");
+        obs::observe("sim.replan_resizes", kResizeEdges,
+                     static_cast<double>(resizes));
+        if (since_last >= 0.0 && !is_unbounded(since_last)) {
+            obs::observe("sim.replan_interval_s", kReplanIntervalEdges,
+                         since_last);
+        }
+        std::int64_t waiting = 0;
+        for (const auto &[id, job] : jobs_) {
+            if (job->active() && job->state == JobState::kWaiting)
+                ++waiting;
+        }
+        obs::observe("sim.queue_depth", kQueueDepthEdges,
+                     static_cast<double>(waiting));
+        obs::gauge_set("sim.queue_depth_last",
+                       static_cast<double>(waiting));
+        // Fragmentation: share of idle capacity outside the largest
+        // contiguous per-server free block — high values mean a
+        // compact placement cannot be found without migrations.
+        GpuCount idle = placement_.idle_gpus();
+        GpuCount largest_free = 0;
+        for (int server = 0; server < topology_.num_servers();
+             ++server) {
+            largest_free = std::max(largest_free,
+                                    placement_.free_in_server(server));
+        }
+        double fragmentation =
+            idle > 0 ? 1.0 - static_cast<double>(largest_free) /
+                                 static_cast<double>(idle)
+                     : 0.0;
+        obs::observe("sim.fragmentation", kFragmentationEdges,
+                     fragmentation);
+        obs::gauge_set("sim.fragmentation_last", fragmentation);
+    }
     // Failure-aware policies report SLO jobs whose guarantee a fault
     // broke; each is demoted to best-effort exactly once.
     for (JobId id : scheduler_->take_demotions()) {
@@ -783,6 +936,8 @@ Simulator::flush_replan()
             continue;
         job.outcome.demoted = true;
         ++result_.slo_demotions;
+        obs::emit({now_, obs::EventKind::kJobDemote, id});
+        obs::count("sim.demotions");
         EF_INFO("job " << id << " demoted to best-effort at "
                        << format_double(now_ / kHour, 2) << " h");
     }
@@ -795,14 +950,21 @@ void
 Simulator::handle_arrival(JobId id)
 {
     JobRt &job = rt(id);
+    obs::emit({now_, obs::EventKind::kJobSubmit, id,
+               job.spec.requested_gpus});
+    obs::count("sim.jobs.submitted");
     bool ok = scheduler_->admit(job.spec);
     job.arrived = true;
     job.outcome.admitted = ok;
     if (!ok) {
         job.state = JobState::kDropped;
+        obs::emit({now_, obs::EventKind::kJobReject, id});
+        obs::count("sim.jobs.rejected");
         EF_DEBUG("job " << id << " dropped at submission");
     } else {
         job.state = JobState::kWaiting;
+        obs::emit({now_, obs::EventKind::kJobAdmit, id});
+        obs::count("sim.jobs.admitted");
     }
 
     std::size_t submitted = 0, admitted = 0;
@@ -830,6 +992,7 @@ Simulator::handle_completion_check(JobId id)
     if (job.remaining() > kIterEpsilon)
         return;  // stale event: the job was slowed after scheduling
 
+    const GpuCount held = job.gpus;
     job.executed = static_cast<double>(job.spec.iterations);
     job.state = JobState::kFinished;
     job.outcome.finished = true;
@@ -837,6 +1000,11 @@ Simulator::handle_completion_check(JobId id)
     placement_.release(id);
     job.gpus = 0;
     job.current_tpt = 0.0;
+    if (obs::tracing()) {
+        obs::emit({now_, obs::EventKind::kAllocChange, id, held});
+        obs::emit({now_, obs::EventKind::kJobFinish, id, held});
+    }
+    obs::count("sim.jobs.finished");
     view_dirty_ = true;  // the active-job set shrank, GPUs freed
     request_replan();
 }

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the minimal JSON writer and validator in common/json.h:
+ * escaping, deterministic double formatting, container bookkeeping,
+ * and the validator's accept/reject behavior.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/json.h"
+
+namespace ef {
+namespace {
+
+TEST(Json, EscapesControlAndSpecialCharacters)
+{
+    EXPECT_EQ(json_escape("plain"), "plain");
+    EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(json_escape("line\nbreak\ttab"),
+              "line\\nbreak\\ttab");
+    EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, WriterBuildsObjectsAndArrays)
+{
+    JsonWriter w;
+    w.begin_object();
+    w.kv("name", "ef");
+    w.kv("count", std::int64_t{42});
+    w.kv("ok", true);
+    w.key("list").begin_array();
+    w.value(1).value(2).value(3);
+    w.end_array();
+    w.key("nothing").null();
+    w.end_object();
+    EXPECT_EQ(w.str(),
+              "{\"name\":\"ef\",\"count\":42,\"ok\":true,"
+              "\"list\":[1,2,3],\"nothing\":null}");
+}
+
+TEST(Json, DoubleFormattingIsDeterministic)
+{
+    auto render = [](double v) {
+        JsonWriter w;
+        w.begin_array().value(v).end_array();
+        return w.str();
+    };
+    EXPECT_EQ(render(1.5), "[1.5]");
+    EXPECT_EQ(render(0.0), "[0.0]");
+    EXPECT_EQ(render(-2.25), "[-2.25]");
+    EXPECT_EQ(render(3.0), "[3.0]");
+    // Non-finite doubles degrade to null (strict JSON has no inf/nan).
+    EXPECT_EQ(render(std::numeric_limits<double>::infinity()),
+              "[null]");
+    EXPECT_EQ(render(std::nan("")), "[null]");
+}
+
+TEST(Json, ValidatorAcceptsWriterOutput)
+{
+    JsonWriter w;
+    w.begin_object();
+    w.key("nested").begin_object().kv("k", 1.25).end_object();
+    w.key("arr").begin_array().value("x").value(false).end_array();
+    w.end_object();
+    std::string error;
+    EXPECT_TRUE(json_validate(w.str(), &error)) << error;
+}
+
+TEST(Json, ValidatorRejectsMalformedDocuments)
+{
+    EXPECT_FALSE(json_validate(""));
+    EXPECT_FALSE(json_validate("{"));
+    EXPECT_FALSE(json_validate("{\"a\":}"));
+    EXPECT_FALSE(json_validate("[1,]"));
+    EXPECT_FALSE(json_validate("{\"a\":1} trailing"));
+    EXPECT_FALSE(json_validate("{'a':1}"));
+    EXPECT_FALSE(json_validate("[01]"));
+    std::string error;
+    EXPECT_FALSE(json_validate("[1, 2", &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, ValidatorAcceptsAssortedValidDocuments)
+{
+    EXPECT_TRUE(json_validate("null"));
+    EXPECT_TRUE(json_validate("  [ ]  "));
+    EXPECT_TRUE(json_validate("-1.5e-3"));
+    EXPECT_TRUE(json_validate("\"esc \\u00e9 \\n\""));
+    EXPECT_TRUE(json_validate("{\"a\":[{\"b\":[true,null]}]}"));
+}
+
+}  // namespace
+}  // namespace ef

@@ -5,7 +5,11 @@
  */
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
 #include "common/csv.h"
+#include "common/json.h"
 #include "sched/scheduler.h"
 #include "sim/report.h"
 #include "sim/simulator.h"
@@ -72,6 +76,64 @@ TEST(Report, SaveWritesThreeFiles)
     EXPECT_FALSE(summary.empty());
     EXPECT_FALSE(load_csv(prefix + ".jobs.csv").rows.empty());
     EXPECT_FALSE(load_csv(prefix + ".alloc.csv").rows.empty());
+}
+
+TEST(Report, JobsJsonRoundTripsAndAgreesWithCsv)
+{
+    RunResult result = sample_run();
+    std::string json = jobs_report_json(result);
+    std::string error;
+    ASSERT_TRUE(json_validate(json, &error)) << error;
+    // One array element per job, with the id spelled verbatim.
+    for (const JobOutcome &job : result.jobs) {
+        std::string needle =
+            "\"id\":" + std::to_string(job.spec.id) + ",";
+        EXPECT_NE(json.find(needle), std::string::npos) << needle;
+    }
+    // Unadmitted jobs must serialize finish_time as null, not inf.
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+    // The export is deterministic.
+    EXPECT_EQ(json, jobs_report_json(result));
+}
+
+TEST(Report, SummaryJsonMatchesTextSummary)
+{
+    RunResult result = sample_run();
+    std::string json = summary_report_json(result);
+    std::string error;
+    ASSERT_TRUE(json_validate(json, &error)) << error;
+    for (const std::string key :
+         {"\"scheduler\":", "\"deadline_ratio\":",
+          "\"makespan_s\":", "\"admitted\":",
+          "\"replan_failures\":"}) {
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+    }
+    std::string expected_jobs =
+        "\"jobs\":" + std::to_string(result.jobs.size());
+    EXPECT_NE(json.find(expected_jobs), std::string::npos);
+    std::string expected_sched =
+        "\"scheduler\":\"" + result.scheduler_name + "\"";
+    EXPECT_NE(json.find(expected_sched), std::string::npos);
+}
+
+TEST(Report, SaveAlsoWritesJsonArtifacts)
+{
+    RunResult result = sample_run();
+    std::string prefix = testing::TempDir() + "/ef_report_json_test";
+    save_run_report(prefix, result);
+    auto slurp = [](const std::string &path) {
+        std::ifstream in(path, std::ios::binary);
+        EXPECT_TRUE(in.good()) << path;
+        std::ostringstream out;
+        out << in.rdbuf();
+        return out.str();
+    };
+    std::string error;
+    EXPECT_TRUE(json_validate(slurp(prefix + ".jobs.json"), &error))
+        << error;
+    EXPECT_TRUE(
+        json_validate(slurp(prefix + ".summary.json"), &error))
+        << error;
 }
 
 }  // namespace
