@@ -14,13 +14,25 @@
  * CSV columns: id,name,user,model,global_batch,iterations,
  * submit_time,deadline,kind,requested_gpus (deadline "inf" and kind
  * "best-effort" for jobs without one; kind "soft" for soft deadlines).
+ *
+ * Service mode (streaming admission, see src/serve/):
+ *
+ *   # synthetic open-loop stream through the serve front end
+ *   ./run_trace --service --arrival-rate=0.5 --duration=7200 --gpus 64
+ *
+ *   # replay a CSV trace with the simulator's service-mode queue
+ *   ./run_trace my_trace.csv --service --gpus 32
+ *
+ * Flags accept both "--flag value" and "--flag=value".
  */
 #include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/table.h"
@@ -29,6 +41,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sched/scheduler.h"
+#include "serve/service.h"
+#include "serve/stream.h"
 #include "sim/simulator.h"
 #include "workload/trace_gen.h"
 #include "workload/trace_io.h"
@@ -51,6 +65,12 @@ usage()
         << "            [--fault-seed N] [--state-hash]\n"
         << "            [--trace-out FILE.json] [--metrics-out FILE]\n"
         << "            [--log-level debug|info|warn|error]\n"
+        << "            [--service]\n"
+        << "  run_trace --service --arrival-rate JOBS_PER_S "
+        << "--duration SECONDS\n"
+        << "            [--gpus N] [--seed N] [--state-hash]\n"
+        << "            [--fault-script FILE] [--fault-seed N]\n"
+        << "            [--rpc-drop PROB] [--metrics-out FILE]\n"
         << "  run_trace --generate <preset> <out.csv>\n"
         << "presets: testbed-small, testbed-large, philly, "
         << "cluster1..cluster10\nschedulers:";
@@ -75,6 +95,111 @@ preset_by_name(const std::string &name)
     return {};
 }
 
+/**
+ * Standalone service mode: push a synthetic open-loop stream through
+ * the ef::serve front end (no simulator) and report the overload-
+ * control counters plus decision-latency quantiles.
+ */
+int
+run_service(double arrival_rate, Time duration, int gpus,
+            std::uint64_t seed, const FaultConfig &fault_config,
+            bool show_state_hash, const std::string &metrics_out)
+{
+    serve::StreamConfig stream_config;
+    stream_config.topology = TopologySpec::with_total_gpus(gpus);
+    stream_config.arrival_rate = arrival_rate;
+    stream_config.seed = seed;
+
+    serve::ServiceConfig service_config;
+    service_config.total_gpus = gpus;
+    service_config.degrade_infeasible = true;
+
+    std::unique_ptr<FaultInjector> faults;
+    if (fault_config.any())
+        faults = std::make_unique<FaultInjector>(fault_config);
+
+    serve::SyntheticStream stream(stream_config, faults.get());
+    serve::Service service(service_config, faults.get());
+
+    // The decision-latency histogram lives in ef::obs; install a
+    // registry so the quantiles below have something to read.
+    obs::MetricsRegistry registry;
+    {
+        obs::MetricsScope metrics_scope(&registry);
+        while (true) {
+            serve::Submission sub = stream.next();
+            if (sub.spec.submit_time > duration)
+                break;
+            service.submit(std::move(sub));
+        }
+        service.advance_to(duration);
+        service.finish();
+    }
+
+    const serve::ServiceStats &stats = service.stats();
+    const std::uint64_t offered = stats.submitted + stats.rpc_dropped;
+    const double shed_rate =
+        stats.submitted > 0
+            ? static_cast<double>(stats.shed()) /
+                  static_cast<double>(stats.submitted)
+            : 0.0;
+    const std::vector<double> edges = {0.001, 0.01, 0.1, 0.5, 1.0,
+                                       2.0,   5.0,  10.0, 20.0, 30.0,
+                                       60.0,  120.0, 300.0};
+    const obs::Histogram &latency =
+        registry.histogram("serve.decision_latency_s", edges);
+
+    std::cout << "service: " << offered << " submissions over "
+              << format_double(duration / kHour, 1) << " h at "
+              << format_double(arrival_rate, 3) << " jobs/s ("
+              << gpus << " GPUs)\n\n";
+    ConsoleTable table({"metric", "value"});
+    table.add_row({"decided", std::to_string(stats.submitted)});
+    table.add_row({"RPC-dropped", std::to_string(stats.rpc_dropped)});
+    table.add_row({"admitted (SLO)", std::to_string(stats.admitted)});
+    table.add_row({"admitted (best-effort)",
+                   std::to_string(stats.admitted_best_effort)});
+    table.add_row({"degraded", std::to_string(stats.degraded)});
+    table.add_row({"shed (queue-full)",
+                   std::to_string(stats.shed_queue_full)});
+    table.add_row({"shed (infeasible)",
+                   std::to_string(stats.shed_infeasible)});
+    table.add_row({"shed rate", format_percent(shed_rate)});
+    table.add_row({"rounds (forced)",
+                   std::to_string(stats.rounds) + " (" +
+                       std::to_string(stats.rounds_forced) + ")"});
+    table.add_row({"replan timeouts",
+                   std::to_string(stats.replan_timeouts)});
+    table.add_row({"planning cost (units)",
+                   std::to_string(stats.planning_cost)});
+    table.add_row({"finished", std::to_string(stats.finished)});
+    table.add_row({"deadline misses",
+                   std::to_string(stats.deadline_misses)});
+    table.add_row({"max queue depth",
+                   std::to_string(stats.max_queue_depth)});
+    table.add_row({"decision latency p50 (s)",
+                   format_double(
+                       obs::histogram_quantile(latency, 0.5), 3)});
+    table.add_row({"decision latency p99 (s)",
+                   format_double(
+                       obs::histogram_quantile(latency, 0.99), 3)});
+    std::cout << table.render();
+
+    if (!metrics_out.empty()) {
+        std::ofstream out(metrics_out);
+        EF_FATAL_IF(!out,
+                    "cannot open " << metrics_out << " for writing");
+        out << registry.text_dump();
+        std::cout << "wrote metrics to " << metrics_out << "\n";
+    }
+    if (show_state_hash) {
+        std::cout << "state-hash: " << std::hex << std::setw(16)
+                  << std::setfill('0') << service.state_hash()
+                  << std::dec << " samples: " << stats.rounds << "\n";
+    }
+    return 0;
+}
+
 }  // namespace
 
 int
@@ -95,20 +220,54 @@ main(int argc, char **argv)
         return 0;
     }
 
-    std::string trace_path = argv[1];
+    // A leading flag (instead of a trace path) selects standalone
+    // service mode; --service after a trace path turns on the
+    // simulator's service-mode arrival queue instead.
+    std::string trace_path;
+    int first_flag = 1;
+    if (argv[1][0] != '-') {
+        trace_path = argv[1];
+        first_flag = 2;
+    }
     int gpus = 128;
     std::string scheduler_name = "elasticflow";
     bool show_state_hash = false;
+    bool service_mode = false;
+    double arrival_rate = 0.0;
+    Time service_duration = 0.0;
+    std::uint64_t stream_seed = 1;
     std::string trace_out;
     std::string metrics_out;
     SimConfig sim_config;
-    for (int i = 2; i < argc; ++i) {
+    for (int i = first_flag; i < argc; ++i) {
         std::string arg = argv[i];
+        // Accept --flag=value as well as --flag value.
+        std::string inline_value;
+        bool has_inline = false;
+        if (arg.rfind("--", 0) == 0) {
+            const std::size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg = arg.substr(0, eq);
+                has_inline = true;
+            }
+        }
         auto next = [&]() -> std::string {
+            if (has_inline)
+                return inline_value;
             EF_FATAL_IF(i + 1 >= argc, arg << " needs a value");
             return argv[++i];
         };
-        if (arg == "--gpus") {
+        if (arg == "--service") {
+            service_mode = true;
+            sim_config.service.enabled = true;
+        } else if (arg == "--arrival-rate") {
+            arrival_rate = std::stod(next());
+        } else if (arg == "--duration") {
+            service_duration = std::stod(next());
+        } else if (arg == "--seed") {
+            stream_seed = std::stoull(next());
+        } else if (arg == "--gpus") {
             gpus = std::stoi(next());
         } else if (arg == "--scheduler") {
             scheduler_name = next();
@@ -154,6 +313,24 @@ main(int argc, char **argv)
             std::cerr << "run_trace: unknown flag '" << arg << "'\n";
             return usage();
         }
+    }
+
+    if (trace_path.empty()) {
+        if (!service_mode || arrival_rate <= 0.0 ||
+            service_duration <= 0.0) {
+            std::cerr << "run_trace: standalone service mode needs "
+                      << "--service, --arrival-rate > 0 and "
+                      << "--duration > 0\n";
+            return usage();
+        }
+        return run_service(arrival_rate, service_duration, gpus,
+                           stream_seed, sim_config.faults,
+                           show_state_hash, metrics_out);
+    }
+    if (arrival_rate > 0.0 || service_duration > 0.0) {
+        std::cerr << "run_trace: --arrival-rate/--duration apply only "
+                  << "to standalone --service mode (no trace file)\n";
+        return usage();
     }
 
     Trace trace = load_trace_csv(
@@ -231,6 +408,20 @@ main(int argc, char **argv)
                        std::to_string(result.ckpt_failures)});
         table.add_row({"SLO demotions",
                        std::to_string(result.slo_demotions)});
+    }
+    if (sim_config.service.enabled) {
+        table.add_row({"service rounds (forced)",
+                       std::to_string(result.service_rounds) + " (" +
+                           std::to_string(
+                               result.service_rounds_forced) +
+                           ")"});
+        table.add_row({"shed (queue-full)",
+                       std::to_string(result.shed_queue_full)});
+        table.add_row({"degraded",
+                       std::to_string(result.service_degraded)});
+        table.add_row({"max service queue depth",
+                       std::to_string(
+                           result.max_service_queue_depth)});
     }
     std::cout << table.render();
     if (show_state_hash) {

@@ -19,7 +19,7 @@ std::optional<SlotPlan>
 progressive_fill(const ScalingCurve &curve, double remaining_iterations,
                  const std::vector<GpuCount> &available,
                  const PlanHorizon &horizon, const PlannerConfig &config,
-                 int start_slot)
+                 int start_slot, std::uint64_t *cost)
 {
     const int slots = horizon.slots;
     EF_CHECK(slots >= 0 && start_slot >= 0);
@@ -45,6 +45,8 @@ progressive_fill(const ScalingCurve &curve, double remaining_iterations,
         bool satisfied = false;
 
         auto fill_slot = [&](int t) {
+            if (cost != nullptr)
+                ++*cost;
             GpuCount x = curve.usable(
                 std::min(level, available[static_cast<std::size_t>(t)]));
             plan.gpus[static_cast<std::size_t>(t)] = x;
@@ -71,10 +73,11 @@ std::optional<SlotPlan>
 progressive_fill(const PlanningJob &job,
                  const std::vector<GpuCount> &available,
                  const PlanHorizon &horizon, const PlannerConfig &config,
-                 int start_slot)
+                 int start_slot, std::uint64_t *cost)
 {
     return progressive_fill(job.curve, job.remaining_iterations,
-                            available, horizon, config, start_slot);
+                            available, horizon, config, start_slot,
+                            cost);
 }
 
 AdmissionOutcome
@@ -108,7 +111,8 @@ run_admission(const PlannerConfig &config, Time now,
                                     config.total_gpus);
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const PlanningJob &job = jobs[i];
-        auto plan = progressive_fill(job, available, horizons[i], config);
+        auto plan = progressive_fill(job, available, horizons[i], config,
+                                     /*start_slot=*/0, &outcome.cost);
         if (!plan.has_value()) {
             obs::count("core.admission.infeasible");
             if (obs::tracing()) {

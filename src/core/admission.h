@@ -15,6 +15,7 @@
 #ifndef EF_CORE_ADMISSION_H_
 #define EF_CORE_ADMISSION_H_
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <vector>
@@ -45,6 +46,14 @@ struct AdmissionOutcome
     bool feasible = false;
     /** Minimum-satisfactory-share plan per job (iff feasible). */
     std::map<JobId, SlotPlan> plans;
+    /**
+     * Planning cost of this pass in deterministic work units (one unit
+     * per slot touched by progressive filling, summed over all level
+     * attempts of all jobs). A pure function of the input — never of
+     * wall clock — so cost-based policies (the service watchdog)
+     * replay identically.
+     */
+    std::uint64_t cost = 0;
 };
 
 /**
@@ -59,12 +68,16 @@ struct AdmissionOutcome
  * @return the plan (length <= horizon.slots, trailing zeros trimmed),
  *         or nullopt when even the maximum useful level cannot meet
  *         the deadline.
+ *
+ * When @p cost is non-null it is incremented by one work unit per
+ * slot-fill operation performed (across every level attempt), giving
+ * callers a deterministic measure of planning effort.
  */
 std::optional<SlotPlan>
 progressive_fill(const PlanningJob &job,
                  const std::vector<GpuCount> &available,
                  const PlanHorizon &horizon, const PlannerConfig &config,
-                 int start_slot = 0);
+                 int start_slot = 0, std::uint64_t *cost = nullptr);
 
 /**
  * Same fill without materializing a PlanningJob — the allocator's
@@ -76,7 +89,7 @@ std::optional<SlotPlan>
 progressive_fill(const ScalingCurve &curve, double remaining_iterations,
                  const std::vector<GpuCount> &available,
                  const PlanHorizon &horizon, const PlannerConfig &config,
-                 int start_slot = 0);
+                 int start_slot = 0, std::uint64_t *cost = nullptr);
 
 /**
  * Algorithm 1: feasibility of a whole job set (admitted jobs plus a

@@ -31,6 +31,7 @@ fault_type_name(FaultType type)
       case FaultType::kStraggler: return "straggler";
       case FaultType::kRpcDrop: return "rpc-drop";
       case FaultType::kCkptFail: return "ckpt-fail";
+      case FaultType::kArrivalStorm: return "arrival-storm";
     }
     return "?";
 }
@@ -48,6 +49,8 @@ fault_type_from_name(const std::string &name, const std::string &context)
         return FaultType::kRpcDrop;
     if (name == "ckpt-fail")
         return FaultType::kCkptFail;
+    if (name == "arrival-storm")
+        return FaultType::kArrivalStorm;
     EF_FATAL_IF(true, context << ": unknown fault type '" << name << "'");
     return FaultType::kServerCrash;
 }
@@ -92,6 +95,9 @@ FaultInjector::FaultInjector(FaultConfig config)
           case FaultType::kCkptFail:
             armed_ckpt_.push_back(ev);
             break;
+          case FaultType::kArrivalStorm:
+            storms_.push_back(ev);
+            break;
         }
     }
     auto by_time = [](const FaultEvent &a, const FaultEvent &b) {
@@ -100,6 +106,21 @@ FaultInjector::FaultInjector(FaultConfig config)
     std::stable_sort(queueable_.begin(), queueable_.end(), by_time);
     std::stable_sort(armed_rpc_.begin(), armed_rpc_.end(), by_time);
     std::stable_sort(armed_ckpt_.begin(), armed_ckpt_.end(), by_time);
+    std::stable_sort(storms_.begin(), storms_.end(), by_time);
+}
+
+double
+FaultInjector::arrival_rate_multiplier(Time now) const
+{
+    double multiplier = 1.0;
+    for (const FaultEvent &storm : storms_) {
+        if (storm.time > now)
+            break;  // time-sorted
+        const Time end = storm.time + storm.duration_s;
+        if (now < end)
+            multiplier *= storm.magnitude > 0.0 ? storm.magnitude : 2.0;
+    }
+    return multiplier;
 }
 
 Time
@@ -230,6 +251,7 @@ FaultInjector::state_fingerprint() const
     h.u64(queueable_.size());
     h.u64(armed_rpc_.size());
     h.u64(armed_ckpt_.size());
+    h.u64(storms_.size());
     return h.digest();
 }
 

@@ -37,6 +37,8 @@ enum class FaultType {
     kStraggler,    ///< a job's workers run slowed for a while
     kRpcDrop,      ///< a control-plane command delivery is lost
     kCkptFail,     ///< a checkpoint write fails (previous one survives)
+    kArrivalStorm, ///< submission rate multiplied for a window (service
+                   ///< mode overload; magnitude = rate multiplier)
 };
 
 std::string fault_type_name(FaultType type);
@@ -52,11 +54,13 @@ struct FaultEvent
     /**
      * Server index (kServerCrash), GPU id (kGpuFault), or job id
      * (kStraggler / kRpcDrop / kCkptFail; -1 = first matching job).
+     * Ignored by kArrivalStorm (conventionally -1).
      */
     std::int64_t target = -1;
-    /** Repair / straggle window; 0 = use the class default. */
+    /** Repair / straggle / storm window; 0 = use the class default. */
     Time duration_s = 0.0;
-    /** Straggler slowdown factor, or forced RPC-drop count; 0 = default. */
+    /** Straggler slowdown factor, forced RPC-drop count, or
+     *  arrival-rate multiplier (kArrivalStorm); 0 = default. */
     double magnitude = 0.0;
 };
 
@@ -188,6 +192,24 @@ class FaultInjector
     int take_scripted_rpc_drops(JobId job, Time now);
 
     /**
+     * Scripted arrival storms, time-sorted. A storm multiplies the
+     * submission rate by its magnitude (default 2) over
+     * [time, time + duration_s). Consumed by submission front ends
+     * (ef::serve streams); never queued as simulator events.
+     */
+    const std::vector<FaultEvent> &arrival_storm_events() const
+    {
+        return storms_;
+    }
+
+    /**
+     * The arrival-rate multiplier in effect at @p now: the product of
+     * the magnitudes of every storm window covering @p now (overlapping
+     * storms compound), or 1 when none does.
+     */
+    double arrival_rate_multiplier(Time now) const;
+
+    /**
      * FNV-1a fingerprint of the injector's mutable state: every
      * per-class RNG cursor plus the armed scripted-event backlogs.
      * Folded into the simulator's determinism state hash — two runs
@@ -205,13 +227,14 @@ class FaultInjector
     std::vector<FaultEvent> queueable_;
     std::vector<FaultEvent> armed_rpc_;
     std::vector<FaultEvent> armed_ckpt_;
+    std::vector<FaultEvent> storms_;
 };
 
 /**
  * Parse a scripted fault trace. CSV columns: time,type,target and
  * optionally duration,magnitude. Types: server-crash, gpu-fault,
- * straggler, rpc-drop, ckpt-fail. Malformed rows abort with the
- * offending line number.
+ * straggler, rpc-drop, ckpt-fail, arrival-storm. Malformed rows abort
+ * with the offending line number.
  */
 std::vector<FaultEvent> parse_fault_script(const std::string &text);
 

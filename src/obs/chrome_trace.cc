@@ -280,6 +280,9 @@ Exporter::render(std::uint64_t dropped)
           case EventKind::kAdmissionShare:
           case EventKind::kAdmissionOutcome:
           case EventKind::kAllocationRound:
+          case EventKind::kServeShed:
+          case EventKind::kServeRound:
+          case EventKind::kServeTimeout:
             instant(kSchedPid, 1, event_kind_name(event.kind), ts);
             args()
                 .kv("job", event.job)

@@ -66,6 +66,14 @@ enum class EventKind {
     kRpcGiveUp,       ///< command abandoned after max retries
     kCommand,         ///< executor command issued; a = seq,
                       ///< b = CommandType as int
+
+    // --- service mode (ef::serve, streaming admission) -------------------
+    kServeShed,       ///< submission shed; a = ShedVerdict as int,
+                      ///< b = queue depth at the verdict
+    kServeRound,      ///< planning round drained the queue; a = batch
+                      ///< size, b = 1 when horizon-forced (no token)
+    kServeTimeout,    ///< replan watchdog fired; a = measured planning
+                      ///< cost, b = budget
 };
 
 /** Stable lowercase name (Chrome-trace event names, tests, dumps). */
@@ -80,7 +88,7 @@ struct TraceEvent
     std::int64_t a = 0;
     std::int64_t b = 0;
     double x = 0.0;
-    std::vector<std::int64_t> ids;
+    std::vector<std::int64_t> ids = {};
 };
 
 }  // namespace obs

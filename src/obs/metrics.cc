@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/csv.h"
+#include "common/math_util.h"
 #include "common/table.h"
 
 namespace ef {
@@ -73,6 +74,38 @@ double
 Histogram::mean() const
 {
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+histogram_quantile(const Histogram &h, double q)
+{
+    if (h.count() == 0)
+        return 0.0;
+    q = clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(h.count());
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < h.buckets().size(); ++i) {
+        const std::uint64_t in_bucket = h.buckets()[i];
+        if (in_bucket == 0)
+            continue;
+        if (static_cast<double>(seen + in_bucket) < rank) {
+            seen += in_bucket;
+            continue;
+        }
+        // The target sample lives in bucket i: interpolate between its
+        // bounds. The first bucket's lower bound and the overflow
+        // bucket's upper bound are unbounded; substitute the observed
+        // extremes.
+        const double lo = i == 0 ? h.min() : h.edges()[i - 1];
+        const double hi =
+            i < h.edges().size() ? h.edges()[i] : h.max();
+        const double within =
+            (rank - static_cast<double>(seen)) /
+            static_cast<double>(in_bucket);
+        const double v = lo + (hi - lo) * clamp(within, 0.0, 1.0);
+        return clamp(v, h.min(), h.max());
+    }
+    return h.max();
 }
 
 Counter &

@@ -76,6 +76,17 @@ class Histogram
     double max_ = 0.0;
 };
 
+/**
+ * Quantile estimate from the bucketed counts (q in [0, 1]): locate the
+ * bucket holding the ceil(q * count)-th sample and interpolate
+ * linearly inside it, clamping to the observed min/max so estimates
+ * never leave the recorded range. Exact at the resolution of the
+ * bucket edges — the soak harness reports p50/p99 decision latency
+ * through this, so choose edges dense where the quantiles matter.
+ * Returns 0 for an empty histogram.
+ */
+double histogram_quantile(const Histogram &h, double q);
+
 /** Owns all metrics of one run; instruments look up by name. */
 class MetricsRegistry
 {

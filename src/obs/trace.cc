@@ -1,6 +1,8 @@
 #include "obs/trace.h"
 
 #include "common/check.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace ef {
 namespace obs {
@@ -34,6 +36,9 @@ event_kind_name(EventKind kind)
       case EventKind::kRpcRetry: return "rpc_retry";
       case EventKind::kRpcGiveUp: return "rpc_give_up";
       case EventKind::kCommand: return "command";
+      case EventKind::kServeShed: return "serve_shed";
+      case EventKind::kServeRound: return "serve_round";
+      case EventKind::kServeTimeout: return "serve_timeout";
     }
     return "?";
 }
@@ -55,7 +60,16 @@ RingBufferSink::record(const TraceEvent &event)
     full_ = true;
     ring_[head_] = event;
     head_ = (head_ + 1) % capacity_;
+    if (dropped_ == 0) {
+        // Exactly one warning per sink: under soak load every further
+        // record() would otherwise flood stderr with the same news.
+        EF_WARN("trace ring buffer full (capacity "
+                << capacity_
+                << "); oldest events are being dropped silently from "
+                   "here on");
+    }
     ++dropped_;
+    count("obs.trace.dropped");
 }
 
 std::size_t

@@ -199,7 +199,7 @@ edf_admission_feasible(const ClusterView &view,
 MinShareRefresh
 refresh_min_shares(const PlannerConfig &config, Time now,
                    std::vector<PlanningJob> slo, int *replan_failures,
-                   bool park_infeasible_hard)
+                   bool park_infeasible_hard, std::uint64_t *cost)
 {
     // Minimum satisfactory shares in deadline order (Algorithm 1):
     // hard jobs first — soft-deadline jobs only reserve what hard jobs
@@ -228,7 +228,8 @@ refresh_min_shares(const PlannerConfig &config, Time now,
     for (std::size_t i = 0; i < slo.size(); ++i) {
         PlanningJob &job = slo[i];
         PlanHorizon d = horizons[i];
-        auto fill = progressive_fill(job, available, d, config);
+        auto fill = progressive_fill(job, available, d, config,
+                                     /*start_slot=*/0, cost);
         if (!fill.has_value() && job.soft) {
             // A soft deadline that cannot be met is not an incident:
             // the job simply continues as best-effort (§4.4).
@@ -265,7 +266,8 @@ refresh_min_shares(const PlannerConfig &config, Time now,
             if (d.slots > static_cast<int>(available.size()))
                 available.resize(static_cast<std::size_t>(d.slots),
                                  config.total_gpus);
-            fill = progressive_fill(job, available, d, config);
+            fill = progressive_fill(job, available, d, config,
+                                    /*start_slot=*/0, cost);
         }
         if (!fill.has_value()) {
             job.deadline = kTimeInfinity;  // park as best-effort-like

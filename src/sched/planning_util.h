@@ -155,12 +155,16 @@ struct MinShareRefresh
  * to best-effort rather than letting it silently miss. Exposed
  * separately from elastic_allocate so tests can assert relaxation
  * invariants (a relaxed job's reservation never reaches past its
- * relaxed horizon).
+ * relaxed horizon). When @p cost is non-null it accumulates the
+ * deterministic planning work units spent by every progressive fill in
+ * the refresh (see AdmissionOutcome::cost), which the service-mode
+ * watchdog uses as its replayable time budget.
  */
 MinShareRefresh refresh_min_shares(const PlannerConfig &config, Time now,
                                    std::vector<PlanningJob> slo,
                                    int *replan_failures,
-                                   bool park_infeasible_hard = false);
+                                   bool park_infeasible_hard = false,
+                                   std::uint64_t *cost = nullptr);
 
 /**
  * Full elastic allocation pass: refresh minimum satisfactory shares

@@ -1,0 +1,449 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/math_util.h"
+#include "core/allocator.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sched/planning_util.h"
+
+namespace ef {
+namespace serve {
+namespace {
+
+/** Decision-latency histogram edges (seconds). Queue-full sheds are
+ *  decided synchronously (latency 0); queued verdicts wait up to the
+ *  starvation horizon, so the edges are dense in that range. */
+const std::vector<double> &
+latency_edges()
+{
+    static const std::vector<double> kEdges = {
+        0.001, 0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0,
+        20.0,  30.0, 60.0, 120.0, 300.0};
+    return kEdges;
+}
+
+const char *
+verdict_counter(ShedVerdict verdict)
+{
+    switch (verdict) {
+      case ShedVerdict::kAdmitted:
+        return "serve.verdict.admitted";
+      case ShedVerdict::kAdmittedBestEffort:
+        return "serve.verdict.admitted_best_effort";
+      case ShedVerdict::kDegraded:
+        return "serve.verdict.degraded";
+      case ShedVerdict::kShedQueueFull:
+        return "serve.verdict.shed_queue_full";
+      case ShedVerdict::kShedInfeasible:
+        return "serve.verdict.shed_infeasible";
+    }
+    return "serve.verdict.unknown";
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig config, FaultInjector *faults)
+    : config_(config),
+      faults_(faults),
+      governor_(config.governor)
+{
+    EF_FATAL_IF(config_.total_gpus <= 0, "service needs total_gpus > 0");
+    EF_FATAL_IF(config_.slot_seconds <= 0.0,
+                "service needs slot_seconds > 0");
+    EF_FATAL_IF(config_.queue_watermark < 1,
+                "service needs queue_watermark >= 1");
+    planner_.total_gpus = config_.total_gpus;
+    planner_.slot_seconds = config_.slot_seconds;
+    planner_.direction = config_.direction;
+    planner_.max_slots = config_.max_slots;
+}
+
+void
+Service::submit(Submission submission)
+{
+    EF_FATAL_IF(submission.spec.submit_time < now_,
+                "service submissions must arrive in time order (got "
+                    << submission.spec.submit_time << " at clock "
+                    << now_ << ")");
+    advance_to(submission.spec.submit_time);
+
+    if (faults_ != nullptr) {
+        const int forced = faults_->take_scripted_rpc_drops(
+            submission.spec.id, now_);
+        if (forced > 0 || faults_->rpc_attempt_lost()) {
+            // The submission RPC never reached the service: no verdict,
+            // no queue slot. A real client would retry; the stream
+            // moves on (the drop is part of the deterministic record).
+            ++stats_.rpc_dropped;
+            obs::count("serve.rpc_dropped");
+            return;
+        }
+    }
+
+    if (pending_.size() >= config_.queue_watermark) {
+        // Synchronous backpressure: O(1), no planning work, decided at
+        // submission time.
+        decide(submission, now_, ShedVerdict::kShedQueueFull);
+        return;
+    }
+    pending_.push_back(std::move(submission));
+    stats_.max_queue_depth =
+        std::max(stats_.max_queue_depth, pending_.size());
+    obs::gauge_set("serve.queue_depth",
+                   static_cast<double>(pending_.size()));
+    if (pending_.size() == 1)
+        arm();
+}
+
+void
+Service::advance_to(Time t)
+{
+    EF_FATAL_IF(t < now_, "service clock cannot go backwards (to "
+                              << t << " from " << now_ << ")");
+    while (!pending_.empty() && next_due_ <= t) {
+        now_ = std::max(now_, next_due_);
+        run_round(now_);
+    }
+    now_ = std::max(now_, t);
+}
+
+void
+Service::finish()
+{
+    // At most two rounds: the first may be abandoned by the watchdog,
+    // the escalated retry always commits and drains the queue.
+    if (!pending_.empty())
+        run_round(now_);
+    if (!pending_.empty())
+        run_round(now_);
+    EF_CHECK(pending_.empty());
+}
+
+void
+Service::arm()
+{
+    if (pending_.empty()) {
+        next_due_ = kTimeInfinity;
+        return;
+    }
+    // Token-funded round when the bucket allows it; otherwise forced
+    // at the oldest submission's starvation horizon, whichever is
+    // earlier.
+    const Time horizon_due = pending_.front().spec.submit_time +
+                             config_.governor.starvation_horizon_s;
+    next_due_ = std::max(
+        now_, std::min(governor_.next_eligible(now_), horizon_due));
+}
+
+void
+Service::decide(const Submission &submission, Time at,
+                ShedVerdict verdict)
+{
+    ++stats_.submitted;
+    switch (verdict) {
+      case ShedVerdict::kAdmitted:
+        ++stats_.admitted;
+        break;
+      case ShedVerdict::kAdmittedBestEffort:
+        ++stats_.admitted_best_effort;
+        break;
+      case ShedVerdict::kDegraded:
+        ++stats_.degraded;
+        break;
+      case ShedVerdict::kShedQueueFull:
+        ++stats_.shed_queue_full;
+        break;
+      case ShedVerdict::kShedInfeasible:
+        ++stats_.shed_infeasible;
+        break;
+    }
+    obs::count(verdict_counter(verdict));
+    obs::observe("serve.decision_latency_s", latency_edges(),
+                 at - submission.spec.submit_time);
+    if (obs::tracing() && is_shed(verdict)) {
+        obs::TraceEvent event;
+        event.time = at;
+        event.kind = obs::EventKind::kServeShed;
+        event.job = submission.spec.id;
+        event.a = static_cast<std::int64_t>(verdict);
+        event.b = static_cast<std::int64_t>(pending_.size());
+        obs::emit(event);
+    }
+    if (on_decision_) {
+        on_decision_(Decision{submission.spec.id,
+                              submission.spec.submit_time, at, verdict});
+    }
+}
+
+void
+Service::retire(Time t)
+{
+    const Time dt = t - last_round_;
+    if (dt <= 0.0)
+        return;
+    auto sweep = [&](std::map<JobId, Active> &jobs) {
+        std::vector<JobId> done;
+        for (auto &[id, active] : jobs) {
+            auto it = gpus_now_.find(id);
+            const GpuCount gpus =
+                it == gpus_now_.end() ? 0 : it->second;
+            if (gpus <= 0)
+                continue;  // suspended this interval
+            const double tpt = active.curve.throughput(gpus);
+            if (tpt <= 0.0)
+                continue;
+            const double progress = tpt * dt;
+            if (progress + 1e-9 < active.remaining_iterations) {
+                active.remaining_iterations -= progress;
+                continue;
+            }
+            const Time finish =
+                last_round_ + active.remaining_iterations / tpt;
+            ++stats_.finished;
+            obs::count("serve.finished");
+            if (!is_unbounded(active.deadline) &&
+                finish > active.deadline + 1e-6) {
+                ++stats_.deadline_misses;
+                obs::count("serve.deadline_misses");
+            }
+            done.push_back(id);
+        }
+        for (JobId id : done) {
+            jobs.erase(id);
+            gpus_now_.erase(id);
+        }
+    };
+    sweep(slo_);
+    sweep(best_effort_);
+}
+
+void
+Service::run_round(Time t)
+{
+    // Fluid progress since the last committed round, then completion
+    // retirement, happens before any replanning sees the job set.
+    retire(t);
+
+    const PlanningMargin margin{config_.admission_margin,
+                                config_.overhead_allowance_s};
+    std::vector<PlanningJob> slo;
+    slo.reserve(slo_.size());
+    for (const auto &[id, active] : slo_) {
+        PlanningJob job;
+        job.id = id;
+        job.curve = active.curve;
+        job.remaining_iterations =
+            margin.inflate(active.remaining_iterations, active.curve);
+        job.deadline = active.deadline;
+        job.soft = active.soft;
+        slo.push_back(std::move(job));
+    }
+
+    std::uint64_t cost = 0;
+    MinShareRefresh refresh =
+        refresh_min_shares(planner_, t, std::move(slo),
+                           &replan_failures_, false, &cost);
+    stats_.planning_cost += cost;
+    if (config_.watchdog_budget > 0 && !escalated_ &&
+        cost > config_.watchdog_budget) {
+        // Watchdog: this refresh blew the planning budget. Abandon it,
+        // keep the last committed plans and allocations, and retry
+        // immediately with the budget lifted, draining the queue in
+        // one batch. Cost units are deterministic, so the timeout
+        // replays identically.
+        ++stats_.replan_timeouts;
+        obs::count("serve.replan_timeouts");
+        if (obs::tracing()) {
+            obs::TraceEvent event;
+            event.time = t;
+            event.kind = obs::EventKind::kServeTimeout;
+            event.a = static_cast<std::int64_t>(cost);
+            event.b =
+                static_cast<std::int64_t>(config_.watchdog_budget);
+            obs::emit(event);
+        }
+        escalated_ = true;
+        next_due_ = t;
+        return;
+    }
+    escalated_ = false;
+
+    // Jobs the refresh had to park lose their guarantee but keep
+    // their progress: they continue as best-effort.
+    for (const PlanningJob &parked : refresh.parked) {
+        auto it = slo_.find(parked.id);
+        if (it == slo_.end())
+            continue;
+        Active moved = it->second;
+        moved.deadline = kTimeInfinity;
+        moved.soft = false;
+        best_effort_.emplace(parked.id, std::move(moved));
+        slo_.erase(it);
+        ++stats_.demotions;
+        obs::count("serve.demotions");
+    }
+
+    // Residual availability after the refreshed minimum shares; grown
+    // lazily to whatever horizon a candidate needs.
+    std::map<JobId, SlotPlan> shares = std::move(refresh.min_shares);
+    std::vector<GpuCount> available;
+    auto ensure_slots = [&](int horizon) {
+        if (static_cast<int>(available.size()) < horizon) {
+            available.resize(static_cast<std::size_t>(horizon),
+                             config_.total_gpus);
+        }
+    };
+    for (const auto &[id, plan] : shares) {
+        ensure_slots(plan.horizon());
+        for (int s = 0; s < plan.horizon(); ++s) {
+            GpuCount &a = available[static_cast<std::size_t>(s)];
+            a -= plan.at(s);
+            EF_CHECK_MSG(a >= 0, "service over-reserved slot " << s);
+        }
+    }
+
+    const bool token = governor_.try_acquire(t);
+    const std::size_t batch = pending_.size();
+    std::vector<PlanningJob> alloc_slo = std::move(refresh.slo);
+    std::uint64_t drain_cost = 0;
+    while (!pending_.empty()) {
+        Submission sub = std::move(pending_.front());
+        pending_.pop_front();
+        const JobSpec &spec = sub.spec;
+        if (spec.is_best_effort()) {
+            if (best_effort_.size() >= config_.max_active_best_effort) {
+                decide(sub, t, ShedVerdict::kShedQueueFull);
+                continue;
+            }
+            best_effort_.emplace(
+                spec.id,
+                Active{sub.curve,
+                       static_cast<double>(spec.iterations),
+                       kTimeInfinity, false});
+            decide(sub, t, ShedVerdict::kAdmittedBestEffort);
+            continue;
+        }
+        const PlanHorizon d =
+            plan_horizon(t, spec.deadline, planner_.slot_seconds,
+                         planner_.max_slots);
+        ensure_slots(d.slots);
+        const double inflated = margin.inflate(
+            static_cast<double>(spec.iterations), sub.curve);
+        auto fill = progressive_fill(sub.curve, inflated, available, d,
+                                     planner_, /*start_slot=*/0,
+                                     &drain_cost);
+        if (fill.has_value()) {
+            for (int s = 0; s < fill->horizon(); ++s) {
+                available[static_cast<std::size_t>(s)] -= fill->at(s);
+            }
+            PlanningJob job;
+            job.id = spec.id;
+            job.curve = sub.curve;
+            job.remaining_iterations = inflated;
+            job.deadline = spec.deadline;
+            job.soft = spec.has_soft_deadline();
+            alloc_slo.push_back(std::move(job));
+            shares.emplace(spec.id, std::move(*fill));
+            slo_.emplace(spec.id,
+                         Active{std::move(sub.curve),
+                                static_cast<double>(spec.iterations),
+                                spec.deadline,
+                                spec.has_soft_deadline()});
+            decide(sub, t, ShedVerdict::kAdmitted);
+        } else if (config_.degrade_infeasible &&
+                   best_effort_.size() <
+                       config_.max_active_best_effort) {
+            best_effort_.emplace(
+                spec.id,
+                Active{std::move(sub.curve),
+                       static_cast<double>(spec.iterations),
+                       kTimeInfinity, false});
+            decide(sub, t, ShedVerdict::kDegraded);
+        } else {
+            decide(sub, t, ShedVerdict::kShedInfeasible);
+        }
+    }
+    stats_.planning_cost += drain_cost;
+
+    std::vector<PlanningJob> best_effort;
+    best_effort.reserve(best_effort_.size());
+    for (const auto &[id, active] : best_effort_) {
+        PlanningJob job;
+        job.id = id;
+        job.curve = active.curve;
+        job.remaining_iterations = active.remaining_iterations;
+        job.deadline = kTimeInfinity;
+        best_effort.push_back(std::move(job));
+    }
+    AllocationOutcome outcome =
+        run_allocation(planner_, t, alloc_slo, shares, best_effort);
+    gpus_now_ = std::move(outcome.gpus_now);
+    committed_shares_ = std::move(shares);
+
+    last_round_ = t;
+    ++stats_.rounds;
+    if (!token)
+        ++stats_.rounds_forced;
+    obs::count("serve.rounds");
+    if (!token)
+        obs::count("serve.rounds_forced");
+    obs::gauge_set("serve.queue_depth", 0.0);
+    if (obs::tracing()) {
+        obs::TraceEvent event;
+        event.time = t;
+        event.kind = obs::EventKind::kServeRound;
+        event.a = static_cast<std::int64_t>(batch);
+        event.b = token ? 0 : 1;
+        obs::emit(event);
+    }
+    fold_round_hash(t, batch, !token);
+    arm();
+}
+
+void
+Service::fold_round_hash(Time t, std::size_t batch, bool forced)
+{
+    Fnv1a h;
+    h.u64(hash_);
+    h.f64(t);
+    h.u64(batch);
+    h.u64(forced ? 1 : 0);
+    h.u64(stats_.submitted);
+    h.u64(stats_.admitted);
+    h.u64(stats_.admitted_best_effort);
+    h.u64(stats_.degraded);
+    h.u64(stats_.shed_queue_full);
+    h.u64(stats_.shed_infeasible);
+    h.u64(stats_.rpc_dropped);
+    h.u64(stats_.replan_timeouts);
+    h.u64(stats_.finished);
+    h.u64(stats_.deadline_misses);
+    h.u64(stats_.demotions);
+    for (const auto &[id, active] : slo_) {
+        h.i64(id);
+        h.f64(active.remaining_iterations);
+        h.f64(active.deadline);
+    }
+    for (const auto &[id, active] : best_effort_) {
+        h.i64(id);
+        h.f64(active.remaining_iterations);
+    }
+    for (const auto &[id, gpus] : gpus_now_) {
+        h.i64(id);
+        h.i64(static_cast<std::int64_t>(gpus));
+    }
+    h.u64(governor_.fingerprint());
+    if (faults_ != nullptr)
+        h.u64(faults_->state_fingerprint());
+    hash_ = h.digest();
+}
+
+}  // namespace serve
+}  // namespace ef

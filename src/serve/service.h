@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Streaming submission front end over the ElasticFlow planning core.
+ *
+ * The batch pipeline (trace in, results out) assumes every submission
+ * is worth a full planning pass. An always-on deployment cannot: under
+ * an arrival storm, per-submission replans make the scheduler the
+ * bottleneck and an unbounded queue turns overload into latency for
+ * everyone. The Service accepts submissions one at a time and defends
+ * itself explicitly:
+ *
+ *  - Bounded admission queue. Above the watermark a submission is shed
+ *    *synchronously* with ShedVerdict::kShedQueueFull — O(1), no
+ *    planning work, the streaming analogue of TCP backpressure.
+ *  - Replan-cadence governor (serve/governor.h). Queued submissions
+ *    are batched into one planning round per token; a round is forced
+ *    (tokenless) when the oldest submission has waited the starvation
+ *    horizon, so every queued submission gets its verdict within
+ *    `governor.starvation_horizon_s`.
+ *  - Planning watchdog. Each round's Algorithm 1 work is metered in
+ *    deterministic cost units (AdmissionOutcome::cost — never wall
+ *    clock, so runs replay bit-identically). A round whose min-share
+ *    refresh exceeds `watchdog_budget` is abandoned: the service keeps
+ *    the last committed plans, records `replan_timeout`, and retries
+ *    the round with the budget lifted, draining the queue in one
+ *    batch.
+ *  - Fault-path integration. With a FaultInjector attached, submission
+ *    RPCs are dropped by the injector's RPC class (the caller never
+ *    gets a verdict, as in a lossy network), and scripted
+ *    arrival-storm events drive the synthetic stream's rate
+ *    (serve/stream.h).
+ *
+ * Between rounds, admitted jobs progress fluidly at the throughput of
+ * their last Algorithm 2 allocation; completions are retired (with
+ * interpolated finish times) at the start of the next round. The
+ * service is an admission/allocation control plane, not a full
+ * simulator: placement, migration, and checkpoint mechanics stay in
+ * ef::sim.
+ *
+ * Determinism: submit/advance sequences are pure functions of the
+ * inputs. state_hash() chains every committed round; two runs over the
+ * same stream and config produce identical hashes.
+ */
+#ifndef EF_SERVE_SERVICE_H_
+#define EF_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/scaling_curve.h"
+#include "serve/governor.h"
+#include "serve/verdict.h"
+#include "workload/job.h"
+
+namespace ef {
+
+class FaultInjector;
+
+namespace serve {
+
+/** One streamed submission: the job plus its profiled scaling curve. */
+struct Submission
+{
+    JobSpec spec;
+    ScalingCurve curve;
+};
+
+/** Static configuration of a Service instance. */
+struct ServiceConfig
+{
+    GpuCount total_gpus = 64;
+
+    // --- planner (mirrors ElasticFlowConfig) ---------------------------
+    Time slot_seconds = 300.0;
+    int max_slots = 1 << 16;
+    FillDirection direction = FillDirection::kEarliest;
+    /** Relative safety margin on SLO remaining work (§4.3). */
+    double admission_margin = 0.05;
+    /** Absolute allowance for scaling pauses (seconds of progress). */
+    Time overhead_allowance_s = 0.0;
+
+    // --- overload control ----------------------------------------------
+    /** Admission-queue watermark: submissions beyond this many pending
+     *  are shed synchronously with kShedQueueFull. */
+    std::size_t queue_watermark = 64;
+    GovernorConfig governor;
+    /** Accept deadline-infeasible SLO submissions as best-effort
+     *  (kDegraded) instead of shedding them (kShedInfeasible). */
+    bool degrade_infeasible = false;
+    /** Cap on concurrently active best-effort jobs; beyond it,
+     *  best-effort submissions are shed with kShedQueueFull. */
+    std::size_t max_active_best_effort = 1024;
+    /** Watchdog budget for one round's min-share refresh, in
+     *  deterministic planning cost units (see AdmissionOutcome::cost);
+     *  0 disables the watchdog. */
+    std::uint64_t watchdog_budget = 0;
+};
+
+/** Monotonic counters of one service run. */
+struct ServiceStats
+{
+    std::uint64_t submitted = 0;      ///< submissions that got a verdict
+    std::uint64_t rpc_dropped = 0;    ///< submissions lost to RPC faults
+    std::uint64_t admitted = 0;
+    std::uint64_t admitted_best_effort = 0;
+    std::uint64_t degraded = 0;
+    std::uint64_t shed_queue_full = 0;
+    std::uint64_t shed_infeasible = 0;
+
+    std::uint64_t rounds = 0;         ///< committed planning rounds
+    std::uint64_t rounds_forced = 0;  ///< committed without a token
+    std::uint64_t replan_timeouts = 0;///< watchdog abandonments
+    std::uint64_t planning_cost = 0;  ///< total cost units spent
+
+    std::uint64_t finished = 0;       ///< retired completions
+    std::uint64_t deadline_misses = 0;///< retired past their deadline
+    std::uint64_t demotions = 0;      ///< SLO parked to best-effort
+
+    std::size_t max_queue_depth = 0;  ///< never exceeds the watermark
+
+    /** Sheds of both kinds. */
+    std::uint64_t shed() const
+    {
+        return shed_queue_full + shed_infeasible;
+    }
+};
+
+/** The streaming admission/allocation service. */
+class Service
+{
+  public:
+    /** @p faults may be null (no fault injection); borrowed. */
+    explicit Service(ServiceConfig config,
+                     FaultInjector *faults = nullptr);
+
+    /**
+     * Submit one job. Advances the clock to spec.submit_time (running
+     * any planning rounds that came due), then either sheds
+     * synchronously, drops the RPC (fault path), or enqueues for the
+     * next round. Submission times must be non-decreasing.
+     */
+    void submit(Submission submission);
+
+    /** Advance the clock, running every planning round due by @p t. */
+    void advance_to(Time t);
+
+    /** Drain the queue with one final (forced) round. */
+    void finish();
+
+    Time now() const { return now_; }
+    std::size_t queue_depth() const { return pending_.size(); }
+    std::size_t active_jobs() const
+    {
+        return slo_.size() + best_effort_.size();
+    }
+    const ServiceStats &stats() const { return stats_; }
+    const ServiceConfig &config() const { return config_; }
+
+    /**
+     * Chained FNV-1a digest over every committed round: clock, verdict
+     * counters, active set (ids + remaining work), current
+     * allocations, and the governor's bucket state. Two runs match
+     * iff their whole decision histories match.
+     */
+    std::uint64_t state_hash() const { return hash_; }
+
+    /**
+     * Observer for every Decision in the order it is made. Optional —
+     * the soak harness leaves it unset so a million-submission run
+     * stores nothing per submission.
+     */
+    void set_decision_callback(std::function<void(const Decision &)> cb)
+    {
+        on_decision_ = std::move(cb);
+    }
+
+  private:
+    /** One active job (either list). */
+    struct Active
+    {
+        ScalingCurve curve;
+        double remaining_iterations = 0.0;
+        Time deadline = kTimeInfinity;  ///< infinity for best-effort
+        bool soft = false;
+    };
+
+    void decide(const Submission &submission, Time at,
+                ShedVerdict verdict);
+    /** Run one planning round at time @p t. */
+    void run_round(Time t);
+    /** Fluid progress + completion retirement over [last_round_, t]. */
+    void retire(Time t);
+    /** Recompute when the next round is due (infinity when idle). */
+    void arm();
+    void fold_round_hash(Time t, std::size_t batch, bool forced);
+
+    ServiceConfig config_;
+    PlannerConfig planner_;
+    FaultInjector *faults_;
+    ReplanGovernor governor_;
+
+    Time now_ = 0.0;
+    Time last_round_ = 0.0;
+    Time next_due_ = kTimeInfinity;
+    bool escalated_ = false;  ///< watchdog retry in progress
+
+    std::deque<Submission> pending_;
+    std::map<JobId, Active> slo_;
+    std::map<JobId, Active> best_effort_;
+    /** Last committed min-share plans (watchdog fallback target). */
+    std::map<JobId, SlotPlan> committed_shares_;
+    std::map<JobId, GpuCount> gpus_now_;
+    int replan_failures_ = 0;
+
+    ServiceStats stats_;
+    std::uint64_t hash_ = 0x9e3779b97f4a7c15ULL;
+    std::function<void(const Decision &)> on_decision_;
+};
+
+}  // namespace serve
+}  // namespace ef
+
+#endif  // EF_SERVE_SERVICE_H_

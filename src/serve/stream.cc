@@ -1,0 +1,100 @@
+#include "serve/stream.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "fault/fault.h"
+#include "workload/model_zoo.h"
+#include "workload/trace.h"
+
+namespace ef {
+namespace serve {
+
+SyntheticStream::SyntheticStream(StreamConfig config,
+                                 const FaultInjector *faults)
+    : config_(std::move(config)),
+      faults_(faults),
+      topology_(config_.topology),
+      perf_(&topology_),
+      rng_(config_.seed)
+{
+    EF_FATAL_IF(config_.arrival_rate <= 0.0,
+                "stream needs arrival_rate > 0");
+    // The Table 1 (model, batch) pool, flattened like the trace
+    // generator samples it.
+    for (DnnModel model : all_models()) {
+        for (int batch : model_profile(model).batch_sizes)
+            pool_.emplace_back(model, batch);
+    }
+}
+
+const ScalingCurve &
+SyntheticStream::curve_for(DnnModel model, int global_batch)
+{
+    const auto key =
+        std::make_pair(static_cast<int>(model), global_batch);
+    auto it = curves_.find(key);
+    if (it == curves_.end()) {
+        std::vector<double> table = perf_.compact_pow2_throughputs(
+            model, global_batch, topology_.total_gpus());
+        it = curves_
+                 .emplace(key,
+                          ScalingCurve::from_pow2_table(std::move(table)))
+                 .first;
+    }
+    return it->second;
+}
+
+Submission
+SyntheticStream::next()
+{
+    // Interarrival at the stormed rate in effect *now*; a storm
+    // starting mid-gap takes effect from the next arrival, which keeps
+    // the stream a pure function of (seed, script).
+    double rate = config_.arrival_rate;
+    if (faults_ != nullptr)
+        rate *= faults_->arrival_rate_multiplier(now_);
+    now_ += rng_.exponential(rate);
+
+    Submission submission;
+    JobSpec &job = submission.spec;
+    job.id = static_cast<JobId>(produced_++);
+    job.submit_time = now_;
+    const auto idx = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(pool_.size()) - 1));
+    job.model = pool_[idx].first;
+    job.global_batch = pool_[idx].second;
+    // Names and users stay empty: at soak scale (millions of
+    // submissions) per-job strings are the dominant allocation.
+
+    const GpuCount lo = perf_.min_workers(job.model, job.global_batch);
+    const GpuCount hi = perf_.max_workers(job.model, job.global_batch,
+                                          topology_.total_gpus());
+    const auto size_idx = rng_.weighted_index(config_.gpu_size_weights);
+    job.requested_gpus =
+        std::clamp(GpuCount(1) << size_idx, lo, hi);
+
+    const double duration =
+        clamp(rng_.log_normal(config_.duration_log_mean,
+                              config_.duration_log_sigma),
+              config_.min_duration_s, config_.max_duration_s);
+    job.iterations = iterations_for_duration(perf_, job, duration);
+
+    if (rng_.flip(config_.best_effort_fraction)) {
+        job.kind = JobKind::kBestEffort;
+        job.deadline = kTimeInfinity;
+    } else {
+        job.kind = JobKind::kSlo;
+        const double tightness = rng_.uniform_real(
+            config_.tightness_lo, config_.tightness_hi);
+        job.deadline =
+            now_ + tightness * standalone_duration(perf_, job);
+    }
+
+    submission.curve = curve_for(job.model, job.global_batch);
+    return submission;
+}
+
+}  // namespace serve
+}  // namespace ef

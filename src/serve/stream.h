@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Synthetic open-loop submission stream for the service front end.
+ *
+ * The batch TraceGenerator materializes a whole trace up front; a
+ * million-submission soak cannot afford that, and an always-on service
+ * never sees "the whole trace" anyway. SyntheticStream produces
+ * submissions one at a time — Poisson arrivals at a configurable base
+ * rate, job shapes mirroring the trace generator's distributions
+ * (Table 1 model/batch pool, power-of-two GPU skew, log-normal
+ * durations, deadline tightness U[lo, hi]) — in O(1) memory, and is a
+ * pure function of its seed.
+ *
+ * Arrival storms: with a FaultInjector attached, scripted
+ * kArrivalStorm events multiply the arrival rate over their window
+ * (overlapping storms compound), which is how the fault layer drives
+ * overload through the service path.
+ */
+#ifndef EF_SERVE_STREAM_H_
+#define EF_SERVE_STREAM_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/rng.h"
+#include "serve/service.h"
+#include "workload/perf_model.h"
+
+namespace ef {
+namespace serve {
+
+/** Knobs of the synthetic stream. */
+struct StreamConfig
+{
+    TopologySpec topology;
+
+    /** Base arrival rate, jobs per simulated second (pre-storm). */
+    double arrival_rate = 0.01;
+
+    /** Log-normal duration parameters (of the underlying normal). */
+    double duration_log_mean = 8.3;
+    double duration_log_sigma = 1.2;
+    double min_duration_s = 300.0;
+    double max_duration_s = 3.0 * kDay;
+
+    /** Weights for requested GPU counts 1, 2, 4, 8, 16, 32, ... */
+    std::vector<double> gpu_size_weights = {0.30, 0.15, 0.17, 0.25,
+                                            0.09, 0.04};
+
+    /** Deadline tightness range (paper: U[0.5, 1.5]). */
+    double tightness_lo = 0.5;
+    double tightness_hi = 1.5;
+
+    /** Fraction of submissions without a deadline. */
+    double best_effort_fraction = 0.1;
+
+    std::uint64_t seed = 1;
+};
+
+/** Generates submissions on demand; deterministic in the seed. */
+class SyntheticStream
+{
+  public:
+    /** @p faults may be null (no storms); borrowed. */
+    explicit SyntheticStream(StreamConfig config,
+                             const FaultInjector *faults = nullptr);
+
+    /**
+     * The next submission. Advances the stream clock by an exponential
+     * interarrival whose rate is arrival_rate times the storm
+     * multiplier in effect at the current clock.
+     */
+    Submission next();
+
+    /** Stream clock: the submit time of the last produced job. */
+    Time now() const { return now_; }
+
+    /** Jobs produced so far (also the next job id). */
+    std::uint64_t produced() const { return produced_; }
+
+  private:
+    const ScalingCurve &curve_for(DnnModel model, int global_batch);
+
+    StreamConfig config_;
+    const FaultInjector *faults_;
+    Topology topology_;
+    PerfModel perf_;
+    Rng rng_;
+    std::vector<std::pair<DnnModel, int>> pool_;
+    /** Curves per (model, batch): the pool is small, jobs are many. */
+    std::map<std::pair<int, int>, ScalingCurve> curves_;
+    Time now_ = 0.0;
+    std::uint64_t produced_ = 0;
+};
+
+}  // namespace serve
+}  // namespace ef
+
+#endif  // EF_SERVE_STREAM_H_

@@ -1,0 +1,20 @@
+#include "serve/verdict.h"
+
+namespace ef {
+namespace serve {
+
+const char *
+shed_verdict_name(ShedVerdict verdict)
+{
+    switch (verdict) {
+      case ShedVerdict::kAdmitted: return "admitted";
+      case ShedVerdict::kAdmittedBestEffort: return "admitted-best-effort";
+      case ShedVerdict::kDegraded: return "degraded";
+      case ShedVerdict::kShedQueueFull: return "shed-queue-full";
+      case ShedVerdict::kShedInfeasible: return "shed-infeasible";
+    }
+    return "?";
+}
+
+}  // namespace serve
+}  // namespace ef

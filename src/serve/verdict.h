@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Admission verdicts of the streaming service front end.
+ *
+ * Every submission that reaches the service gets exactly one verdict —
+ * including the ones the service refuses. Overload is an expected
+ * operating regime, not an error: when the cluster cannot take more
+ * deadline work the service says so deterministically (same arrival
+ * stream + config → byte-identical verdict sequence) instead of
+ * queueing unboundedly or timing out callers.
+ */
+#ifndef EF_SERVE_VERDICT_H_
+#define EF_SERVE_VERDICT_H_
+
+#include "common/types.h"
+
+namespace ef {
+namespace serve {
+
+/** What happened to one submission. */
+enum class ShedVerdict {
+    kAdmitted,           ///< SLO job admitted with a feasible plan
+    kAdmittedBestEffort, ///< best-effort job accepted (no guarantee)
+    kDegraded,           ///< SLO deadline infeasible at current load;
+                         ///< accepted as best-effort instead (opt-in)
+    kShedQueueFull,      ///< rejected: admission queue at its watermark
+                         ///< (or best-effort cap reached)
+    kShedInfeasible,     ///< rejected: deadline unmeetable at current
+                         ///< load and degradation is disabled
+};
+
+/** Stable lowercase name ("admitted", "shed-queue-full", ...). */
+const char *shed_verdict_name(ShedVerdict verdict);
+
+/** True for the verdicts that reject the submission outright. */
+inline bool
+is_shed(ShedVerdict verdict)
+{
+    return verdict == ShedVerdict::kShedQueueFull ||
+           verdict == ShedVerdict::kShedInfeasible;
+}
+
+/** One submission's outcome, in decision order. */
+struct Decision
+{
+    JobId id = kInvalidJob;
+    Time submit_time = 0.0;
+    /** When the verdict was made (>= submit_time; the gap is the
+     *  decision latency a caller would observe). */
+    Time decide_time = 0.0;
+    ShedVerdict verdict = ShedVerdict::kAdmitted;
+};
+
+}  // namespace serve
+}  // namespace ef
+
+#endif  // EF_SERVE_VERDICT_H_

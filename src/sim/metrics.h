@@ -92,6 +92,18 @@ struct RunResult
     /** SLO jobs demoted to best-effort after a fault (each once). */
     int slo_demotions = 0;
 
+    // --- service mode (all 0 unless SimConfig::service.enabled) ---------
+    /** Submissions shed synchronously at the queue watermark. */
+    int shed_queue_full = 0;
+    /** Planning rounds that drained the service queue. */
+    int service_rounds = 0;
+    /** Rounds forced by the starvation horizon (no governor token). */
+    int service_rounds_forced = 0;
+    /** Deadline-infeasible submissions accepted as best-effort. */
+    int service_degraded = 0;
+    /** Peak service-queue depth (never exceeds the watermark). */
+    std::size_t max_service_queue_depth = 0;
+
     // --- determinism audit ----------------------------------------------
     /**
      * Chained FNV-1a digest of Simulator::state_hash() sampled at

@@ -9,6 +9,7 @@
 #include "common/table.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/verdict.h"
 
 namespace ef {
 namespace {
@@ -26,6 +27,9 @@ const std::vector<double> kReplanIntervalEdges = {
 const std::vector<double> kResizeEdges = {0, 1, 2, 4, 8, 16, 32, 64};
 const std::vector<double> kEfficiencyEdges = {0.1, 0.25, 0.5, 0.75,
                                               0.9, 1.0};
+const std::vector<double> kDecisionLatencyEdges = {
+    0.001, 0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0,
+    20.0,  30.0, 60.0, 120.0, 300.0};
 
 /** ids payload of an alloc-change event, from concrete GPU ids. */
 std::vector<std::int64_t>
@@ -78,6 +82,7 @@ struct Simulator::Event
         kArrival,
         kCompletion,
         kTick,
+        kServiceRound,
         kServerDown,
         kServerUp,
         kGpuDown,
@@ -157,6 +162,12 @@ Simulator::Simulator(const Trace &trace, Scheduler *scheduler,
     }
     if (effective.any())
         fault_ = std::make_unique<FaultInjector>(std::move(effective));
+    if (config_.service.enabled) {
+        EF_FATAL_IF(config_.service.queue_watermark < 1,
+                    "service mode needs queue_watermark >= 1");
+        service_governor_ = std::make_unique<serve::ReplanGovernor>(
+            config_.service.governor);
+    }
 }
 
 Simulator::~Simulator() = default;
@@ -820,6 +831,14 @@ Simulator::state_hash() const
     }
     for (int server = 0; server < topology_.num_servers(); ++server)
         h.byte(placement_.server_available(server) ? 1 : 0);
+    // Service mode: queued-but-undecided submissions and the token
+    // bucket are determinism-relevant state the job fields don't see.
+    if (service_governor_ != nullptr) {
+        h.u64(service_governor_->fingerprint());
+        h.u64(service_queue_.size());
+        for (JobId id : service_queue_)
+            h.i64(id);
+    }
     // RNG cursors: a fault stream that advanced differently is a
     // divergence even before it changes any allocation.
     if (fault_ != nullptr)
@@ -947,16 +966,12 @@ Simulator::flush_replan()
 }
 
 void
-Simulator::handle_arrival(JobId id)
+Simulator::apply_admission(JobId id, bool admitted)
 {
     JobRt &job = rt(id);
-    obs::emit({now_, obs::EventKind::kJobSubmit, id,
-               job.spec.requested_gpus});
-    obs::count("sim.jobs.submitted");
-    bool ok = scheduler_->admit(job.spec);
     job.arrived = true;
-    job.outcome.admitted = ok;
-    if (!ok) {
+    job.outcome.admitted = admitted;
+    if (!admitted) {
         job.state = JobState::kDropped;
         obs::emit({now_, obs::EventKind::kJobReject, id});
         obs::count("sim.jobs.rejected");
@@ -967,18 +982,130 @@ Simulator::handle_arrival(JobId id)
         obs::count("sim.jobs.admitted");
     }
 
-    std::size_t submitted = 0, admitted = 0;
+    std::size_t submitted = 0, accepted = 0;
     for (const auto &[jid, j] : jobs_) {
         if (j->arrived) {
             ++submitted;
-            admitted += j->outcome.admitted ? 1 : 0;
+            accepted += j->outcome.admitted ? 1 : 0;
         }
     }
     result_.submitted_jobs.record(now_, static_cast<double>(submitted));
-    result_.admitted_jobs.record(now_, static_cast<double>(admitted));
+    result_.admitted_jobs.record(now_, static_cast<double>(accepted));
+}
 
+void
+Simulator::handle_arrival(JobId id)
+{
+    if (config_.service.enabled) {
+        handle_service_arrival(id);
+        return;
+    }
+    JobRt &job = rt(id);
+    obs::emit({now_, obs::EventKind::kJobSubmit, id,
+               job.spec.requested_gpus});
+    obs::count("sim.jobs.submitted");
+    bool ok = scheduler_->admit(job.spec);
+    apply_admission(id, ok);
     if (ok) {
         view_dirty_ = true;  // the active-job set grew
+        request_replan();
+    }
+}
+
+void
+Simulator::handle_service_arrival(JobId id)
+{
+    JobRt &job = rt(id);
+    obs::emit({now_, obs::EventKind::kJobSubmit, id,
+               job.spec.requested_gpus});
+    obs::count("sim.jobs.submitted");
+    if (service_queue_.size() >= config_.service.queue_watermark) {
+        // Backpressure: the queue is at its watermark, so the verdict
+        // is synchronous — no scheduler involvement, O(1) per arrival.
+        ++result_.shed_queue_full;
+        obs::count("sim.service.shed_queue_full");
+        obs::emit({now_, obs::EventKind::kServeShed, id,
+                   static_cast<std::int64_t>(
+                       serve::ShedVerdict::kShedQueueFull),
+                   static_cast<std::int64_t>(service_queue_.size())});
+        obs::observe("sim.service.decision_latency_s",
+                     kDecisionLatencyEdges, 0.0);
+        apply_admission(id, false);
+        return;
+    }
+    service_queue_.push_back(id);
+    result_.max_service_queue_depth = std::max(
+        result_.max_service_queue_depth, service_queue_.size());
+    obs::gauge_set("sim.service.queue_depth",
+                   static_cast<double>(service_queue_.size()));
+    if (service_queue_.size() == 1)
+        arm_service_round();
+}
+
+void
+Simulator::arm_service_round()
+{
+    if (service_queue_.empty())
+        return;
+    // The round runs when the governor has a token — or at the oldest
+    // submission's starvation horizon, whichever comes first.
+    const Time horizon_due =
+        rt(service_queue_.front()).spec.submit_time +
+        config_.service.governor.starvation_horizon_s;
+    const Time due = std::max(
+        now_, std::min(service_governor_->next_eligible(now_),
+                       horizon_due));
+    events_.push(Event{due, next_seq_++, Event::kServiceRound});
+}
+
+void
+Simulator::handle_service_round()
+{
+    if (service_queue_.empty())
+        return;  // stale event (an earlier round drained the queue)
+    const bool token = service_governor_->try_acquire(now_);
+    ++result_.service_rounds;
+    if (!token)
+        ++result_.service_rounds_forced;
+    const std::size_t batch = service_queue_.size();
+    bool any_admitted = false;
+    while (!service_queue_.empty()) {
+        const JobId id = service_queue_.front();
+        service_queue_.pop_front();
+        JobRt &job = rt(id);
+        bool ok = scheduler_->admit(job.spec);
+        if (!ok && config_.service.degrade_infeasible &&
+            !job.spec.is_best_effort()) {
+            // Deadline-infeasible at current load: keep the work,
+            // drop the guarantee. Best-effort admission never fails.
+            job.spec.kind = JobKind::kBestEffort;
+            job.spec.deadline = kTimeInfinity;
+            job.outcome.spec = job.spec;
+            ++result_.service_degraded;
+            obs::count("sim.service.degraded");
+            ok = scheduler_->admit(job.spec);
+            EF_CHECK(ok);
+        }
+        obs::observe("sim.service.decision_latency_s",
+                     kDecisionLatencyEdges,
+                     now_ - job.spec.submit_time);
+        if (!ok) {
+            obs::emit({now_, obs::EventKind::kServeShed, id,
+                       static_cast<std::int64_t>(
+                           serve::ShedVerdict::kShedInfeasible),
+                       static_cast<std::int64_t>(batch)});
+        }
+        apply_admission(id, ok);
+        any_admitted = any_admitted || ok;
+    }
+    obs::count("sim.service.rounds");
+    obs::gauge_set("sim.service.queue_depth", 0.0);
+    obs::emit({now_, obs::EventKind::kServeRound, kInvalidJob,
+               static_cast<std::int64_t>(batch), token ? 0 : 1});
+    if (any_admitted) {
+        // One replan for the whole batch: the coalescing machinery
+        // sees a single request no matter how many jobs were queued.
+        view_dirty_ = true;
         request_replan();
     }
 }
@@ -1104,6 +1231,9 @@ Simulator::run()
             break;
           case Event::kStragglerEnd:
             handle_straggler_end(event.job);
+            break;
+          case Event::kServiceRound:
+            handle_service_round();
             break;
         }
     }

@@ -18,6 +18,7 @@
 #ifndef EF_SIM_SIMULATOR_H_
 #define EF_SIM_SIMULATOR_H_
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <queue>
@@ -27,6 +28,7 @@
 #include "common/rng.h"
 #include "fault/fault.h"
 #include "sched/scheduler.h"
+#include "serve/governor.h"
 #include "sim/metrics.h"
 #include "sim/overhead_model.h"
 #include "workload/perf_model.h"
@@ -67,6 +69,28 @@ struct NoiseConfig
     double throughput_error = 0.0;  ///< e.g. 0.02 = up to +/-2%
 };
 
+/**
+ * Streaming service-mode arrival path (the simulator counterpart of
+ * ef::serve). Instead of one admission verdict per arrival event,
+ * arrivals enter a bounded queue: beyond the watermark they are shed
+ * synchronously (JobState::kDropped, counted in
+ * RunResult::shed_queue_full), and queued submissions are batched into
+ * one scheduler round per governor token — forced without a token once
+ * the oldest submission has waited governor.starvation_horizon_s, so
+ * no submission waits past the horizon. The batched round exercises
+ * the existing replan coalescing/elision machinery.
+ */
+struct ServiceModeConfig
+{
+    bool enabled = false;
+    /** Arrivals beyond this many pending are shed synchronously. */
+    std::size_t queue_watermark = 64;
+    serve::GovernorConfig governor;
+    /** Accept admission-rejected SLO arrivals as best-effort jobs
+     *  (deadline dropped) instead of rejecting them outright. */
+    bool degrade_infeasible = false;
+};
+
 /** Simulator knobs. */
 struct SimConfig
 {
@@ -94,6 +118,9 @@ struct SimConfig
      * identical decision, and re-applying a decision is a no-op.
      */
     bool elide_replans = true;
+    /** Streaming admission front end; disabled = classic per-arrival
+     *  admission, byte-identical to runs predating this knob. */
+    ServiceModeConfig service;
 };
 
 /** Lifecycle of a job inside the simulator. */
@@ -149,6 +176,14 @@ class Simulator : public ClusterView
     static bool event_after(const Event &a, const Event &b);
 
     void handle_arrival(JobId id);
+    /** Service mode: enqueue (or shed) an arrival without planning. */
+    void handle_service_arrival(JobId id);
+    /** Service mode: drain the queue in one batched admission round. */
+    void handle_service_round();
+    /** Schedule the round for the current queue head (empty -> none). */
+    void arm_service_round();
+    /** Admission verdict bookkeeping shared by both arrival paths. */
+    void apply_admission(JobId id, bool admitted);
     void handle_completion_check(JobId id);
     void handle_tick();
     void handle_server_down(const Event &event);
@@ -218,6 +253,11 @@ class Simulator : public ClusterView
     /** Scheduler-visible state changed since the last decision. */
     bool view_dirty_ = true;
     Time last_decision_time_ = -kTimeInfinity;
+    /** Null unless service mode is enabled. */
+    std::unique_ptr<serve::ReplanGovernor> service_governor_;
+    /** Arrivals awaiting their batched admission round (FIFO). */
+    std::deque<JobId> service_queue_;
+
     /** Null unless some fault class is enabled. */
     std::unique_ptr<FaultInjector> fault_;
     /** Capacity-affecting fault events so far (ClusterView). */

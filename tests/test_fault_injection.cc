@@ -152,6 +152,35 @@ TEST(FaultScript, ParsesAllFields)
     EXPECT_EQ(script[4].target, -1);
 }
 
+TEST(FaultScript, ParsesArrivalStorms)
+{
+    std::vector<FaultEvent> script = parse_fault_script(
+        "time,type,target,duration,magnitude\n"
+        "50,arrival-storm,-1,600,4\n");
+    ASSERT_EQ(script.size(), 1u);
+    EXPECT_EQ(script[0].type, FaultType::kArrivalStorm);
+    EXPECT_DOUBLE_EQ(script[0].duration_s, 600.0);
+    EXPECT_DOUBLE_EQ(script[0].magnitude, 4.0);
+}
+
+TEST(FaultInjector, ArrivalStormsMultiplyAndCompound)
+{
+    FaultConfig config;
+    config.script.push_back(
+        {100.0, FaultType::kArrivalStorm, -1, 200.0, 3.0});
+    config.script.push_back(
+        {150.0, FaultType::kArrivalStorm, -1, 50.0, 2.0});
+    FaultInjector injector(config);
+    EXPECT_DOUBLE_EQ(injector.arrival_rate_multiplier(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(injector.arrival_rate_multiplier(120.0), 3.0);
+    // Overlap compounds multiplicatively.
+    EXPECT_DOUBLE_EQ(injector.arrival_rate_multiplier(160.0), 6.0);
+    EXPECT_DOUBLE_EQ(injector.arrival_rate_multiplier(250.0), 3.0);
+    EXPECT_DOUBLE_EQ(injector.arrival_rate_multiplier(300.0), 1.0);
+    // Window ends are half-open: [time, time + duration).
+    EXPECT_DOUBLE_EQ(injector.arrival_rate_multiplier(99.9), 1.0);
+}
+
 TEST(FaultScriptDeathTest, MalformedRowsNameTheLine)
 {
     EXPECT_DEATH(parse_fault_script("time,type,target\n"

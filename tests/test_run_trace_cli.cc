@@ -1,0 +1,64 @@
+/**
+ * @file
+ * CLI contract tests for the run_trace driver: unknown flags go to
+ * stderr and exit 2 (scripts depend on it), and the service-mode
+ * flags (--service, --arrival-rate, --duration, in both "--flag v"
+ * and "--flag=v" spellings) run clean.
+ */
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace ef {
+namespace {
+
+/** Exit status of `run_trace <args>` with output discarded. */
+int
+run_cli(const std::string &args)
+{
+    const std::string command = std::string(EF_RUN_TRACE_BIN) + " " +
+                                args + " >/dev/null 2>/dev/null";
+    const int raw = std::system(command.c_str());
+    EXPECT_TRUE(WIFEXITED(raw)) << command;
+    return WEXITSTATUS(raw);
+}
+
+TEST(RunTraceCli, UnknownFlagExitsTwo)
+{
+    EXPECT_EQ(run_cli("--definitely-not-a-flag"), 2);
+    EXPECT_EQ(run_cli("trace.csv --frobnicate"), 2);
+}
+
+TEST(RunTraceCli, NoArgumentsExitsTwo)
+{
+    EXPECT_EQ(run_cli(""), 2);
+}
+
+TEST(RunTraceCli, ServiceModeNeedsRateAndDuration)
+{
+    EXPECT_EQ(run_cli("--service"), 2);
+    EXPECT_EQ(run_cli("--service --arrival-rate=0.1"), 2);
+    EXPECT_EQ(run_cli("--service --duration=100"), 2);
+}
+
+TEST(RunTraceCli, ServiceModeRunsClean)
+{
+    EXPECT_EQ(run_cli("--service --arrival-rate=0.05 --duration=600 "
+                      "--gpus 16 --state-hash"),
+              0);
+    // Space-separated values work too.
+    EXPECT_EQ(
+        run_cli("--service --arrival-rate 0.05 --duration 600"), 0);
+}
+
+TEST(RunTraceCli, ServiceFlagsRejectedWithATraceFile)
+{
+    EXPECT_EQ(run_cli("trace.csv --arrival-rate=0.1 --duration=10"),
+              2);
+}
+
+}  // namespace
+}  // namespace ef

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * ef::serve tests: replan-cadence governor math, backpressure sheds at
+ * the queue watermark, starvation bound, watchdog fallback, and the
+ * determinism contract (same stream + config twice produces identical
+ * decision sequences and state hashes), including under scripted
+ * arrival storms and RPC drops.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fault/fault.h"
+#include "serve/governor.h"
+#include "serve/service.h"
+#include "serve/stream.h"
+
+namespace ef {
+namespace {
+
+serve::StreamConfig
+small_stream(double rate, std::uint64_t seed = 7)
+{
+    serve::StreamConfig config;
+    config.topology = TopologySpec::with_total_gpus(16);
+    config.arrival_rate = rate;
+    config.seed = seed;
+    return config;
+}
+
+serve::ServiceConfig
+small_service()
+{
+    serve::ServiceConfig config;
+    config.total_gpus = 16;
+    return config;
+}
+
+TEST(ReplanGovernor, BucketStartsFullAndRefillsAtTheRate)
+{
+    serve::GovernorConfig config;
+    config.rounds_per_second = 0.5;
+    config.burst = 2.0;
+    serve::ReplanGovernor governor(config);
+
+    EXPECT_DOUBLE_EQ(governor.tokens_at(0.0), 2.0);
+    EXPECT_TRUE(governor.try_acquire(0.0));
+    EXPECT_TRUE(governor.try_acquire(0.0));
+    EXPECT_FALSE(governor.try_acquire(0.0));
+    // Empty bucket at rate 0.5: one token is 2 seconds away.
+    EXPECT_DOUBLE_EQ(governor.next_eligible(0.0), 2.0);
+    EXPECT_FALSE(governor.try_acquire(1.0));
+    EXPECT_TRUE(governor.try_acquire(2.0));
+    // Refill clamps at the burst size.
+    EXPECT_DOUBLE_EQ(governor.tokens_at(1000.0), 2.0);
+}
+
+TEST(ReplanGovernor, FingerprintTracksConsumption)
+{
+    serve::GovernorConfig config;
+    serve::ReplanGovernor a(config);
+    serve::ReplanGovernor b(config);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    ASSERT_TRUE(a.try_acquire(1.0));
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    ASSERT_TRUE(b.try_acquire(1.0));
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Service, ShedsSynchronouslyAtTheWatermark)
+{
+    serve::ServiceConfig config = small_service();
+    config.queue_watermark = 2;
+    // One token total: the first submission's round consumes it, the
+    // rest must queue (the horizon is far away).
+    config.governor.rounds_per_second = 1e-4;
+    config.governor.burst = 1.0;
+    config.governor.starvation_horizon_s = 1e6;
+    serve::Service service(config);
+
+    serve::SyntheticStream stream(small_stream(0.01));
+    std::vector<serve::Decision> decisions;
+    service.set_decision_callback(
+        [&](const serve::Decision &d) { decisions.push_back(d); });
+
+    for (int i = 0; i < 4; ++i) {
+        serve::Submission sub = stream.next();
+        sub.spec.submit_time = 0.0;  // all at once: a burst
+        service.submit(std::move(sub));
+    }
+    // Round at t=0 decided #0; #1 and #2 queued; #3 hit the watermark.
+    EXPECT_EQ(service.stats().shed_queue_full, 1u);
+    EXPECT_EQ(service.queue_depth(), 2u);
+    ASSERT_EQ(decisions.size(), 2u);
+    EXPECT_EQ(decisions[1].verdict, serve::ShedVerdict::kShedQueueFull);
+    EXPECT_EQ(decisions[1].decide_time, 0.0);  // synchronous verdict
+
+    service.finish();
+    EXPECT_EQ(service.stats().submitted, 4u);
+    EXPECT_EQ(service.stats().max_queue_depth, 2u);
+    EXPECT_EQ(service.queue_depth(), 0u);
+}
+
+TEST(Service, NoSubmissionWaitsPastTheStarvationHorizon)
+{
+    serve::ServiceConfig config = small_service();
+    config.queue_watermark = 64;
+    // Tokens are essentially never refilled: after the initial burst,
+    // every round must be forced by the horizon.
+    config.governor.rounds_per_second = 1e-6;
+    config.governor.burst = 1.0;
+    config.governor.starvation_horizon_s = 50.0;
+    serve::Service service(config);
+
+    std::vector<serve::Decision> decisions;
+    service.set_decision_callback(
+        [&](const serve::Decision &d) { decisions.push_back(d); });
+
+    serve::SyntheticStream stream(small_stream(0.2));
+    for (int i = 0; i < 200; ++i)
+        service.submit(stream.next());
+    service.advance_to(service.now() + 1000.0);
+    service.finish();
+
+    ASSERT_EQ(decisions.size(), 200u);
+    for (const serve::Decision &d : decisions) {
+        EXPECT_LE(d.decide_time - d.submit_time,
+                  config.governor.starvation_horizon_s + 1e-9)
+            << "job " << d.id << " starved";
+    }
+    EXPECT_GT(service.stats().rounds_forced, 0u);
+}
+
+TEST(Service, WatchdogAbandonsOverBudgetRoundsAndRetries)
+{
+    serve::ServiceConfig config = small_service();
+    // Any real refresh blows a one-unit budget; the retry must then
+    // run unmetered and still decide everything.
+    config.watchdog_budget = 1;
+    serve::Service service(config);
+
+    serve::SyntheticStream stream(small_stream(0.02));
+    for (int i = 0; i < 50; ++i)
+        service.submit(stream.next());
+    service.finish();
+
+    EXPECT_GT(service.stats().replan_timeouts, 0u);
+    EXPECT_EQ(service.stats().submitted, 50u);
+    EXPECT_EQ(service.queue_depth(), 0u);
+}
+
+TEST(Service, DoubleRunIsByteIdentical)
+{
+    auto run = [](std::vector<serve::Decision> *decisions) {
+        serve::ServiceConfig config = small_service();
+        config.queue_watermark = 8;
+        config.governor.rounds_per_second = 0.05;
+        config.degrade_infeasible = true;
+        serve::Service service(config);
+        service.set_decision_callback([&](const serve::Decision &d) {
+            decisions->push_back(d);
+        });
+        serve::SyntheticStream stream(small_stream(0.5, 21));
+        for (int i = 0; i < 400; ++i)
+            service.submit(stream.next());
+        service.finish();
+        return service.state_hash();
+    };
+
+    std::vector<serve::Decision> first, second;
+    const std::uint64_t hash1 = run(&first);
+    const std::uint64_t hash2 = run(&second);
+    EXPECT_EQ(hash1, hash2);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(first[i].id, second[i].id);
+        EXPECT_EQ(first[i].verdict, second[i].verdict);
+        EXPECT_EQ(first[i].submit_time, second[i].submit_time);
+        EXPECT_EQ(first[i].decide_time, second[i].decide_time);
+    }
+}
+
+TEST(Service, RpcDropsLoseSubmissionsDeterministically)
+{
+    auto run = [](std::uint64_t *dropped) {
+        FaultConfig fault_config;
+        fault_config.rpc_drop_prob = 0.5;
+        fault_config.seed = 3;
+        FaultInjector faults(fault_config);
+        serve::Service service(small_service(), &faults);
+        serve::SyntheticStream stream(small_stream(0.05));
+        for (int i = 0; i < 100; ++i)
+            service.submit(stream.next());
+        service.finish();
+        *dropped = service.stats().rpc_dropped;
+        EXPECT_EQ(service.stats().submitted + *dropped, 100u);
+        return service.state_hash();
+    };
+    std::uint64_t dropped1 = 0, dropped2 = 0;
+    const std::uint64_t hash1 = run(&dropped1);
+    const std::uint64_t hash2 = run(&dropped2);
+    EXPECT_GT(dropped1, 0u);
+    EXPECT_EQ(dropped1, dropped2);
+    EXPECT_EQ(hash1, hash2);
+}
+
+TEST(SyntheticStream, IsAPureFunctionOfItsSeed)
+{
+    serve::SyntheticStream a(small_stream(0.1, 5));
+    serve::SyntheticStream b(small_stream(0.1, 5));
+    serve::SyntheticStream c(small_stream(0.1, 6));
+    bool any_difference = false;
+    for (int i = 0; i < 50; ++i) {
+        serve::Submission sa = a.next();
+        serve::Submission sb = b.next();
+        serve::Submission sc = c.next();
+        EXPECT_EQ(sa.spec.submit_time, sb.spec.submit_time);
+        EXPECT_EQ(sa.spec.model, sb.spec.model);
+        EXPECT_EQ(sa.spec.iterations, sb.spec.iterations);
+        EXPECT_EQ(sa.spec.deadline, sb.spec.deadline);
+        any_difference = any_difference ||
+                         sa.spec.submit_time != sc.spec.submit_time;
+    }
+    EXPECT_TRUE(any_difference) << "different seeds, same stream";
+}
+
+TEST(SyntheticStream, ArrivalStormMultipliesTheRate)
+{
+    // 10x storm over [0, 1e6): arrivals land ~10x denser than the
+    // stormless stream with the same seed.
+    FaultConfig fault_config;
+    fault_config.script.push_back(
+        {0.0, FaultType::kArrivalStorm, -1, 1e6, 10.0});
+    FaultInjector faults(fault_config);
+
+    serve::SyntheticStream calm(small_stream(0.01, 11));
+    serve::SyntheticStream stormy(small_stream(0.01, 11), &faults);
+    for (int i = 0; i < 200; ++i) {
+        calm.next();
+        stormy.next();
+    }
+    ASSERT_GT(stormy.now(), 0.0);
+    const double speedup = calm.now() / stormy.now();
+    EXPECT_GT(speedup, 5.0);
+    EXPECT_LT(speedup, 20.0);
+
+    // And the storm replays: same script, same stream.
+    FaultInjector faults2(fault_config);
+    serve::SyntheticStream replay(small_stream(0.01, 11), &faults2);
+    for (int i = 0; i < 200; ++i)
+        replay.next();
+    EXPECT_EQ(replay.now(), stormy.now());
+}
+
+TEST(ShedVerdict, NamesAreStable)
+{
+    EXPECT_STREQ(shed_verdict_name(serve::ShedVerdict::kAdmitted),
+                 "admitted");
+    EXPECT_STREQ(
+        shed_verdict_name(serve::ShedVerdict::kShedQueueFull),
+        "shed-queue-full");
+    EXPECT_STREQ(
+        shed_verdict_name(serve::ShedVerdict::kShedInfeasible),
+        "shed-infeasible");
+    EXPECT_TRUE(is_shed(serve::ShedVerdict::kShedQueueFull));
+    EXPECT_FALSE(is_shed(serve::ShedVerdict::kDegraded));
+}
+
+}  // namespace
+}  // namespace ef

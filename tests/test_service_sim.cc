@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Simulator service-mode tests: the bounded arrival queue sheds
+ * bursts at the watermark, the governor batches queued arrivals into
+ * one planning round (one replan per batch), the degrade knob keeps
+ * infeasible work as best-effort, and the whole path is
+ * deterministic.
+ */
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace ef {
+namespace {
+
+using testutil::TraceBuilder;
+
+Trace
+burst_trace(int jobs, Time spacing)
+{
+    TraceBuilder builder(TopologySpec::with_total_gpus(16), "burst");
+    for (int i = 0; i < jobs; ++i) {
+        builder.slo(DnnModel::kResNet50, 128, 4,
+                    spacing * static_cast<double>(i),
+                    /*standalone_s=*/2.0 * kHour, /*tightness=*/1.5);
+    }
+    return builder.build();
+}
+
+RunResult
+run_service_sim(const Trace &trace, SimConfig config)
+{
+    auto scheduler = make_scheduler("elasticflow");
+    Simulator sim(trace, scheduler.get(), config);
+    return sim.run();
+}
+
+TEST(ServiceSim, BurstBeyondTheWatermarkIsShed)
+{
+    SimConfig config;
+    config.service.enabled = true;
+    config.service.queue_watermark = 4;
+    // No tokens to speak of and a distant horizon: the burst piles up
+    // against the watermark before the first round runs.
+    config.service.governor.rounds_per_second = 1e-6;
+    config.service.governor.burst = 1.0;
+    config.service.governor.starvation_horizon_s = 600.0;
+
+    RunResult result = run_service_sim(burst_trace(12, 0.0), config);
+    EXPECT_GT(result.shed_queue_full, 0);
+    EXPECT_LE(result.max_service_queue_depth, 4u);
+    // Queue-full sheds are a subset of the dropped jobs.
+    EXPECT_GE(result.dropped_count(),
+              static_cast<std::size_t>(result.shed_queue_full));
+    // Everyone got exactly one verdict.
+    EXPECT_EQ(result.admitted_count() + result.dropped_count(),
+              result.jobs.size());
+}
+
+TEST(ServiceSim, GovernorBatchesArrivalsIntoFewRounds)
+{
+    SimConfig config;
+    config.service.enabled = true;
+    config.service.queue_watermark = 64;
+    config.service.governor.rounds_per_second = 0.001;  // 1 per 1000 s
+    config.service.governor.burst = 1.0;
+    config.service.governor.starvation_horizon_s = 4000.0;
+
+    // 10 small arrivals 100 s apart: without batching that is 10
+    // admission rounds; the governor must merge them into far fewer.
+    // Jobs are sized so every one is feasible even after queueing.
+    TraceBuilder builder(TopologySpec::with_total_gpus(16), "drip");
+    for (int i = 0; i < 10; ++i) {
+        builder.slo(DnnModel::kResNet50, 128, 1,
+                    100.0 * static_cast<double>(i),
+                    /*standalone_s=*/1.0 * kHour, /*tightness=*/3.0);
+    }
+    RunResult result = run_service_sim(builder.build(), config);
+    EXPECT_GT(result.service_rounds, 0);
+    EXPECT_LT(result.service_rounds, 5);
+    EXPECT_EQ(result.shed_queue_full, 0);
+    EXPECT_EQ(result.admitted_count(), result.jobs.size());
+}
+
+TEST(ServiceSim, StarvationHorizonForcesTokenlessRounds)
+{
+    SimConfig config;
+    config.service.enabled = true;
+    config.service.governor.rounds_per_second = 1e-6;
+    config.service.governor.burst = 1.0;
+    config.service.governor.starvation_horizon_s = 300.0;
+
+    RunResult result = run_service_sim(burst_trace(6, 400.0), config);
+    EXPECT_GT(result.service_rounds_forced, 0);
+    // Every arrival got its verdict despite the empty bucket.
+    EXPECT_EQ(result.admitted_count() + result.dropped_count(),
+              result.jobs.size());
+}
+
+TEST(ServiceSim, DegradeKeepsInfeasibleWorkAsBestEffort)
+{
+    // A deadline nothing can meet: admission must reject it.
+    TraceBuilder builder(TopologySpec::with_total_gpus(16));
+    builder.slo(DnnModel::kResNet50, 128, 4, 0.0,
+                /*standalone_s=*/2.0 * kHour, /*tightness=*/0.01);
+    Trace trace = builder.build();
+
+    SimConfig strict;
+    strict.service.enabled = true;
+    RunResult rejected = run_service_sim(trace, strict);
+    EXPECT_EQ(rejected.admitted_count(), 0u);
+    EXPECT_EQ(rejected.service_degraded, 0);
+
+    SimConfig lenient;
+    lenient.service.enabled = true;
+    lenient.service.degrade_infeasible = true;
+    RunResult degraded = run_service_sim(trace, lenient);
+    EXPECT_EQ(degraded.admitted_count(), 1u);
+    EXPECT_EQ(degraded.service_degraded, 1);
+    EXPECT_EQ(degraded.jobs[0].spec.kind, JobKind::kBestEffort);
+    EXPECT_EQ(degraded.finished_count(), 1u);
+}
+
+TEST(ServiceSim, DoubleRunProducesIdenticalStateHashes)
+{
+    SimConfig config;
+    config.service.enabled = true;
+    config.service.queue_watermark = 3;
+    config.service.governor.rounds_per_second = 0.01;
+    config.service.degrade_infeasible = true;
+
+    Trace trace = burst_trace(15, 1.0);
+    RunResult first = run_service_sim(trace, config);
+    RunResult second = run_service_sim(trace, config);
+    EXPECT_EQ(first.state_hash, second.state_hash);
+    EXPECT_EQ(first.state_hash_samples, second.state_hash_samples);
+    EXPECT_EQ(first.shed_queue_full, second.shed_queue_full);
+    EXPECT_EQ(first.service_rounds, second.service_rounds);
+    EXPECT_GT(first.shed_queue_full, 0);
+}
+
+TEST(ServiceSim, DisabledServiceModeMatchesClassicAdmission)
+{
+    Trace trace = burst_trace(5, 50.0);
+    SimConfig classic;  // service.enabled defaults to false
+    SimConfig explicit_off;
+    explicit_off.service.queue_watermark = 2;  // ignored when disabled
+    RunResult a = run_service_sim(trace, classic);
+    RunResult b = run_service_sim(trace, explicit_off);
+    EXPECT_EQ(a.state_hash, b.state_hash);
+    EXPECT_EQ(a.service_rounds, 0);
+    EXPECT_EQ(b.shed_queue_full, 0);
+}
+
+}  // namespace
+}  // namespace ef
