@@ -229,7 +229,11 @@ Service::run_round(Time t)
 {
     // Fluid progress since the last committed round, then completion
     // retirement, happens before any replanning sees the job set.
+    // last_round_ must advance immediately: a watchdog-abandoned
+    // round retries at the same t, and the retry's retire(t) would
+    // otherwise re-apply the same interval's progress.
     retire(t);
+    last_round_ = t;
 
     const PlanningMargin margin{config_.admission_margin,
                                 config_.overhead_allowance_s};
@@ -385,9 +389,7 @@ Service::run_round(Time t)
     AllocationOutcome outcome =
         run_allocation(planner_, t, alloc_slo, shares, best_effort);
     gpus_now_ = std::move(outcome.gpus_now);
-    committed_shares_ = std::move(shares);
 
-    last_round_ = t;
     ++stats_.rounds;
     if (!token)
         ++stats_.rounds_forced;

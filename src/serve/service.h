@@ -211,8 +211,9 @@ class Service
     std::deque<Submission> pending_;
     std::map<JobId, Active> slo_;
     std::map<JobId, Active> best_effort_;
-    /** Last committed min-share plans (watchdog fallback target). */
-    std::map<JobId, SlotPlan> committed_shares_;
+    /** Per-job GPU counts from the last committed allocation; the
+        watchdog fallback keeps these untouched when a round is
+        abandoned. */
     std::map<JobId, GpuCount> gpus_now_;
     int replan_failures_ = 0;
 

@@ -150,6 +150,54 @@ TEST(Service, WatchdogAbandonsOverBudgetRoundsAndRetries)
     EXPECT_EQ(service.queue_depth(), 0u);
 }
 
+TEST(Service, WatchdogRetryDoesNotReapplyFluidProgress)
+{
+    // An abandoned round has already retired fluid progress over
+    // [last_round_, t]; the escalated retry at the same t must not
+    // apply the interval again. If it did, jobs would finish early and
+    // the retry would plan against understated remaining work, so a
+    // metered run must make exactly the same decisions and retire
+    // exactly the same completions as an unmetered run of the same
+    // stream. (state_hash folds replan_timeouts, so it legitimately
+    // differs between the two runs and is not compared.)
+    auto run = [](std::uint64_t budget, serve::ServiceStats *stats,
+                  std::vector<serve::Decision> *decisions) {
+        serve::ServiceConfig config = small_service();
+        config.watchdog_budget = budget;
+        serve::Service service(config);
+        service.set_decision_callback([&](const serve::Decision &d) {
+            decisions->push_back(d);
+        });
+        serve::SyntheticStream stream(small_stream(0.02, 13));
+        for (int i = 0; i < 80; ++i)
+            service.submit(stream.next());
+        service.finish();
+        *stats = service.stats();
+    };
+
+    serve::ServiceStats metered, unmetered;
+    std::vector<serve::Decision> with_watchdog, without_watchdog;
+    run(1, &metered, &with_watchdog);
+    run(0, &unmetered, &without_watchdog);
+
+    ASSERT_GT(metered.replan_timeouts, 0u);
+    EXPECT_EQ(unmetered.replan_timeouts, 0u);
+    // The comparison is only meaningful if completions were retired
+    // while the watchdog was firing.
+    ASSERT_GT(unmetered.finished, 0u);
+    EXPECT_EQ(metered.finished, unmetered.finished);
+    EXPECT_EQ(metered.deadline_misses, unmetered.deadline_misses);
+    EXPECT_EQ(metered.demotions, unmetered.demotions);
+    EXPECT_EQ(metered.admitted, unmetered.admitted);
+    ASSERT_EQ(with_watchdog.size(), without_watchdog.size());
+    for (std::size_t i = 0; i < with_watchdog.size(); ++i) {
+        EXPECT_EQ(with_watchdog[i].id, without_watchdog[i].id);
+        EXPECT_EQ(with_watchdog[i].verdict, without_watchdog[i].verdict);
+        EXPECT_EQ(with_watchdog[i].decide_time,
+                  without_watchdog[i].decide_time);
+    }
+}
+
 TEST(Service, DoubleRunIsByteIdentical)
 {
     auto run = [](std::vector<serve::Decision> *decisions) {
