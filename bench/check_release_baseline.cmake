@@ -1,0 +1,30 @@
+# Refuses a scheduler benchmark baseline recorded from an unoptimized
+# build. Invoked as:
+#
+#   cmake -DBENCH_JSON=<path> -P bench/check_release_baseline.cmake
+#
+# The gate keys on the `ef_build_type` context entry written by
+# bench/micro_scheduler_overhead.cc, which reflects how the ef
+# libraries under measurement were compiled (-DNDEBUG => "release").
+# The upstream `library_build_type` key only describes the prebuilt
+# google-benchmark harness and is deliberately not consulted.
+if(NOT DEFINED BENCH_JSON)
+    message(FATAL_ERROR "pass -DBENCH_JSON=<path to BENCH_sched.json>")
+endif()
+if(NOT EXISTS "${BENCH_JSON}")
+    message(FATAL_ERROR "no baseline at ${BENCH_JSON}")
+endif()
+file(READ "${BENCH_JSON}" contents)
+if(contents MATCHES "\"ef_build_type\": \"release\"")
+    message(STATUS "baseline ${BENCH_JSON}: ef_build_type=release, ok")
+elseif(contents MATCHES "\"ef_build_type\": \"debug\"")
+    message(FATAL_ERROR
+        "baseline ${BENCH_JSON} was recorded from a debug build — "
+        "re-record with CMAKE_BUILD_TYPE=Release "
+        "(cmake --build build --target bench_sched_json)")
+else()
+    message(FATAL_ERROR
+        "baseline ${BENCH_JSON} has no ef_build_type context entry — "
+        "recorded by an old harness; re-record with "
+        "cmake --build build --target bench_sched_json in Release mode")
+endif()

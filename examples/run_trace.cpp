@@ -63,6 +63,7 @@ usage()
         << "            [--gpu-fault-rate PER_GPU_PER_DAY]\n"
         << "            [--rpc-drop PROB] [--fault-script FILE]\n"
         << "            [--fault-seed N] [--state-hash]\n"
+        << "            [--planner-shards N] [--planner-threads N]\n"
         << "            [--trace-out FILE.json] [--metrics-out FILE]\n"
         << "            [--log-level debug|info|warn|error]\n"
         << "            [--service]\n"
@@ -103,7 +104,8 @@ preset_by_name(const std::string &name)
 int
 run_service(double arrival_rate, Time duration, int gpus,
             std::uint64_t seed, const FaultConfig &fault_config,
-            bool show_state_hash, const std::string &metrics_out)
+            bool show_state_hash, const std::string &metrics_out,
+            int planner_shards, int planner_threads)
 {
     serve::StreamConfig stream_config;
     stream_config.topology = TopologySpec::with_total_gpus(gpus);
@@ -113,6 +115,8 @@ run_service(double arrival_rate, Time duration, int gpus,
     serve::ServiceConfig service_config;
     service_config.total_gpus = gpus;
     service_config.degrade_infeasible = true;
+    service_config.planner_shards = planner_shards;
+    service_config.planner_threads = planner_threads;
 
     std::unique_ptr<FaultInjector> faults;
     if (fault_config.any())
@@ -294,6 +298,10 @@ main(int argc, char **argv)
             sim_config.faults.script = load_fault_script(next());
         } else if (arg == "--fault-seed") {
             sim_config.faults.seed = std::stoull(next());
+        } else if (arg == "--planner-shards") {
+            sim_config.planner_shards = std::stoi(next());
+        } else if (arg == "--planner-threads") {
+            sim_config.planner_threads = std::stoi(next());
         } else if (arg == "--state-hash") {
             show_state_hash = true;
         } else if (arg == "--trace-out") {
@@ -325,7 +333,9 @@ main(int argc, char **argv)
         }
         return run_service(arrival_rate, service_duration, gpus,
                            stream_seed, sim_config.faults,
-                           show_state_hash, metrics_out);
+                           show_state_hash, metrics_out,
+                           sim_config.planner_shards,
+                           sim_config.planner_threads);
     }
     if (arrival_rate > 0.0 || service_duration > 0.0) {
         std::cerr << "run_trace: --arrival-rate/--duration apply only "

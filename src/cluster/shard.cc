@@ -1,0 +1,73 @@
+#include "cluster/shard.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ef {
+
+std::vector<PodShard>
+extract_pod_shards(const Topology &topo, int max_shards)
+{
+    const int racks = topo.num_racks();
+    const int shards = std::max(1, std::min(max_shards, racks));
+    const GpuCount rack_gpus =
+        topo.spec().servers_per_rack * topo.spec().gpus_per_server;
+
+    // Contiguous balanced split: shard s owns base racks plus one of
+    // the remainder racks, lowest shard ids first. Pure arithmetic in
+    // (racks, shards) — no runtime state, so the cut is deterministic.
+    const int base = racks / shards;
+    const int rem = racks % shards;
+    std::vector<PodShard> pods;
+    pods.reserve(shards);
+    int rack = 0;
+    for (int s = 0; s < shards; ++s) {
+        PodShard pod;
+        pod.index = s;
+        pod.first_rack = rack;
+        pod.num_racks = base + (s < rem ? 1 : 0);
+        pod.gpus = pod.num_racks * rack_gpus;
+        rack += pod.num_racks;
+        pods.push_back(pod);
+    }
+    EF_CHECK(rack == racks);
+    return pods;
+}
+
+std::vector<PodShard>
+extract_pod_shards(GpuCount total_gpus, int max_shards)
+{
+    EF_CHECK_MSG(total_gpus >= 1, "need at least one GPU to shard");
+    Topology topo(TopologySpec::with_total_gpus(total_gpus));
+    std::vector<PodShard> pods = extract_pod_shards(topo, max_shards);
+
+    // with_total_gpus rounds the cluster up to whole servers/racks;
+    // planning capacity must sum to exactly total_gpus, so shave the
+    // overshoot off the trailing pods (they are the rounded-up ones).
+    GpuCount excess = topo.total_gpus() - total_gpus;
+    EF_CHECK(excess >= 0);
+    for (auto it = pods.rbegin(); it != pods.rend() && excess > 0; ++it) {
+        const GpuCount cut = std::min(excess, it->gpus);
+        it->gpus -= cut;
+        excess -= cut;
+    }
+    EF_CHECK(excess == 0);
+    while (pods.size() > 1 && pods.back().gpus == 0)
+        pods.pop_back();
+    for (std::size_t i = 0; i < pods.size(); ++i)
+        pods[i].index = static_cast<int>(i);
+    return pods;
+}
+
+std::vector<GpuCount>
+shard_capacities(const std::vector<PodShard> &shards)
+{
+    std::vector<GpuCount> gpus;
+    gpus.reserve(shards.size());
+    for (const PodShard &pod : shards)
+        gpus.push_back(pod.gpus);
+    return gpus;
+}
+
+}  // namespace ef

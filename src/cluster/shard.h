@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Planner shard extraction along buddy-hierarchy boundaries.
+ *
+ * The buddy allocator (cluster/buddy.h) keeps power-of-two jobs packed
+ * inside servers and racks, so rack boundaries are natural cut points
+ * for parallel planning: a shard that owns whole racks can speculate
+ * about placements without ever splitting a buddy block across shards.
+ * `extract_pod_shards` groups a topology's racks into up to
+ * `max_shards` contiguous *pods* of near-equal GPU capacity; shard
+ * membership and order are pure functions of the topology and the
+ * requested shard count (never of runtime state), which is what the
+ * deterministic shard-parallel planner (DESIGN.md §10) requires.
+ *
+ * The capacity slices returned here are *speculation budgets*, not
+ * hard partitions: the cross-shard balancer pass may still place a job
+ * across pod boundaries when no single pod can hold it.
+ */
+#ifndef EF_CLUSTER_SHARD_H_
+#define EF_CLUSTER_SHARD_H_
+
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/types.h"
+
+namespace ef {
+
+/** One planner shard: a contiguous group of whole racks ("pod"). */
+struct PodShard
+{
+    int index = 0;       ///< shard id; also its merge position
+    int first_rack = 0;  ///< first rack owned (inclusive)
+    int num_racks = 0;   ///< whole racks owned
+    GpuCount gpus = 0;   ///< total GPU capacity of the pod
+};
+
+/**
+ * Cut @p topo into at most @p max_shards pods of whole racks,
+ * balanced to within one rack. Fewer shards come back when the
+ * topology has fewer racks than requested; always at least one.
+ */
+std::vector<PodShard> extract_pod_shards(const Topology &topo,
+                                         int max_shards);
+
+/**
+ * Convenience for callers that only know a GPU total (schedulers see
+ * the cluster through ClusterView): shards the canonical
+ * `TopologySpec::with_total_gpus` shape. The trailing shard absorbs
+ * any capacity the synthetic topology rounds up, so shard capacities
+ * always sum to exactly @p total_gpus.
+ */
+std::vector<PodShard> extract_pod_shards(GpuCount total_gpus,
+                                         int max_shards);
+
+/** Just the per-shard capacities, in shard order (planner input). */
+std::vector<GpuCount> shard_capacities(const std::vector<PodShard> &shards);
+
+}  // namespace ef
+
+#endif  // EF_CLUSTER_SHARD_H_

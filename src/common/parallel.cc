@@ -1,0 +1,169 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ef {
+
+/**
+ * Generation-stamped dispatch. Each parallel_for publishes one "loop
+ * generation" (job pointer, index count) under the mutex and wakes the
+ * workers; indices are then claimed lock-free from an atomic cursor.
+ * The caller may not return — and therefore may not destroy the
+ * `fn` closure or start the next generation — until every worker has
+ * both *arrived* at this generation and *left* its index loop, which
+ * closes the classic straggler race where a slow worker could observe
+ * the next loop's cursor while still holding the previous loop's job
+ * pointer.
+ */
+struct ThreadPool::Impl
+{
+    std::vector<std::thread> workers;
+
+    std::mutex mutex;
+    std::condition_variable work_ready;
+    std::condition_variable work_done;
+
+    // Loop state: written by the caller under `mutex` before a
+    // generation is published, constant until the loop joins.
+    const std::function<void(int)> *job = nullptr;
+    int count = 0;
+    std::uint64_t generation = 0;
+    bool stop = false;
+    bool in_loop = false;
+
+    std::atomic<int> next{0};       ///< index claim cursor
+    std::atomic<int> completed{0};  ///< finished fn(i) calls
+    int arrived = 0;  ///< workers that observed this generation
+    int running = 0;  ///< workers inside the current index loop
+
+    void run_indices(const std::function<void(int)> &fn, int n)
+    {
+        while (true) {
+            const int i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                break;
+            fn(i);
+            completed.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    void worker_main()
+    {
+        std::uint64_t seen = 0;
+        while (true) {
+            const std::function<void(int)> *fn = nullptr;
+            int n = 0;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                work_ready.wait(lock, [&] {
+                    return stop || generation != seen;
+                });
+                if (stop)
+                    return;
+                seen = generation;
+                fn = job;
+                n = count;
+                ++arrived;
+                ++running;
+            }
+            run_indices(*fn, n);
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                --running;
+            }
+            work_done.notify_one();
+        }
+    }
+};
+
+ThreadPool::ThreadPool(int threads) : impl_(new Impl)
+{
+    const int workers = threads > 1 ? threads - 1 : 0;
+    impl_->workers.reserve(workers);
+    for (int i = 0; i < workers; ++i)
+        impl_->workers.emplace_back([this] { impl_->worker_main(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->stop = true;
+    }
+    impl_->work_ready.notify_all();
+    for (std::thread &worker : impl_->workers)
+        worker.join();
+}
+
+int
+ThreadPool::threads() const
+{
+    return static_cast<int>(impl_->workers.size()) + 1;
+}
+
+void
+ThreadPool::parallel_for(int count, const std::function<void(int)> &fn)
+{
+    if (count <= 0)
+        return;
+    if (impl_->workers.empty() || count == 1) {
+        for (int i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        EF_CHECK_MSG(!impl_->in_loop,
+                     "ThreadPool::parallel_for is not reentrant");
+        impl_->in_loop = true;
+        impl_->job = &fn;
+        impl_->count = count;
+        impl_->next.store(0, std::memory_order_relaxed);
+        impl_->completed.store(0, std::memory_order_relaxed);
+        impl_->arrived = 0;
+        impl_->running = 0;
+        ++impl_->generation;
+    }
+    impl_->work_ready.notify_all();
+
+    impl_->run_indices(fn, count);
+
+    {
+        const int all = static_cast<int>(impl_->workers.size());
+        std::unique_lock<std::mutex> lock(impl_->mutex);
+        impl_->work_done.wait(lock, [&] {
+            return impl_->arrived == all && impl_->running == 0;
+        });
+        EF_CHECK(impl_->completed.load(std::memory_order_relaxed) ==
+                 count);
+        impl_->in_loop = false;
+        impl_->job = nullptr;
+    }
+}
+
+int
+ThreadPool::hardware_threads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? static_cast<int>(n) : 1;
+}
+
+void
+parallel_for(ThreadPool *pool, int count,
+             const std::function<void(int)> &fn)
+{
+    if (pool == nullptr || pool->threads() <= 1) {
+        for (int i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    pool->parallel_for(count, fn);
+}
+
+}  // namespace ef

@@ -1,0 +1,74 @@
+#include "core/planner_concurrency.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ef {
+namespace {
+
+/** Buckets for the max/mean shard-cost ratio (1.0 = perfect balance). */
+const std::vector<double> &
+imbalance_edges()
+{
+    static const std::vector<double> edges{1.1, 1.25, 1.5, 2.0,
+                                           3.0,  4.0,  8.0};
+    return edges;
+}
+
+}  // namespace
+
+void
+emit_shard_round(Time now, const ShardRoundStats &stats)
+{
+    if (stats.shard_cost.empty())
+        return;
+    std::uint64_t total = 0;
+    std::uint64_t peak = 0;
+    for (std::uint64_t units : stats.shard_cost) {
+        total += units;
+        peak = std::max(peak, units);
+    }
+    const double mean = static_cast<double>(total) /
+                        static_cast<double>(stats.shard_cost.size());
+    const double imbalance =
+        mean > 0.0 ? static_cast<double>(peak) / mean : 1.0;
+    if (obs::tracing()) {
+        for (std::size_t s = 0; s < stats.shard_cost.size(); ++s) {
+            obs::TraceEvent event{now, obs::EventKind::kShardPlan,
+                                  kInvalidJob,
+                                  static_cast<std::int64_t>(s),
+                                  static_cast<std::int64_t>(
+                                      stats.shard_cost[s])};
+            event.x = imbalance;
+            obs::emit(event);
+        }
+    }
+    obs::count("planner.shard.rounds");
+    obs::count("planner.shard.adopted", stats.adopted);
+    obs::count("planner.shard.rebid", stats.rebid);
+    obs::observe("planner.shard_imbalance", imbalance_edges(), imbalance);
+}
+
+std::vector<GpuCount>
+shard_capacity_slices(GpuCount total_gpus, int shards,
+                      const std::vector<GpuCount> &shard_gpus)
+{
+    shards = std::max(1, shards);
+    if (static_cast<int>(shard_gpus.size()) == shards) {
+        GpuCount sum = 0;
+        for (GpuCount g : shard_gpus)
+            sum += g;
+        if (sum == total_gpus)
+            return shard_gpus;
+    }
+    const GpuCount base = total_gpus / shards;
+    const GpuCount rem = total_gpus % shards;
+    std::vector<GpuCount> caps(static_cast<std::size_t>(shards), base);
+    for (GpuCount s = 0; s < rem; ++s)
+        caps[static_cast<std::size_t>(s)] += 1;
+    return caps;
+}
+
+}  // namespace ef

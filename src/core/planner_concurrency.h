@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shard-parallel planning configuration (DESIGN.md §10).
+ *
+ * The planner entry points (`run_allocation_sharded`,
+ * `refresh_min_shares_sharded`) accept a PlannerConcurrency describing
+ * how to split one planning round into per-pod shards and which thread
+ * pool to run the shard phase on. The determinism contract is central:
+ * a sharded round produces *bit-identical* decisions — plans, costs,
+ * and therefore RunResult::state_hash — to the classic single-threaded
+ * round, for every shard count and thread count. Sharding is a pure
+ * execution strategy, never a policy change.
+ */
+#ifndef EF_CORE_PLANNER_CONCURRENCY_H_
+#define EF_CORE_PLANNER_CONCURRENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ef {
+
+class ThreadPool;
+
+/** How one planning round is sharded and scheduled. */
+struct PlannerConcurrency
+{
+    /**
+     * Number of planner shards (>= 1). Shard membership is a fixed
+     * function of job rank (rank mod shards, in the planner's
+     * deterministic sort order), so the decomposition never depends on
+     * thread completion order.
+     */
+    int shards = 1;
+
+    /**
+     * Worker pool for the shard phase; null runs shards inline on the
+     * caller (still exercising the full shard/merge code path, which
+     * is what the determinism tests rely on).
+     */
+    ThreadPool *pool = nullptr;
+
+    /**
+     * Per-shard speculation capacity in GPUs (pod sizes from
+     * cluster/shard.h). When empty, capacity is split evenly across
+     * shards. Slices only bound *speculative* per-shard fills; the
+     * sequential merge re-bids any job whose speculation was clipped,
+     * so total capacity — and the final decision — is unaffected.
+     */
+    std::vector<GpuCount> shard_gpus;
+};
+
+/** Per-round shard telemetry (feeds obs spans + imbalance metrics). */
+struct ShardRoundStats
+{
+    /** Deterministic planning cost units spent inside each shard. */
+    std::vector<std::uint64_t> shard_cost;
+    /** Jobs whose speculative shard fill was adopted verbatim. */
+    std::uint64_t adopted = 0;
+    /** Jobs re-planned by the sequential cross-shard balancer. */
+    std::uint64_t rebid = 0;
+};
+
+/**
+ * Emit one round's shard telemetry: a kShardPlan trace event per shard
+ * (a = shard index, b = cost units) and the `planner.shard_imbalance`
+ * histogram observation (max/mean shard cost). Observability only —
+ * never feeds back into planning state. No-op when the round recorded
+ * no shards.
+ */
+void emit_shard_round(Time now, const ShardRoundStats &stats);
+
+/**
+ * Per-shard speculation capacities for a cluster of @p total_gpus.
+ * Uses @p shard_gpus (pod sizes) verbatim when it has exactly
+ * @p shards entries summing to @p total_gpus; otherwise falls back to
+ * an even split (remainder spread over the leading shards). The
+ * fallback keeps sharded planning well-defined when faults shrink the
+ * cluster below the configured pod layout — slices only bound
+ * speculation, so the fallback never changes the planned outcome.
+ */
+std::vector<GpuCount> shard_capacity_slices(
+    GpuCount total_gpus, int shards,
+    const std::vector<GpuCount> &shard_gpus);
+
+}  // namespace ef
+
+#endif  // EF_CORE_PLANNER_CONCURRENCY_H_

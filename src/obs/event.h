@@ -74,6 +74,12 @@ enum class EventKind {
                       ///< size, b = 1 when horizon-forced (no token)
     kServeTimeout,    ///< replan watchdog fired; a = measured planning
                       ///< cost, b = budget
+
+    // --- shard-parallel planning (DESIGN.md §10) --------------------------
+    kShardPlan,       ///< one planner shard's phase of a round;
+                      ///< a = shard index, b = deterministic cost
+                      ///< units spent in the shard, x = the round's
+                      ///< max/mean shard-cost imbalance ratio
 };
 
 /** Stable lowercase name (Chrome-trace event names, tests, dumps). */

@@ -39,6 +39,7 @@ event_kind_name(EventKind kind)
       case EventKind::kServeShed: return "serve_shed";
       case EventKind::kServeRound: return "serve_round";
       case EventKind::kServeTimeout: return "serve_timeout";
+      case EventKind::kShardPlan: return "shard_plan";
     }
     return "?";
 }

@@ -16,10 +16,12 @@
 #ifndef EF_SCHED_ELASTIC_FLOW_H_
 #define EF_SCHED_ELASTIC_FLOW_H_
 
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "core/admission.h"
 #include "core/allocator.h"
 #include "sched/admission_policy.h"
@@ -59,6 +61,21 @@ struct ElasticFlowConfig
      * absorbed without breaking admitted deadlines.
      */
     GpuCount failure_headroom_gpus = 0;
+
+    /**
+     * Shard-parallel planning (DESIGN.md §10): number of per-pod
+     * planner shards; <= 0 plans single-threaded (classic code path).
+     * Decisions are bit-identical either way.
+     */
+    int planner_shards = 0;
+
+    /**
+     * Worker threads for the shard phase (including the calling
+     * thread); <= 1 runs shards inline on the caller, still through
+     * the full shard/merge code path. Only read when planner_shards
+     * is positive.
+     */
+    int planner_threads = 1;
 };
 
 /** See file comment. */
@@ -109,8 +126,19 @@ class ElasticFlowScheduler : public Scheduler
      */
     std::vector<JobId> take_demotions() override;
 
+    void set_planner_concurrency(int shards, int threads) override
+    {
+        config_.planner_shards = shards;
+        config_.planner_threads = threads;
+        pool_.reset();
+        concurrency_ = PlannerConcurrency{};
+        concurrency_ready_ = false;
+    }
+
   private:
     PlannerConfig planner_config() const;
+    /** Lazily built sharding plan; null when planner_shards <= 0. */
+    const PlannerConcurrency *planner_concurrency();
 
     ElasticFlowConfig config_;
     AdmissionPolicy *policy_ = nullptr;
@@ -121,6 +149,10 @@ class ElasticFlowScheduler : public Scheduler
     std::set<JobId> demoted_;
     /** Demotions not yet drained by take_demotions(). */
     std::vector<JobId> fresh_demotions_;
+    /** Shard worker pool (only when planner_threads > 1). */
+    std::unique_ptr<ThreadPool> pool_;
+    PlannerConcurrency concurrency_;
+    bool concurrency_ready_ = false;
 };
 
 }  // namespace ef

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "cluster/shard.h"
 #include "common/check.h"
 #include "common/hash.h"
 #include "common/math_util.h"
@@ -63,6 +64,20 @@ Service::Service(ServiceConfig config, FaultInjector *faults)
     planner_.slot_seconds = config_.slot_seconds;
     planner_.direction = config_.direction;
     planner_.max_slots = config_.max_slots;
+    if (config_.planner_shards > 0) {
+        // Shard along pod boundaries of the canonical topology for
+        // this GPU total (DESIGN.md §10). Purely an execution
+        // strategy: every round commits bit-identical state.
+        sharded_ = true;
+        concurrency_.shard_gpus = shard_capacities(extract_pod_shards(
+            config_.total_gpus, config_.planner_shards));
+        concurrency_.shards =
+            static_cast<int>(concurrency_.shard_gpus.size());
+        if (config_.planner_threads > 1) {
+            pool_ = std::make_unique<ThreadPool>(config_.planner_threads);
+            concurrency_.pool = pool_.get();
+        }
+    }
 }
 
 void
@@ -251,9 +266,14 @@ Service::run_round(Time t)
     }
 
     std::uint64_t cost = 0;
+    ShardRoundStats shard_stats;
     MinShareRefresh refresh =
-        refresh_min_shares(planner_, t, std::move(slo),
-                           &replan_failures_, false, &cost);
+        sharded_ ? refresh_min_shares_sharded(planner_, t, std::move(slo),
+                                              &replan_failures_, false,
+                                              &cost, concurrency_,
+                                              &shard_stats)
+                 : refresh_min_shares(planner_, t, std::move(slo),
+                                      &replan_failures_, false, &cost);
     stats_.planning_cost += cost;
     if (config_.watchdog_budget > 0 && !escalated_ &&
         cost > config_.watchdog_budget) {
@@ -387,8 +407,14 @@ Service::run_round(Time t)
         best_effort.push_back(std::move(job));
     }
     AllocationOutcome outcome =
-        run_allocation(planner_, t, alloc_slo, shares, best_effort);
+        sharded_ ? run_allocation_sharded(planner_, t, alloc_slo, shares,
+                                          best_effort, concurrency_,
+                                          &shard_stats)
+                 : run_allocation(planner_, t, alloc_slo, shares,
+                                  best_effort);
     gpus_now_ = std::move(outcome.gpus_now);
+    if (sharded_)
+        emit_shard_round(t, shard_stats);
 
     ++stats_.rounds;
     if (!token)

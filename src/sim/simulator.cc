@@ -122,6 +122,10 @@ Simulator::Simulator(const Trace &trace, Scheduler *scheduler,
 {
     EF_CHECK(scheduler_ != nullptr);
     scheduler_->bind(this);
+    if (config_.planner_shards > 0) {
+        scheduler_->set_planner_concurrency(config_.planner_shards,
+                                            config_.planner_threads);
+    }
 
     result_.scheduler_name = scheduler_->name();
     result_.trace_name = trace_.name;

@@ -34,8 +34,9 @@ read_file(const std::string &path)
 }
 
 /** The scripted lifecycle the golden file was generated from: one job
- *  admitted, scaled 2 -> 4 GPUs, released, finished. Regenerate the
- *  golden by dumping chrome_trace_json(events, 3) for this sequence. */
+ *  admitted via a shard-parallel replan (two planner shards), scaled
+ *  2 -> 4 GPUs, released, finished. Regenerate the golden by dumping
+ *  chrome_trace_json(events, 3) for this sequence. */
 std::vector<obs::TraceEvent>
 scripted_events()
 {
@@ -57,6 +58,8 @@ scripted_events()
     ev(0.0, EventKind::kJobSubmit, 7, 4);
     ev(1.0, EventKind::kJobAdmit, 7);
     ev(1.0, EventKind::kReplanBegin, kInvalidJob, 1);
+    ev(1.0, EventKind::kShardPlan, kInvalidJob, 0, 120, 1.2);
+    ev(1.0, EventKind::kShardPlan, kInvalidJob, 1, 80, 1.2);
     ev(1.0, EventKind::kReplanEnd, kInvalidJob, 1, 1);
     ev(1.0, EventKind::kAllocChange, 7, 0, 0, 0.0, {0, 1});
     ev(2.5, EventKind::kScale, 7, 2, 4, 0.25);
@@ -86,6 +89,18 @@ TEST(ChromeTrace, ScriptedSpansHaveExpectedGeometry)
     // GPU 2 is held only by the 4-GPU interval.
     EXPECT_NE(json.find("\"name\":\"job 7\",\"ph\":\"X\",\"pid\":2,"
                         "\"tid\":2,\"ts\":2500000,\"dur\":2500000"),
+              std::string::npos);
+    // Each planner shard gets its own scheduler row (tids 3+s) with a
+    // complete span whose duration is the shard's cost units in µs.
+    EXPECT_NE(json.find("\"name\":\"shard 0\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"shard 1\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"shard_plan\",\"cat\":\"shard\","
+                        "\"ph\":\"X\",\"pid\":3,\"tid\":3,"
+                        "\"ts\":1000000,\"dur\":120"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"shard_plan\",\"cat\":\"shard\","
+                        "\"ph\":\"X\",\"pid\":3,\"tid\":4,"
+                        "\"ts\":1000000,\"dur\":80"),
               std::string::npos);
     // The replan is an async begin/end pair with an outcome.
     EXPECT_NE(json.find("\"ph\":\"b\",\"id\":0"), std::string::npos);

@@ -227,6 +227,56 @@ TEST(EfLintAnnotations, MalformedAndUnknownAreReported)
             .empty());
 }
 
+TEST(EfLintThreading, LibraryIncludesFlowThroughParallel)
+{
+    FileClass cls = library_class();
+    // Direct threading includes are the violation, one per directive.
+    auto rules = rules_in("#include <thread>\n#include <mutex>\n", cls);
+    EXPECT_EQ(std::count(rules.begin(), rules.end(), "threading"), 2);
+    EXPECT_TRUE(has_rule(rules_in("#include <atomic>\n", cls), "threading"));
+    EXPECT_TRUE(has_rule(rules_in("#include <condition_variable>\n", cls),
+                         "threading"));
+    // Non-threading includes and mere mentions of std::thread are fine;
+    // the rule targets the include directive, not usage (usage outside
+    // the sanctioned pool cannot compile without the include anyway).
+    EXPECT_TRUE(rules_in("#include <vector>\n", cls).empty());
+    EXPECT_TRUE(rules_in("ef::ThreadPool pool(4);\n", cls).empty());
+}
+
+TEST(EfLintThreading, ParallelIsTheSanctionedHome)
+{
+    EXPECT_TRUE(classify("src/common/parallel.h").threading_exempt);
+    EXPECT_TRUE(classify("src/common/parallel.cc").threading_exempt);
+    EXPECT_FALSE(classify("src/common/logging.cc").threading_exempt);
+    EXPECT_FALSE(classify("src/core/allocator.cc").threading_exempt);
+
+    const char *text = "#include <thread>\n#include <condition_variable>\n";
+    EXPECT_TRUE(
+        rules_in(text, classify("src/common/parallel.cc")).empty());
+    // Outside src/ the rule does not apply at all.
+    EXPECT_TRUE(rules_in(text, classify("tests/test_parallel.cc")).empty());
+    EXPECT_TRUE(rules_in(text, classify("bench/fig7.cc")).empty());
+}
+
+TEST(EfLintThreading, AllowAnnotationSuppresses)
+{
+    FileClass cls = library_class();
+    EXPECT_TRUE(
+        rules_in("// ef-lint: allow(threading: lock-free stat counter)\n"
+                 "#include <atomic>\n",
+                 cls)
+            .empty());
+    EXPECT_TRUE(
+        rules_in("#include <mutex>  // ef-lint: allow(threading: guard)\n",
+                 cls)
+            .empty());
+    // An allow() for a different rule does not silence it.
+    EXPECT_TRUE(has_rule(
+        rules_in("#include <thread>  // ef-lint: allow(io: wrong rule)\n",
+                 cls),
+        "threading"));
+}
+
 TEST(EfLintIssues, FormatAndLineNumbers)
 {
     auto issues = lint_source("src/sched/x.cc",
@@ -242,7 +292,8 @@ TEST(EfLintRules, NamesAreStable)
 {
     const std::vector<std::string> expected = {
         "nondet",            "unordered", "float-eq",
-        "check-side-effect", "io",        "using-namespace"};
+        "check-side-effect", "io",        "using-namespace",
+        "threading"};
     EXPECT_EQ(lint::rule_names(), expected);
 }
 

@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Determinism contract of shard-parallel planning (DESIGN.md §10):
+ * for every input, shard count, and thread count, the sharded planner
+ * must produce *bit-identical* decisions to the classic
+ * single-threaded one — refreshed minimum shares, parks, relaxations,
+ * allocation outcomes, deterministic cost units, and (at the
+ * whole-simulation level) RunResult::state_hash.
+ *
+ * Fuzz instances are generated from fixed seeds so failures
+ * reproduce. The shard-boundary test pins the cross-shard balancer: a
+ * job that fits only by straddling two pods must be re-bid against
+ * the global profile and end up planned exactly as classically.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "cluster/shard.h"
+#include "common/parallel.h"
+#include "core/allocator.h"
+#include "fault/fault.h"
+#include "sched/planning_util.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "workload/trace_gen.h"
+
+namespace ef {
+namespace {
+
+ScalingCurve
+random_curve(std::mt19937 &rng)
+{
+    std::uniform_int_distribution<int> entries(1, 8);
+    std::uniform_real_distribution<double> base(0.5, 4.0);
+    std::uniform_real_distribution<double> gain(1.0, 2.0);
+    int count = entries(rng);
+    std::vector<double> table;
+    double tpt = base(rng);
+    for (int k = 0; k < count; ++k) {
+        table.push_back(tpt);
+        tpt *= gain(rng);
+    }
+    return ScalingCurve::from_pow2_table(std::move(table));
+}
+
+PlanningJob
+random_job(std::mt19937 &rng, JobId id, Time now, bool best_effort)
+{
+    PlanningJob job;
+    job.id = id;
+    job.curve = random_curve(rng);
+    std::uniform_real_distribution<double> iters(10.0, 5000.0);
+    job.remaining_iterations = iters(rng);
+    if (!best_effort) {
+        double solo = job.remaining_iterations /
+                      job.curve.throughput(job.curve.min_workers());
+        std::uniform_real_distribution<double> factor(0.3, 4.0);
+        job.deadline = now + solo * factor(rng);
+        std::uniform_int_distribution<int> soft(0, 3);
+        job.soft = soft(rng) == 0;
+    }
+    return job;
+}
+
+void
+expect_refresh_equal(const MinShareRefresh &a, const MinShareRefresh &b,
+                     const std::string &label)
+{
+    ASSERT_EQ(a.slo.size(), b.slo.size()) << label;
+    for (std::size_t i = 0; i < a.slo.size(); ++i) {
+        EXPECT_EQ(a.slo[i].id, b.slo[i].id) << label << " rank " << i;
+        EXPECT_EQ(a.slo[i].deadline, b.slo[i].deadline)
+            << label << " job " << a.slo[i].id;
+    }
+    ASSERT_EQ(a.parked.size(), b.parked.size()) << label;
+    for (std::size_t i = 0; i < a.parked.size(); ++i)
+        EXPECT_EQ(a.parked[i].id, b.parked[i].id) << label;
+    ASSERT_EQ(a.min_shares.size(), b.min_shares.size()) << label;
+    for (const auto &[id, plan] : a.min_shares) {
+        auto it = b.min_shares.find(id);
+        ASSERT_TRUE(it != b.min_shares.end()) << label << " job " << id;
+        EXPECT_EQ(plan.gpus, it->second.gpus) << label << " job " << id;
+    }
+}
+
+/** Classic vs sharded refresh over one fuzz instance, every shard
+ *  count, inline and pooled. */
+void
+check_refresh(std::uint32_t seed, int slo_jobs, GpuCount total_gpus,
+              bool park_infeasible_hard, ThreadPool *pool)
+{
+    std::mt19937 rng(seed);
+    const Time now = 137.5;
+    PlannerConfig config;
+    config.total_gpus = total_gpus;
+    config.slot_seconds = 60.0;
+
+    std::vector<PlanningJob> jobs;
+    for (int i = 0; i < slo_jobs; ++i)
+        jobs.push_back(random_job(rng, i + 1, now, false));
+
+    int classic_failures = 0;
+    std::uint64_t classic_cost = 0;
+    MinShareRefresh classic =
+        refresh_min_shares(config, now, jobs, &classic_failures,
+                           park_infeasible_hard, &classic_cost);
+
+    for (int shards : {1, 2, 3, 4, 8}) {
+        PlannerConcurrency conc;
+        conc.shards = shards;
+        conc.pool = pool;
+        int failures = 0;
+        std::uint64_t cost = 0;
+        ShardRoundStats stats;
+        MinShareRefresh sharded = refresh_min_shares_sharded(
+            config, now, jobs, &failures, park_infeasible_hard, &cost,
+            conc, &stats);
+        std::ostringstream label;
+        label << "seed=" << seed << " jobs=" << slo_jobs
+              << " gpus=" << total_gpus << " shards=" << shards
+              << " pool=" << (pool != nullptr ? pool->threads() : 0);
+        expect_refresh_equal(classic, sharded, label.str());
+        EXPECT_EQ(classic_cost, cost) << label.str();
+        EXPECT_EQ(classic_failures, failures) << label.str();
+        // Every job was either adopted from speculation or re-bid.
+        EXPECT_EQ(stats.adopted + stats.rebid,
+                  static_cast<std::uint64_t>(slo_jobs))
+            << label.str();
+    }
+}
+
+TEST(ShardedRefresh, MatchesClassicOnAbundantClusters)
+{
+    ThreadPool pool(4);
+    for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+        check_refresh(seed, 12, /*total_gpus=*/512, false, nullptr);
+        check_refresh(seed, 12, /*total_gpus=*/512, false, &pool);
+    }
+}
+
+TEST(ShardedRefresh, MatchesClassicOnSaturatedClusters)
+{
+    // Starved capacity forces clipped speculation, re-bids, deadline
+    // relaxation, and parking — the whole balancer surface.
+    ThreadPool pool(4);
+    for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+        check_refresh(seed, 16, /*total_gpus=*/8, false, nullptr);
+        check_refresh(seed, 16, /*total_gpus=*/8, false, &pool);
+        check_refresh(seed, 16, /*total_gpus=*/8, true, &pool);
+    }
+}
+
+TEST(ShardedRefresh, MatchesClassicOnMidsizedClusters)
+{
+    ThreadPool pool(4);
+    for (std::uint32_t seed = 100; seed < 130; ++seed) {
+        check_refresh(seed, 24, /*total_gpus=*/64, false, &pool);
+        check_refresh(seed, 24, /*total_gpus=*/64, true, nullptr);
+    }
+}
+
+TEST(ShardedAllocation, MatchesClassicOnFuzzedInstances)
+{
+    ThreadPool pool(4);
+    int covered = 0;
+    for (std::uint32_t seed = 1; seed <= 40 || covered < 10; ++seed) {
+        ASSERT_LT(seed, 200u) << "not enough feasible instances";
+        std::mt19937 rng(seed);
+        const Time now = 137.5;
+        PlannerConfig config;
+        config.total_gpus = (seed % 3 == 0) ? 16 : 256;
+        config.slot_seconds = 60.0;
+
+        std::vector<PlanningJob> slo;
+        std::vector<PlanningJob> best_effort;
+        JobId next_id = 1;
+        for (int i = 0; i < 10; ++i)
+            slo.push_back(random_job(rng, next_id++, now, false));
+        for (int j = 0; j < 6; ++j)
+            best_effort.push_back(random_job(rng, next_id++, now, true));
+        AdmissionOutcome admitted = run_admission(config, now, slo);
+        if (!admitted.feasible)
+            continue;
+        ++covered;
+
+        AllocationOutcome classic = run_allocation(
+            config, now, slo, admitted.plans, best_effort);
+        for (int shards : {1, 2, 4, 8}) {
+            PlannerConcurrency conc;
+            conc.shards = shards;
+            conc.pool = (shards % 2 == 0) ? &pool : nullptr;
+            ShardRoundStats stats;
+            AllocationOutcome sharded = run_allocation_sharded(
+                config, now, slo, admitted.plans, best_effort, conc,
+                &stats);
+            std::ostringstream label;
+            label << "seed=" << seed << " shards=" << shards;
+            EXPECT_EQ(classic.gpus_now, sharded.gpus_now) << label.str();
+            EXPECT_EQ(classic.unallocated, sharded.unallocated)
+                << label.str();
+            ASSERT_EQ(classic.plans.size(), sharded.plans.size())
+                << label.str();
+            for (const auto &[id, plan] : classic.plans) {
+                auto it = sharded.plans.find(id);
+                ASSERT_TRUE(it != sharded.plans.end())
+                    << label.str() << " job " << id;
+                EXPECT_EQ(plan.gpus, it->second.gpus)
+                    << label.str() << " job " << id;
+            }
+        }
+    }
+}
+
+/**
+ * Shard-boundary pin: a job whose minimum satisfactory level exceeds
+ * every pod's capacity can only be planned by straddling pods. Its
+ * speculative fill must clip inside its shard, the merge must re-bid
+ * it against the global profile, and the result must equal classic
+ * planning exactly.
+ */
+TEST(ShardedRefresh, StraddlingJobIsRebidByTheBalancer)
+{
+    const Time now = 0.0;
+    PlannerConfig config;
+    config.total_gpus = 16;  // two pods of 8
+    config.slot_seconds = 60.0;
+
+    // Throughput scales perfectly to 16 GPUs; the deadline is one slot,
+    // and the work needs all 16 — no single 8-GPU pod suffices.
+    std::vector<double> table;
+    for (int workers = 1; workers <= 16; workers *= 2)
+        table.push_back(static_cast<double>(workers));
+    PlanningJob straddler;
+    straddler.id = 7;
+    straddler.curve = ScalingCurve::from_pow2_table(table);
+    straddler.remaining_iterations = 15.5 * 60.0;  // needs level 16
+    straddler.deadline = now + 60.0;
+
+    int classic_failures = 0;
+    std::uint64_t classic_cost = 0;
+    MinShareRefresh classic = refresh_min_shares(
+        config, now, {straddler}, &classic_failures, false,
+        &classic_cost);
+    ASSERT_EQ(classic.slo.size(), 1u);
+    ASSERT_EQ(classic.min_shares.count(7), 1u);
+
+    PlannerConcurrency conc;
+    conc.shards = 2;
+    conc.shard_gpus = {8, 8};
+    int failures = 0;
+    std::uint64_t cost = 0;
+    ShardRoundStats stats;
+    MinShareRefresh sharded = refresh_min_shares_sharded(
+        config, now, {straddler}, &failures, false, &cost, conc,
+        &stats);
+
+    expect_refresh_equal(classic, sharded, "straddler");
+    EXPECT_EQ(classic_cost, cost);
+    EXPECT_EQ(stats.rebid, 1u);   // the balancer had to re-bid it
+    EXPECT_EQ(stats.adopted, 0u); // no pod could adopt it
+    // And the plan really does straddle: peak allocation above any
+    // single pod's capacity.
+    GpuCount peak = 0;
+    const SlotPlan &plan = sharded.min_shares.at(7);
+    for (int t = 0; t < plan.horizon(); ++t)
+        peak = std::max(peak, plan.at(t));
+    EXPECT_GT(peak, GpuCount{8});
+}
+
+TEST(ShardedRefresh, PodLocalJobsAreAdoptedFromSpeculation)
+{
+    const Time now = 0.0;
+    PlannerConfig config;
+    config.total_gpus = 16;
+    config.slot_seconds = 60.0;
+
+    // Two small jobs, each well within one 8-GPU pod, generous
+    // deadlines: speculation must be unclipped and adopted verbatim.
+    std::vector<PlanningJob> jobs;
+    for (JobId id = 1; id <= 2; ++id) {
+        PlanningJob job;
+        job.id = id;
+        job.curve = ScalingCurve::from_pow2_table({1.0, 2.0});
+        job.remaining_iterations = 30.0;
+        job.deadline = now + 600.0;
+        jobs.push_back(std::move(job));
+    }
+
+    PlannerConcurrency conc;
+    conc.shards = 2;
+    conc.shard_gpus = {8, 8};
+    int failures = 0;
+    std::uint64_t cost = 0;
+    ShardRoundStats stats;
+    MinShareRefresh sharded = refresh_min_shares_sharded(
+        config, now, jobs, &failures, false, &cost, conc, &stats);
+    EXPECT_EQ(stats.adopted, 2u);
+    EXPECT_EQ(stats.rebid, 0u);
+
+    int classic_failures = 0;
+    std::uint64_t classic_cost = 0;
+    MinShareRefresh classic = refresh_min_shares(
+        config, now, jobs, &classic_failures, false, &classic_cost);
+    expect_refresh_equal(classic, sharded, "pod-local");
+    EXPECT_EQ(classic_cost, cost);
+}
+
+TEST(ShardCapacitySlices, PodLayoutAndFallback)
+{
+    // A matching pod layout passes through verbatim.
+    EXPECT_EQ(shard_capacity_slices(16, 2, {10, 6}),
+              (std::vector<GpuCount>{10, 6}));
+    // Wrong shard count or stale sum (post-fault) falls back to an
+    // even split with the remainder on the leading shards.
+    EXPECT_EQ(shard_capacity_slices(14, 2, {10, 6}),
+              (std::vector<GpuCount>{7, 7}));
+    EXPECT_EQ(shard_capacity_slices(13, 4, {}),
+              (std::vector<GpuCount>{4, 3, 3, 3}));
+    EXPECT_EQ(shard_capacity_slices(8, 1, {}),
+              (std::vector<GpuCount>{8}));
+}
+
+TEST(PodShards, BalancedContiguousAndExact)
+{
+    std::vector<PodShard> pods = extract_pod_shards(GpuCount{1024}, 4);
+    ASSERT_FALSE(pods.empty());
+    GpuCount sum = 0;
+    int next_rack = 0;
+    for (std::size_t s = 0; s < pods.size(); ++s) {
+        EXPECT_EQ(pods[s].index, static_cast<int>(s));
+        EXPECT_EQ(pods[s].first_rack, next_rack);
+        EXPECT_GE(pods[s].num_racks, 1);
+        next_rack += pods[s].num_racks;
+        sum += pods[s].gpus;
+    }
+    EXPECT_EQ(sum, GpuCount{1024});
+    // Fewer racks than requested shards: clamps, never empty.
+    std::vector<PodShard> tiny = extract_pod_shards(GpuCount{8}, 16);
+    ASSERT_FALSE(tiny.empty());
+    GpuCount tiny_sum = 0;
+    for (const PodShard &p : tiny)
+        tiny_sum += p.gpus;
+    EXPECT_EQ(tiny_sum, GpuCount{8});
+}
+
+// ---------------------------------------------------------------------------
+// Whole-simulation determinism: state_hash across shard counts.
+// ---------------------------------------------------------------------------
+
+RunResult
+run_sim(std::uint64_t seed, const SimConfig &config)
+{
+    TraceGenConfig gen = testbed_small_preset();
+    gen.seed = seed;
+    Trace trace = TraceGenerator::generate(gen);
+    auto scheduler = make_scheduler("elasticflow");
+    Simulator sim(trace, scheduler.get(), config);
+    return sim.run();
+}
+
+TEST(ShardedStateHash, ChurnHeavyTraceIsShardCountInvariant)
+{
+    SimConfig classic;
+    const RunResult base = run_sim(42, classic);
+    for (int shards : {1, 2, 4, 8}) {
+        for (int threads : {1, 4}) {
+            SimConfig config;
+            config.planner_shards = shards;
+            config.planner_threads = threads;
+            RunResult sharded = run_sim(42, config);
+            EXPECT_EQ(base.state_hash, sharded.state_hash)
+                << "shards=" << shards << " threads=" << threads;
+            EXPECT_EQ(base.state_hash_samples,
+                      sharded.state_hash_samples)
+                << "shards=" << shards << " threads=" << threads;
+        }
+    }
+}
+
+TEST(ShardedStateHash, ScriptedFaultTraceIsShardCountInvariant)
+{
+    SimConfig classic;
+    classic.faults.script.push_back(
+        {6.0 * kHour, FaultType::kServerCrash, 0, 2.0 * kHour, 0.0});
+    classic.faults.script.push_back(
+        {9.0 * kHour, FaultType::kGpuFault, 3, 1.0 * kHour, 0.0});
+    classic.faults.script.push_back(
+        {12.0 * kHour, FaultType::kServerCrash, 1, 3.0 * kHour, 0.0});
+    const RunResult base = run_sim(42, classic);
+    for (int shards : {1, 2, 4, 8}) {
+        SimConfig config = classic;
+        config.planner_shards = shards;
+        config.planner_threads = shards > 1 ? 4 : 1;
+        RunResult sharded = run_sim(42, config);
+        EXPECT_EQ(base.state_hash, sharded.state_hash)
+            << "shards=" << shards;
+    }
+}
+
+TEST(ShardedStateHash, RandomFaultsAreShardCountInvariant)
+{
+    SimConfig classic;
+    classic.faults.seed = 7;
+    classic.faults.gpu_mtbf_s = 6.0 * kHour;
+    classic.faults.rpc_drop_prob = 0.01;
+    classic.faults.straggler_prob = 0.05;
+    const RunResult base = run_sim(42, classic);
+    for (int shards : {2, 8}) {
+        SimConfig config = classic;
+        config.planner_shards = shards;
+        config.planner_threads = 4;
+        RunResult sharded = run_sim(42, config);
+        EXPECT_EQ(base.state_hash, sharded.state_hash)
+            << "shards=" << shards;
+    }
+}
+
+}  // namespace
+}  // namespace ef

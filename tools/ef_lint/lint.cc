@@ -295,6 +295,10 @@ const std::set<std::string> kUnordered = {
     "unordered_map", "unordered_set", "unordered_multimap",
     "unordered_multiset"};
 const std::set<std::string> kIoSinks = {"cout", "cerr", "clog"};
+const std::set<std::string> kThreadingHeaders = {
+    "thread",    "mutex",     "atomic",    "condition_variable",
+    "shared_mutex", "future", "semaphore", "barrier",
+    "latch",     "stop_token"};
 const std::set<std::string> kSideEffectOps = {
     "=",  "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
     "<<=", ">>=", "++", "--"};
@@ -412,6 +416,7 @@ classify(std::string_view path)
     cls.io_exempt =
         starts("src/common/logging.") || starts("src/common/check.");
     cls.rng_exempt = starts("src/common/rng.");
+    cls.threading_exempt = starts("src/common/parallel.");
     return cls;
 }
 
@@ -420,7 +425,8 @@ rule_names()
 {
     static const std::vector<std::string> kNames = {
         "nondet",           "unordered", "float-eq",
-        "check-side-effect", "io",        "using-namespace"};
+        "check-side-effect", "io",        "using-namespace",
+        "threading"};
     return kNames;
 }
 
@@ -512,6 +518,26 @@ lint_source(std::string_view path, std::string_view text,
                                 "and checks must never mutate state");
                     }
                 }
+            }
+        } else if (tok.kind == Token::kPunct && tok.text == "#") {
+            // Include directives lex as `#` `include` `<` name `>`.
+            if (cls.library && !cls.threading_exempt &&
+                i + 4 < tokens.size() &&
+                tokens[i + 1].kind == Token::kIdent &&
+                tokens[i + 1].text == "include" &&
+                tokens[i + 2].kind == Token::kPunct &&
+                tokens[i + 2].text == "<" &&
+                tokens[i + 3].kind == Token::kIdent &&
+                kThreadingHeaders.count(tokens[i + 3].text) > 0 &&
+                tokens[i + 4].kind == Token::kPunct &&
+                tokens[i + 4].text == ">") {
+                add_issue(issues, path, tok.line, "threading",
+                          "direct <" + tokens[i + 3].text +
+                              "> include in library code — all "
+                              "parallelism flows through "
+                              "ef::ThreadPool (common/parallel.h), "
+                              "which keeps planner decisions "
+                              "deterministic");
             }
         } else if (tok.kind == Token::kPunct &&
                    (tok.text == "==" || tok.text == "!=")) {

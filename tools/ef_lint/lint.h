@@ -23,6 +23,12 @@
  *   io                No std::cout / std::cerr / std::clog in library
  *                     code outside common/logging and common/check.
  *   using-namespace   No using-namespace directives in library code.
+ *   threading         No direct threading includes (<thread>, <mutex>,
+ *                     <atomic>, <condition_variable>, ...) in library
+ *                     code outside common/parallel.* — all parallelism
+ *                     flows through ef::ThreadPool, whose deterministic
+ *                     index-ownership contract keeps planner decisions
+ *                     bit-identical to single-threaded runs.
  *
  * Escape hatch: a violation is suppressed by a line comment on the
  * same line or the line directly above it, naming the rule and a
@@ -57,6 +63,8 @@ struct FileClass
     bool io_exempt = false;
     /** The sanctioned randomness source (common/rng.*). */
     bool rng_exempt = false;
+    /** The sanctioned threading primitive (common/parallel.*). */
+    bool threading_exempt = false;
 };
 
 /** Classify a forward-slash path relative to the repo root. */
