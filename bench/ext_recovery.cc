@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Micro benchmarks (google-benchmark) for the durable control plane
+ * (DESIGN.md §12): the cost of writing one full-state snapshot, and a
+ * complete recovery — snapshot load plus journal-tail replay — on the
+ * 2048-GPU / 1000-job fixture. Both are also compiled into
+ * micro_scheduler_overhead (with EF_BENCH_NO_MAIN) so recovery cost is
+ * recorded into BENCH_sched.json and stays visible in the repo's perf
+ * trajectory.
+ */
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/check.h"
+#include "recover/log.h"
+#include "recover/snapshot.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "workload/trace_gen.h"
+
+namespace ef {
+namespace {
+
+constexpr GpuCount kGpus = 2048;
+constexpr int kJobs = 1000;
+
+const Trace &
+big_trace()
+{
+    static const Trace kTrace = [] {
+        TraceGenConfig gen = testbed_large_preset();
+        gen.name = "recovery-2048gpu-1000jobs";
+        gen.topology = TopologySpec::with_total_gpus(kGpus);
+        gen.num_jobs = kJobs;
+        gen.mean_interarrival_s = 60.0;
+        return TraceGenerator::generate(gen);
+    }();
+    return kTrace;
+}
+
+/**
+ * One uninterrupted durable run with an effectively-infinite snapshot
+ * cadence: afterwards @p dir holds the base snapshot of the fully
+ * loaded initial state plus a journal with every round commit —
+ * recovering it replays the entire run.
+ */
+RunResult
+record_journal(const std::string &dir, bool recover = false)
+{
+    SimConfig config;
+    config.durability.journal_dir = dir;
+    config.durability.snapshot_every = 1u << 30;
+    config.durability.recover = recover;
+    auto scheduler = make_scheduler("elasticflow");
+    Simulator sim(big_trace(), scheduler.get(), config);
+    recover::Status st = sim.prepare_durability();
+    EF_CHECK_MSG(st.ok(), "bench journal setup failed");
+    return sim.run();
+}
+
+void
+copy_file(const std::string &from, const std::string &to)
+{
+    std::FILE *in = std::fopen(from.c_str(), "rb");
+    std::FILE *out = std::fopen(to.c_str(), "wb");
+    EF_CHECK_MSG(in != nullptr && out != nullptr,
+                 "bench fixture copy failed");
+    char buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, in)) > 0)
+        std::fwrite(buf, 1, n, out);
+    std::fclose(in);
+    std::fclose(out);
+}
+
+/** Writing one full-state snapshot (serialize was paid by the owner;
+ *  this is the durable path: atomic replace + fsync + journal
+ *  truncation) for the 2048-GPU / 1000-job state. */
+void
+BM_SnapshotWrite(benchmark::State &state)
+{
+    const std::string dir = "bench_recovery_snap";
+    record_journal(dir);
+    std::string payload;
+    recover::Status st = recover::read_snapshot_file(
+        recover::DurableLog::snapshot_path(dir), &payload);
+    EF_CHECK_MSG(st.ok(), "bench snapshot read failed");
+
+    recover::DurableLog log;
+    EF_CHECK_MSG(log.open(dir + "_out").ok(),
+                 "bench snapshot dir failed");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(log.write_snapshot(payload));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(payload.size()));
+    state.counters["snapshot_bytes"] =
+        static_cast<double>(payload.size());
+}
+BENCHMARK(BM_SnapshotWrite)->Unit(benchmark::kMillisecond);
+
+/** A complete recovery of the 2048-GPU / 1000-job run: load the base
+ *  snapshot, then re-execute and hash-verify every journaled round
+ *  (the journal spans the whole run, so this is a full replay). */
+void
+BM_RecoveryReplay(benchmark::State &state)
+{
+    const std::string dir = "bench_recovery_replay";
+    const RunResult base = record_journal(dir);
+    const std::string snap = recover::DurableLog::snapshot_path(dir);
+    const std::string journal = recover::DurableLog::journal_path(dir);
+    // Stash the pristine pre-crash image: each recovery re-anchors
+    // the log (fresh snapshot, truncated journal) and would otherwise
+    // leave nothing to replay for the next iteration.
+    copy_file(snap, snap + ".orig");
+    copy_file(journal, journal + ".orig");
+
+    std::uint64_t rounds = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        copy_file(snap + ".orig", snap);
+        copy_file(journal + ".orig", journal);
+        state.ResumeTiming();
+        RunResult replayed = record_journal(dir, /*recover=*/true);
+        EF_CHECK_MSG(replayed.state_hash == base.state_hash,
+                     "bench recovery diverged from the baseline");
+        rounds = replayed.state_hash_samples;
+    }
+    state.counters["rounds_replayed"] = static_cast<double>(rounds);
+}
+BENCHMARK(BM_RecoveryReplay)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ef
+
+#ifndef EF_BENCH_NO_MAIN
+/** Same custom main as micro_scheduler_overhead: record the build type
+ *  of the ef libraries under measurement (`ef_build_type`), which the
+ *  release-baseline guard gates on. */
+int
+main(int argc, char **argv)
+{
+#ifdef NDEBUG
+    benchmark::AddCustomContext("ef_build_type", "release");
+#else
+    benchmark::AddCustomContext("ef_build_type", "debug");
+#endif
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+#endif  // EF_BENCH_NO_MAIN

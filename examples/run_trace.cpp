@@ -65,6 +65,8 @@ usage()
         << "            [--fault-seed N] [--state-hash]\n"
         << "            [--planner-shards N] [--planner-threads N]\n"
         << "            [--trace-out FILE.json] [--metrics-out FILE]\n"
+        << "            [--journal-dir DIR] [--snapshot-every N]\n"
+        << "            [--recover]\n"
         << "            [--log-level debug|info|warn|error]\n"
         << "            [--service]\n"
         << "  run_trace --service --arrival-rate JOBS_PER_S "
@@ -304,6 +306,12 @@ main(int argc, char **argv)
             sim_config.planner_threads = std::stoi(next());
         } else if (arg == "--state-hash") {
             show_state_hash = true;
+        } else if (arg == "--journal-dir") {
+            sim_config.durability.journal_dir = next();
+        } else if (arg == "--snapshot-every") {
+            sim_config.durability.snapshot_every = std::stoull(next());
+        } else if (arg == "--recover") {
+            sim_config.durability.recover = true;
         } else if (arg == "--trace-out") {
             trace_out = next();
         } else if (arg == "--metrics-out") {
@@ -323,7 +331,18 @@ main(int argc, char **argv)
         }
     }
 
+    if (sim_config.durability.recover &&
+        sim_config.durability.journal_dir.empty()) {
+        std::cerr << "run_trace: --recover needs --journal-dir\n";
+        return usage();
+    }
     if (trace_path.empty()) {
+        if (!sim_config.durability.journal_dir.empty()) {
+            std::cerr << "run_trace: --journal-dir applies only to "
+                      << "trace replays (crash-consistent simulator "
+                      << "runs)\n";
+            return usage();
+        }
         if (!service_mode || arrival_rate <= 0.0 ||
             service_duration <= 0.0) {
             std::cerr << "run_trace: standalone service mode needs "
@@ -359,7 +378,27 @@ main(int argc, char **argv)
     if (!metrics_out.empty())
         metrics_scope.emplace(&registry);
 
+    if (!sim_config.durability.journal_dir.empty()) {
+        // Surface unreadable/corrupt snapshot or journal input as a
+        // line/record-numbered diagnostic and exit code 2, matching
+        // the CSV trace and fault-script conventions — never an
+        // EF_CHECK abort.
+        recover::Status st = simulator.prepare_durability();
+        if (!st.ok()) {
+            std::cerr << "run_trace: " << st.to_string() << "\n";
+            return 2;
+        }
+    }
+
     RunResult result = simulator.run();
+
+    if (simulator.crashed()) {
+        std::cerr << "run_trace: injected scheduler crash after "
+                  << result.state_hash_samples
+                  << " round commits; rerun with --recover to "
+                     "resume\n";
+        return 3;
+    }
 
     trace_scope.reset();
     metrics_scope.reset();

@@ -224,6 +224,34 @@ PlacementManager::unassign(JobId job)
     job_gpus_.erase(it);
 }
 
+void
+PlacementManager::restore(const std::vector<JobId> &owner,
+                          const std::vector<bool> &gpu_down,
+                          const std::vector<bool> &server_down)
+{
+    std::size_t total = static_cast<std::size_t>(topology_->total_gpus());
+    EF_CHECK(owner.size() == total && gpu_down.size() == total);
+    EF_CHECK(server_down.size() ==
+             static_cast<std::size_t>(topology_->num_servers()));
+    EF_CHECK_MSG(job_gpus_.empty() && down_gpus_ == 0,
+                 "restore() requires a fresh placement manager");
+    // Availability first (a down GPU is necessarily unowned in a
+    // consistent snapshot), then ownership grouped per job.
+    for (std::size_t g = 0; g < total; ++g)
+        if (gpu_down[g])
+            set_gpu_available(static_cast<GpuCount>(g), false);
+    for (std::size_t srv = 0; srv < server_down.size(); ++srv)
+        if (server_down[srv])
+            set_server_available(static_cast<int>(srv), false);
+    std::map<JobId, std::vector<GpuCount>> per_job;
+    for (std::size_t g = 0; g < total; ++g)
+        if (owner[g] != kInvalidJob)
+            per_job[owner[g]].push_back(static_cast<GpuCount>(g));
+    for (auto &[job, gpus] : per_job)
+        assign(job, std::move(gpus));
+    validate();
+}
+
 std::optional<std::vector<GpuCount>>
 PlacementManager::try_direct(GpuCount size, PlacementStrategy strategy) const
 {

@@ -119,6 +119,17 @@ class PlacementManager
     /** Free all GPUs of a placed job. */
     void release(JobId job);
 
+    /**
+     * Crash recovery: rebuild the full placement on a fresh manager
+     * from a snapshot's per-GPU owner and availability arrays. Must be
+     * called before any other mutation; validates the result. Owners
+     * are grouped into per-job sorted GPU lists, so the rebuilt state
+     * is byte-identical to the one that was snapshotted.
+     */
+    void restore(const std::vector<JobId> &owner,
+                 const std::vector<bool> &gpu_down,
+                 const std::vector<bool> &server_down);
+
     /** Internal consistency check (tests call this after mutations). */
     void validate() const;
 

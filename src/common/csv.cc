@@ -2,7 +2,7 @@
 
 #include <cerrno>
 #include <cstdlib>
-#include <fstream>
+#include <fstream>  // ef-lint: allow(file-io: plain CSV exchange files, not durable state)
 #include <sstream>
 
 #include "common/check.h"
@@ -129,6 +129,7 @@ parse_csv(const std::string &text)
 CsvTable
 load_csv(const std::string &path)
 {
+    // ef-lint: allow(file-io: plain CSV exchange files, not durable state)
     std::ifstream in(path);
     EF_FATAL_IF(!in, "cannot open CSV file: " << path);
     std::ostringstream buffer;
@@ -159,6 +160,7 @@ void
 save_csv(const std::string &path, const std::vector<std::string> &header,
          const std::vector<std::vector<std::string>> &rows)
 {
+    // ef-lint: allow(file-io: plain CSV exchange files, not durable state)
     std::ofstream out(path);
     EF_FATAL_IF(!out, "cannot write CSV file: " << path);
     out << to_csv(header, rows);

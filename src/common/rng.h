@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
@@ -67,6 +68,21 @@ class Rng
      * @pre at least one weight is positive.
      */
     std::size_t weighted_index(const std::vector<double> &weights);
+
+    /**
+     * Serialize the engine position for crash recovery. The encoding is
+     * the standard-library textual form of mt19937_64, which round-trips
+     * the exact generator state (bit-identical future draws).
+     */
+    std::string engine_state() const;
+
+    /**
+     * Restore a stream captured by engine_state()/draws()/forks().
+     * @pre seed matches the seed this stream was constructed with, and
+     *      state is a well-formed engine_state() string.
+     */
+    void restore(const std::string &state, std::uint64_t draws,
+                 std::uint64_t forks);
 
     /** Shuffle a vector in place. */
     template <typename T>

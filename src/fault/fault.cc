@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
+#include <fstream>  // ef-lint: allow(file-io: read-only script input, not durable state)
 #include <sstream>
 
 #include "common/check.h"
@@ -32,6 +32,7 @@ fault_type_name(FaultType type)
       case FaultType::kRpcDrop: return "rpc-drop";
       case FaultType::kCkptFail: return "ckpt-fail";
       case FaultType::kArrivalStorm: return "arrival-storm";
+      case FaultType::kSchedCrash: return "sched-crash";
     }
     return "?";
 }
@@ -51,6 +52,8 @@ fault_type_from_name(const std::string &name, const std::string &context)
         return FaultType::kCkptFail;
     if (name == "arrival-storm")
         return FaultType::kArrivalStorm;
+    if (name == "sched-crash")
+        return FaultType::kSchedCrash;
     EF_FATAL_IF(true, context << ": unknown fault type '" << name << "'");
     return FaultType::kServerCrash;
 }
@@ -61,7 +64,7 @@ FaultConfig::any() const
     return server_mtbf_s > 0.0 || gpu_mtbf_s > 0.0 ||
            rpc_drop_prob > 0.0 || rpc_delay_prob > 0.0 ||
            straggler_prob > 0.0 || ckpt_failure_prob > 0.0 ||
-           !script.empty();
+           sched_crash_prob > 0.0 || !script.empty();
 }
 
 FaultInjector::FaultInjector(FaultConfig config)
@@ -74,7 +77,8 @@ FaultInjector::FaultInjector(FaultConfig config)
       gpu_rng_(class_seed(config_.seed, 1)),
       rpc_rng_(class_seed(config_.seed, 2)),
       straggler_rng_(class_seed(config_.seed, 3)),
-      ckpt_rng_(class_seed(config_.seed, 4))
+      ckpt_rng_(class_seed(config_.seed, 4)),
+      sched_rng_(class_seed(config_.seed, 5))
 {
     EF_FATAL_IF(config_.rpc_max_retries < 0,
                 "rpc_max_retries must be non-negative");
@@ -98,6 +102,9 @@ FaultInjector::FaultInjector(FaultConfig config)
           case FaultType::kArrivalStorm:
             storms_.push_back(ev);
             break;
+          case FaultType::kSchedCrash:
+            armed_sched_.push_back(ev);
+            break;
         }
     }
     auto by_time = [](const FaultEvent &a, const FaultEvent &b) {
@@ -107,6 +114,7 @@ FaultInjector::FaultInjector(FaultConfig config)
     std::stable_sort(armed_rpc_.begin(), armed_rpc_.end(), by_time);
     std::stable_sort(armed_ckpt_.begin(), armed_ckpt_.end(), by_time);
     std::stable_sort(storms_.begin(), storms_.end(), by_time);
+    std::stable_sort(armed_sched_.begin(), armed_sched_.end(), by_time);
 }
 
 double
@@ -238,6 +246,49 @@ FaultInjector::take_scripted_rpc_drops(JobId job, Time now)
     return forced;
 }
 
+bool
+FaultInjector::sched_crash_fires()
+{
+    if (config_.sched_crash_prob <= 0.0)
+        return false;
+    bool fires = sched_rng_.flip(config_.sched_crash_prob);
+    if (fires)
+        obs::count("fault.sched_crashes");
+    return fires;
+}
+
+FaultInjector::State
+FaultInjector::capture_state() const
+{
+    State state;
+    for (const Rng *rng : {&server_rng_, &gpu_rng_, &rpc_rng_,
+                           &straggler_rng_, &ckpt_rng_, &sched_rng_}) {
+        State::Stream stream;
+        stream.engine = rng->engine_state();
+        stream.draws = rng->draws();
+        stream.forks = rng->forks();
+        state.streams.push_back(std::move(stream));
+    }
+    state.armed_rpc = armed_rpc_;
+    state.armed_ckpt = armed_ckpt_;
+    return state;
+}
+
+void
+FaultInjector::restore_state(const State &state)
+{
+    Rng *rngs[] = {&server_rng_, &gpu_rng_, &rpc_rng_, &straggler_rng_,
+                   &ckpt_rng_, &sched_rng_};
+    EF_CHECK_MSG(state.streams.size() == 6,
+                 "fault snapshot has " << state.streams.size()
+                                       << " streams, expected 6");
+    for (std::size_t i = 0; i < 6; ++i)
+        rngs[i]->restore(state.streams[i].engine, state.streams[i].draws,
+                         state.streams[i].forks);
+    armed_rpc_ = state.armed_rpc;
+    armed_ckpt_ = state.armed_ckpt;
+}
+
 std::uint64_t
 FaultInjector::state_fingerprint() const
 {
@@ -302,6 +353,7 @@ parse_fault_script(const std::string &text)
 std::vector<FaultEvent>
 load_fault_script(const std::string &path)
 {
+    // ef-lint: allow(file-io: read-only script input, not durable state)
     std::ifstream in(path);
     EF_FATAL_IF(!in, "cannot open fault script: " << path);
     std::ostringstream buffer;

@@ -39,6 +39,9 @@ enum class FaultType {
     kCkptFail,     ///< a checkpoint write fails (previous one survives)
     kArrivalStorm, ///< submission rate multiplied for a window (service
                    ///< mode overload; magnitude = rate multiplier)
+    kSchedCrash,   ///< the scheduler process itself dies at a round
+                   ///< boundary (crash-recovery testing; target = round
+                   ///< index, -1 = first commit at/after `time`)
 };
 
 std::string fault_type_name(FaultType type);
@@ -52,9 +55,10 @@ struct FaultEvent
     Time time = 0.0;
     FaultType type = FaultType::kServerCrash;
     /**
-     * Server index (kServerCrash), GPU id (kGpuFault), or job id
-     * (kStraggler / kRpcDrop / kCkptFail; -1 = first matching job).
-     * Ignored by kArrivalStorm (conventionally -1).
+     * Server index (kServerCrash), GPU id (kGpuFault), job id
+     * (kStraggler / kRpcDrop / kCkptFail; -1 = first matching job), or
+     * round-commit ordinal (kSchedCrash; -1 = first commit at/after
+     * `time`). Ignored by kArrivalStorm (conventionally -1).
      */
     std::int64_t target = -1;
     /** Repair / straggle / storm window; 0 = use the class default. */
@@ -99,6 +103,16 @@ struct FaultConfig
 
     // --- checkpoint-write failures ---
     double ckpt_failure_prob = 0.0;  ///< per-checkpoint probability
+
+    // --- scheduler (control-plane) crashes ---
+    /**
+     * Per-round-commit probability that the scheduler process dies at
+     * the commit point (crash-recovery soak testing). Draws from its
+     * own stream that is deliberately NOT part of state_fingerprint():
+     * a crash+recover run must hash identically to an uninterrupted
+     * one, so crash arrivals may never perturb hashed state.
+     */
+    double sched_crash_prob = 0.0;
 
     /** Scripted faults, applied in addition to the rates. */
     std::vector<FaultEvent> script;
@@ -191,6 +205,28 @@ class FaultInjector
      */
     int take_scripted_rpc_drops(JobId job, Time now);
 
+    // --- scheduler crashes ----------------------------------------------
+    bool sched_crashes_enabled() const
+    {
+        return config_.sched_crash_prob > 0.0 || !armed_sched_.empty();
+    }
+    /**
+     * Does the scheduler die at this round commit? Rate-based only;
+     * scripted crashes are consumed by the simulator through
+     * sched_crash_events() and its journaled cursor. No draw when the
+     * rate is 0.
+     */
+    bool sched_crash_fires();
+    /**
+     * Scripted scheduler crashes, time-sorted. The caller owns the
+     * consumption cursor (it must survive recovery, so it lives in the
+     * round-commit journal records, not here).
+     */
+    const std::vector<FaultEvent> &sched_crash_events() const
+    {
+        return armed_sched_;
+    }
+
     /**
      * Scripted arrival storms, time-sorted. A storm multiplies the
      * submission rate by its magnitude (default 2) over
@@ -217,6 +253,29 @@ class FaultInjector
      */
     std::uint64_t state_fingerprint() const;
 
+    /**
+     * Mutable injector state for crash-recovery snapshots: the five
+     * hashed class streams (in fingerprint order) plus the sched-crash
+     * stream, and the consumed armed-event backlogs. queueable_ and
+     * storms_ are immutable after construction and rebuild from the
+     * config, so they are not captured.
+     */
+    struct State
+    {
+        struct Stream
+        {
+            std::string engine;
+            std::uint64_t draws = 0;
+            std::uint64_t forks = 0;
+        };
+        std::vector<Stream> streams;
+        std::vector<FaultEvent> armed_rpc;
+        std::vector<FaultEvent> armed_ckpt;
+    };
+    State capture_state() const;
+    /** Restore a capture_state() snapshot taken with the same config. */
+    void restore_state(const State &state);
+
   private:
     FaultConfig config_;
     Rng server_rng_;
@@ -224,10 +283,13 @@ class FaultInjector
     Rng rpc_rng_;
     Rng straggler_rng_;
     Rng ckpt_rng_;
+    /** Meta stream: excluded from state_fingerprint() by design. */
+    Rng sched_rng_;
     std::vector<FaultEvent> queueable_;
     std::vector<FaultEvent> armed_rpc_;
     std::vector<FaultEvent> armed_ckpt_;
     std::vector<FaultEvent> storms_;
+    std::vector<FaultEvent> armed_sched_;
 };
 
 /**

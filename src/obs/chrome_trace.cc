@@ -64,6 +64,7 @@ class Exporter
     std::map<std::int64_t, std::int64_t> shard_cursor_;
     std::int64_t end_us_ = 0;
     std::int64_t replan_id_ = 0;
+    std::int64_t recovery_id_ = 0;
 };
 
 void
@@ -331,6 +332,37 @@ Exporter::render(std::uint64_t dropped)
             w_.end_object();
             break;
           }
+          case EventKind::kRecoveryBegin:
+            // Async span on the scheduler's replan row: recovery is a
+            // control-plane phase, visually aligned with the replans
+            // it re-executes.
+            w_.begin_object()
+                .kv("name", "recovery")
+                .kv("cat", "recovery")
+                .kv("ph", "b")
+                .kv("id", recovery_id_)
+                .kv("pid", kSchedPid)
+                .kv("tid", std::int64_t{0})
+                .kv("ts", ts);
+            args()
+                .kv("journal_records", event.a)
+                .kv("replay_rounds", event.b)
+                .end_object();
+            w_.end_object();
+            break;
+          case EventKind::kRecoveryEnd:
+            w_.begin_object()
+                .kv("name", "recovery")
+                .kv("cat", "recovery")
+                .kv("ph", "e")
+                .kv("id", recovery_id_)
+                .kv("pid", kSchedPid)
+                .kv("tid", std::int64_t{0})
+                .kv("ts", ts);
+            args().kv("replayed", event.a).end_object();
+            w_.end_object();
+            ++recovery_id_;
+            break;
           case EventKind::kServerDown:
           case EventKind::kServerUp:
           case EventKind::kGpuDown:

@@ -80,6 +80,11 @@ enum class EventKind {
                       ///< a = shard index, b = deterministic cost
                       ///< units spent in the shard, x = the round's
                       ///< max/mean shard-cost imbalance ratio
+
+    // --- crash recovery (DESIGN.md §12) ----------------------------------
+    kRecoveryBegin,   ///< snapshot loaded; a = journal records read,
+                      ///< b = round commits to replay
+    kRecoveryEnd,     ///< recovery verified; a = rounds replayed
 };
 
 /** Stable lowercase name (Chrome-trace event names, tests, dumps). */

@@ -40,6 +40,8 @@ event_kind_name(EventKind kind)
       case EventKind::kServeRound: return "serve_round";
       case EventKind::kServeTimeout: return "serve_timeout";
       case EventKind::kShardPlan: return "shard_plan";
+      case EventKind::kRecoveryBegin: return "recovery_begin";
+      case EventKind::kRecoveryEnd: return "recovery_end";
     }
     return "?";
 }

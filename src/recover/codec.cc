@@ -1,0 +1,45 @@
+#include "recover/codec.h"
+
+#include <sstream>
+
+namespace ef::recover {
+
+const char *
+error_code_name(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::kOk:
+        return "ok";
+    case ErrorCode::kIoError:
+        return "io-error";
+    case ErrorCode::kBadMagic:
+        return "bad-magic";
+    case ErrorCode::kBadVersion:
+        return "bad-version";
+    case ErrorCode::kChecksumMismatch:
+        return "checksum-mismatch";
+    case ErrorCode::kTruncated:
+        return "truncated";
+    case ErrorCode::kBadRecord:
+        return "bad-record";
+    case ErrorCode::kStateMismatch:
+        return "state-mismatch";
+    }
+    return "unknown";
+}
+
+std::string
+Status::to_string() const
+{
+    std::ostringstream out;
+    out << error_code_name(code) << ": " << message;
+    if (record >= 0)
+        out << " (record " << record;
+    if (offset >= 0)
+        out << (record >= 0 ? ", " : " (") << "byte " << offset;
+    if (record >= 0 || offset >= 0)
+        out << ")";
+    return out.str();
+}
+
+}  // namespace ef::recover

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Small POSIX file helpers shared by the snapshot and journal code.
+ *
+ * All raw file I/O in the library tree is confined to src/recover/ (and
+ * the trace/CSV loaders) — enforced by the ef-lint `file-io` rule — so
+ * these helpers are deliberately the only place that talks to the OS.
+ */
+#ifndef EF_RECOVER_FILE_UTIL_H_
+#define EF_RECOVER_FILE_UTIL_H_
+
+#include <string>
+
+#include "recover/codec.h"
+
+namespace ef::recover {
+
+/** Create `dir` (and parents) if missing. */
+Status ensure_dir(const std::string &dir);
+
+/** Read the whole file into `*out` (binary, no size limit checks). */
+Status read_whole_file(const std::string &path, std::string *out);
+
+/** fsync the directory containing `path` so renames/creates persist. */
+Status fsync_parent_dir(const std::string &path);
+
+/** True when a file exists at `path`. */
+bool file_exists(const std::string &path);
+
+}  // namespace ef::recover
+
+#endif  // EF_RECOVER_FILE_UTIL_H_

@@ -1,0 +1,244 @@
+#include "recover/journal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "common/hash.h"
+#include "recover/file_util.h"
+
+namespace ef::recover {
+
+namespace {
+
+/** Sanity cap on a single record: corrupt lengths fail fast. */
+constexpr std::uint32_t kMaxRecordBytes = 1u << 30;
+
+std::uint64_t
+payload_checksum(const std::string &payload)
+{
+    Fnv1a sum;
+    sum.bytes(payload.data(), payload.size());
+    return sum.digest();
+}
+
+}  // namespace
+
+const char *
+record_kind_name(RecordKind kind)
+{
+    switch (kind) {
+    case RecordKind::kRoundCommit:
+        return "round-commit";
+    case RecordKind::kSubmission:
+        return "submission";
+    case RecordKind::kVerdict:
+        return "verdict";
+    case RecordKind::kPlanCommit:
+        return "plan-commit";
+    case RecordKind::kFault:
+        return "fault";
+    case RecordKind::kAdvance:
+        return "advance";
+    }
+    return "unknown";
+}
+
+Status
+read_journal(const std::string &path, JournalContents *out)
+{
+    out->records.clear();
+    out->tail = Status{};
+    out->valid_bytes = 0;
+
+    std::string bytes;
+    Status st = read_whole_file(path, &bytes);
+    if (!st.ok())
+        return st;
+
+    Decoder dec(bytes);
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    if (!dec.u32(&magic) || !dec.u32(&version))
+        return Status::error(ErrorCode::kTruncated,
+                             "journal '" + path +
+                                 "' is shorter than its header",
+                             -1, static_cast<std::int64_t>(bytes.size()));
+    if (magic != kJournalMagic)
+        return Status::error(ErrorCode::kBadMagic,
+                             "'" + path + "' is not a journal file", -1,
+                             0);
+    if (version != kJournalVersion)
+        return Status::error(ErrorCode::kBadVersion,
+                             "journal '" + path + "' has version " +
+                                 std::to_string(version) + ", expected " +
+                                 std::to_string(kJournalVersion),
+                             -1, 4);
+    out->valid_bytes = 8;
+
+    std::int64_t index = 0;
+    while (!dec.empty()) {
+        std::uint64_t offset = bytes.size() - dec.remaining();
+        std::uint32_t len = 0;
+        std::uint64_t checksum = 0;
+        if (!dec.u32(&len) || !dec.u64(&checksum) ||
+            dec.remaining() < len) {
+            out->tail = Status::error(
+                ErrorCode::kTruncated,
+                "journal '" + path + "' ends mid-record; " +
+                    std::to_string(out->records.size()) +
+                    " committed record(s) retained",
+                index, static_cast<std::int64_t>(offset));
+            return Status{};
+        }
+        if (len == 0 || len > kMaxRecordBytes) {
+            out->tail = Status::error(
+                ErrorCode::kBadRecord,
+                "journal '" + path + "' record has impossible length " +
+                    std::to_string(len),
+                index, static_cast<std::int64_t>(offset));
+            return Status{};
+        }
+        std::string payload =
+            bytes.substr(bytes.size() - dec.remaining(), len);
+        if (payload_checksum(payload) != checksum) {
+            out->tail = Status::error(
+                ErrorCode::kChecksumMismatch,
+                "journal '" + path + "' record checksum mismatch; " +
+                    std::to_string(out->records.size()) +
+                    " committed record(s) retained",
+                index, static_cast<std::int64_t>(offset));
+            return Status{};
+        }
+        // Advance the decoder past the payload we just took.
+        {
+            std::uint8_t scratch = 0;
+            for (std::uint32_t i = 0; i < len; ++i)
+                dec.u8(&scratch);
+        }
+        JournalRecord rec;
+        std::uint8_t kind_byte = static_cast<std::uint8_t>(payload[0]);
+        rec.kind = static_cast<RecordKind>(kind_byte);
+        if (record_kind_name(rec.kind) == std::string("unknown")) {
+            out->tail = Status::error(
+                ErrorCode::kBadRecord,
+                "journal '" + path + "' record has unknown kind " +
+                    std::to_string(static_cast<int>(kind_byte)),
+                index, static_cast<std::int64_t>(offset));
+            return Status{};
+        }
+        rec.body = payload.substr(1);
+        out->records.push_back(std::move(rec));
+        out->valid_bytes = bytes.size() - dec.remaining();
+        ++index;
+    }
+    return Status{};
+}
+
+JournalWriter::~JournalWriter()
+{
+    close();
+}
+
+void
+JournalWriter::close()
+{
+    if (file_ != nullptr) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+Status
+JournalWriter::open(const std::string &path, bool truncate,
+                    std::uint64_t existing_bytes)
+{
+    close();
+    path_ = path;
+    records_ = 0;
+    if (truncate)
+        return truncate_all();
+
+    file_ = std::fopen(path.c_str(), "r+b");
+    if (file_ == nullptr)
+        return Status::error(ErrorCode::kIoError,
+                             "cannot open journal '" + path +
+                                 "': " + std::strerror(errno));
+    // Chop any torn tail off before appending: new records must start
+    // at the last valid boundary the reader established.
+    if (::ftruncate(fileno(file_),
+                    static_cast<off_t>(existing_bytes)) != 0 ||
+        std::fseek(file_, 0, SEEK_END) != 0) {
+        Status st = Status::error(ErrorCode::kIoError,
+                                  "cannot truncate journal '" + path +
+                                      "': " + std::strerror(errno));
+        close();
+        return st;
+    }
+    return Status{};
+}
+
+Status
+JournalWriter::truncate_all()
+{
+    if (file_ != nullptr) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+    file_ = std::fopen(path_.c_str(), "wb");
+    if (file_ == nullptr)
+        return Status::error(ErrorCode::kIoError,
+                             "cannot create journal '" + path_ +
+                                 "': " + std::strerror(errno));
+    records_ = 0;
+    Encoder header;
+    header.u32(kJournalMagic);
+    header.u32(kJournalVersion);
+    if (std::fwrite(header.data().data(), 1, header.size(), file_) !=
+        header.size())
+        return Status::error(ErrorCode::kIoError,
+                             "short write to journal '" + path_ +
+                                 "': " + std::strerror(errno));
+    return commit();
+}
+
+Status
+JournalWriter::append(RecordKind kind, const std::string &body)
+{
+    if (file_ == nullptr)
+        return Status::error(ErrorCode::kIoError,
+                             "journal '" + path_ + "' is not open");
+    std::string payload;
+    payload.reserve(body.size() + 1);
+    payload.push_back(static_cast<char>(kind));
+    payload.append(body);
+
+    Encoder frame;
+    frame.u32(static_cast<std::uint32_t>(payload.size()));
+    frame.u64(payload_checksum(payload));
+    if (std::fwrite(frame.data().data(), 1, frame.size(), file_) !=
+            frame.size() ||
+        std::fwrite(payload.data(), 1, payload.size(), file_) !=
+            payload.size())
+        return Status::error(ErrorCode::kIoError,
+                             "short write to journal '" + path_ +
+                                 "': " + std::strerror(errno));
+    ++records_;
+    return Status{};
+}
+
+Status
+JournalWriter::commit()
+{
+    if (file_ == nullptr)
+        return Status::error(ErrorCode::kIoError,
+                             "journal '" + path_ + "' is not open");
+    if (std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0)
+        return Status::error(ErrorCode::kIoError,
+                             "cannot sync journal '" + path_ +
+                                 "': " + std::strerror(errno));
+    return Status{};
+}
+
+}  // namespace ef::recover

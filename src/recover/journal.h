@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Write-ahead journal: checksummed record framing over an append-only
+ * file, with explicit fsync'd commit points.
+ *
+ * File layout:
+ *
+ *     [u32 magic "EFJL"] [u32 version]
+ *     repeated: [u32 payload_len] [u64 fnv1a(payload)] [payload]
+ *
+ * where payload[0] is a RecordKind byte and the rest is a
+ * recover::Encoder body owned by the record's producer. Records become
+ * durable only at commit() (fflush + fsync); a crash between appends
+ * leaves a torn tail that the reader detects by checksum/length and
+ * discards, returning every record up to the last valid boundary plus
+ * a typed tail status. Structural corruption at the head of the file
+ * (bad magic, unsupported version) is a hard typed error instead —
+ * there is no valid prefix to recover.
+ */
+#ifndef EF_RECOVER_JOURNAL_H_
+#define EF_RECOVER_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>  // ef-lint: allow(file-io: recover/ owns all persistence)
+#include <string>
+#include <vector>
+
+#include "recover/codec.h"
+
+namespace ef::recover {
+
+/** "EFJL" little-endian: ElasticFlow JournaL. */
+constexpr std::uint32_t kJournalMagic = 0x4c4a4645u;
+constexpr std::uint32_t kJournalVersion = 1;
+
+/**
+ * Record kinds shared by the simulator and the serve-mode front end.
+ * Values are part of the on-disk format; append only.
+ */
+enum class RecordKind : std::uint8_t {
+    /**
+     * Round boundary: the state hash chained at this round plus the
+     * scheduler-crash cursor. Every commit() in steady state happens
+     * right after appending one of these.
+     */
+    kRoundCommit = 1,
+    /** A job submission accepted into the control plane. */
+    kSubmission = 2,
+    /** An admission/shed verdict that was issued to the caller. */
+    kVerdict = 3,
+    /** A committed allocation plan (job → GPU count pairs). */
+    kPlanCommit = 4,
+    /** An injected fault observed by the control plane. */
+    kFault = 5,
+    /** An explicit external clock advance (serve mode only). */
+    kAdvance = 6,
+};
+
+/** Stable lowercase name ("round-commit", ...) for diagnostics. */
+const char *record_kind_name(RecordKind kind);
+
+/** One decoded journal record: kind byte plus opaque body. */
+struct JournalRecord
+{
+    RecordKind kind = RecordKind::kRoundCommit;
+    std::string body;
+};
+
+/** Result of scanning a journal file. */
+struct JournalContents
+{
+    /** Every structurally valid record, in append order. */
+    std::vector<JournalRecord> records;
+    /**
+     * kOk when the file ended exactly on a record boundary; otherwise
+     * a typed description of the torn/corrupt tail that was discarded
+     * (record index and byte offset filled in). Either way `records`
+     * holds everything before the anomaly.
+     */
+    Status tail;
+    /** Byte offset one past the last valid record. */
+    std::uint64_t valid_bytes = 0;
+};
+
+/**
+ * Scan the journal at `path`. Returns non-ok only for unrecoverable
+ * problems (unreadable file, bad magic, unsupported version); torn or
+ * corrupt tails are reported through JournalContents::tail with the
+ * valid prefix intact.
+ */
+Status read_journal(const std::string &path, JournalContents *out);
+
+/** Append-side handle. Not thread-safe; one writer per journal. */
+class JournalWriter
+{
+  public:
+    JournalWriter() = default;
+    ~JournalWriter();
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /**
+     * Open `path` for appending. With `truncate` the file is restarted
+     * with a fresh header; otherwise it must already hold a valid
+     * header and `existing_bytes` says where appending resumes (the
+     * caller got it from read_journal's valid_bytes, so a torn tail is
+     * chopped off before new records land).
+     */
+    Status open(const std::string &path, bool truncate,
+                std::uint64_t existing_bytes = 0);
+
+    /** Buffer one record (kind + body). Durable only after commit(). */
+    Status append(RecordKind kind, const std::string &body);
+
+    /** Commit point: flush + fsync everything appended so far. */
+    Status commit();
+
+    /** Restart the journal empty (after a snapshot subsumed it). */
+    Status truncate_all();
+
+    /** Records appended since open()/truncate_all(). */
+    std::uint64_t records() const { return records_; }
+
+    bool is_open() const { return file_ != nullptr; }
+
+    void close();
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::string path_;
+    std::uint64_t records_ = 0;
+};
+
+}  // namespace ef::recover
+
+#endif  // EF_RECOVER_JOURNAL_H_

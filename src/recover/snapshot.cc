@@ -1,0 +1,107 @@
+#include "recover/snapshot.h"
+
+#include <cerrno>
+#include <cstdio>  // ef-lint: allow(file-io: recover/ owns all persistence)
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/hash.h"
+#include "recover/file_util.h"
+
+namespace ef::recover {
+
+Status
+write_snapshot_file(const std::string &path, const std::string &payload)
+{
+    Encoder header;
+    header.u32(kSnapshotMagic);
+    header.u32(kSnapshotVersion);
+    header.u64(payload.size());
+    Fnv1a sum;
+    sum.bytes(payload.data(), payload.size());
+    header.u64(sum.digest());
+
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return Status::error(ErrorCode::kIoError,
+                             "cannot open '" + tmp +
+                                 "' for writing: " + std::strerror(errno));
+    bool wrote = std::fwrite(header.data().data(), 1, header.size(), f) ==
+                     header.size() &&
+                 (payload.empty() ||
+                  std::fwrite(payload.data(), 1, payload.size(), f) ==
+                      payload.size());
+    wrote = wrote && std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+    if (std::fclose(f) != 0)
+        wrote = false;
+    if (!wrote) {
+        std::remove(tmp.c_str());
+        return Status::error(ErrorCode::kIoError,
+                             "short write to '" + tmp +
+                                 "': " + std::strerror(errno));
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return Status::error(ErrorCode::kIoError,
+                             "cannot rename '" + tmp + "' to '" + path +
+                                 "': " + std::strerror(errno));
+    }
+    // Make the rename itself durable: fsync the containing directory.
+    return fsync_parent_dir(path);
+}
+
+Status
+read_snapshot_file(const std::string &path, std::string *payload)
+{
+    payload->clear();
+    std::string bytes;
+    Status st = read_whole_file(path, &bytes);
+    if (!st.ok())
+        return st;
+
+    Decoder dec(bytes);
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    std::uint64_t len = 0;
+    std::uint64_t checksum = 0;
+    if (!dec.u32(&magic) || !dec.u32(&version) || !dec.u64(&len) ||
+        !dec.u64(&checksum))
+        return Status::error(ErrorCode::kTruncated,
+                             "snapshot '" + path +
+                                 "' is shorter than its header",
+                             -1, static_cast<std::int64_t>(bytes.size()));
+    if (magic != kSnapshotMagic)
+        return Status::error(ErrorCode::kBadMagic,
+                             "'" + path + "' is not a snapshot file", -1,
+                             0);
+    if (version != kSnapshotVersion)
+        return Status::error(ErrorCode::kBadVersion,
+                             "snapshot '" + path + "' has version " +
+                                 std::to_string(version) + ", expected " +
+                                 std::to_string(kSnapshotVersion),
+                             -1, 4);
+    if (len != dec.remaining())
+        return Status::error(
+            ErrorCode::kTruncated,
+            "snapshot '" + path + "' declares " + std::to_string(len) +
+                " payload bytes but has " +
+                std::to_string(dec.remaining()),
+            -1, static_cast<std::int64_t>(bytes.size()));
+
+    // Header is 4+4+8+8 = 24 bytes; the rest is the payload verbatim.
+    std::string body = bytes.substr(24);
+    Fnv1a sum;
+    sum.bytes(body.data(), body.size());
+    if (sum.digest() != checksum)
+        return Status::error(ErrorCode::kChecksumMismatch,
+                             "snapshot '" + path +
+                                 "' payload checksum mismatch",
+                             -1, 24);
+    *payload = std::move(body);
+    return Status{};
+}
+
+}  // namespace ef::recover

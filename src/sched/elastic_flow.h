@@ -126,6 +126,16 @@ class ElasticFlowScheduler : public Scheduler
      */
     std::vector<JobId> take_demotions() override;
 
+    /**
+     * Crash recovery (DESIGN.md §12): the only state carried across
+     * rounds that future decisions depend on is the replan-failure
+     * count and the exactly-once demotion bookkeeping; the planning
+     * round/pool caches are rebuilt from the view without affecting
+     * decisions.
+     */
+    void encode_recovery_state(std::string *out) const override;
+    bool decode_recovery_state(const std::string &blob) override;
+
     void set_planner_concurrency(int shards, int threads) override
     {
         config_.planner_shards = shards;

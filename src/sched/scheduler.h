@@ -138,6 +138,29 @@ class Scheduler
         (void)threads;
     }
 
+    /**
+     * Serialize the policy state that must survive a crash (DESIGN.md
+     * §12): anything carried across rounds that influences future
+     * decisions and is not rebuilt from the ClusterView. Stateless
+     * policies (the default) encode nothing.
+     */
+    virtual void
+    encode_recovery_state(std::string *out) const
+    {
+        out->clear();
+    }
+
+    /**
+     * Restore state captured by encode_recovery_state(). Returns false
+     * when the blob is incompatible with this policy (the recovery
+     * driver surfaces that as a typed state-mismatch error).
+     */
+    virtual bool
+    decode_recovery_state(const std::string &blob)
+    {
+        return blob.empty();
+    }
+
   protected:
     const ClusterView *view_ = nullptr;
 };

@@ -70,6 +70,18 @@ class ReplanGovernor
      */
     std::uint64_t fingerprint() const;
 
+    /** Raw bucket state for crash-recovery snapshots. */
+    double tokens_raw() const { return tokens_; }
+    Time last_refill() const { return last_refill_; }
+
+    /** Restore a bucket captured by tokens_raw()/last_refill(). */
+    void
+    restore(double tokens, Time last_refill)
+    {
+        tokens_ = tokens;
+        last_refill_ = last_refill;
+    }
+
   private:
     /** Refill up to @p now (monotonic; past times are ignored). */
     void refill(Time now);

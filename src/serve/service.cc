@@ -7,12 +7,15 @@
 #include "cluster/shard.h"
 #include "common/check.h"
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/math_util.h"
 #include "core/allocator.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "recover/codec.h"
 #include "sched/planning_util.h"
+#include "serve/state_codec.h"
 
 namespace ef {
 namespace serve {
@@ -87,7 +90,16 @@ Service::submit(Submission submission)
                 "service submissions must arrive in time order (got "
                     << submission.spec.submit_time << " at clock "
                     << now_ << ")");
-    advance_to(submission.spec.submit_time);
+    if (durable_ != nullptr) {
+        // The submission is durable before any of its effects: a crash
+        // after this point replays it; a crash before it never saw it.
+        recover::Encoder body;
+        encode_job_spec(&body, submission.spec);
+        encode_curve(&body, submission.curve);
+        journal_append(recover::RecordKind::kSubmission, body,
+                       /*sync=*/true);
+    }
+    advance_internal(submission.spec.submit_time);
 
     if (faults_ != nullptr) {
         const int forced = faults_->take_scripted_rpc_drops(
@@ -98,6 +110,7 @@ Service::submit(Submission submission)
             // moves on (the drop is part of the deterministic record).
             ++stats_.rpc_dropped;
             obs::count("serve.rpc_dropped");
+            maybe_snapshot();
             return;
         }
     }
@@ -106,6 +119,7 @@ Service::submit(Submission submission)
         // Synchronous backpressure: O(1), no planning work, decided at
         // submission time.
         decide(submission, now_, ShedVerdict::kShedQueueFull);
+        maybe_snapshot();
         return;
     }
     pending_.push_back(std::move(submission));
@@ -115,10 +129,25 @@ Service::submit(Submission submission)
                    static_cast<double>(pending_.size()));
     if (pending_.size() == 1)
         arm();
+    maybe_snapshot();
 }
 
 void
 Service::advance_to(Time t)
+{
+    if (durable_ != nullptr) {
+        recover::Encoder body;
+        body.f64(t);
+        body.u8(0);  // external advance (1 = finish)
+        journal_append(recover::RecordKind::kAdvance, body,
+                       /*sync=*/false);
+    }
+    advance_internal(t);
+    maybe_snapshot();
+}
+
+void
+Service::advance_internal(Time t)
 {
     EF_FATAL_IF(t < now_, "service clock cannot go backwards (to "
                               << t << " from " << now_ << ")");
@@ -132,6 +161,13 @@ Service::advance_to(Time t)
 void
 Service::finish()
 {
+    if (durable_ != nullptr) {
+        recover::Encoder body;
+        body.f64(now_);
+        body.u8(1);
+        journal_append(recover::RecordKind::kAdvance, body,
+                       /*sync=*/false);
+    }
     // At most two rounds: the first may be abandoned by the watchdog,
     // the escalated retry always commits and drains the queue.
     if (!pending_.empty())
@@ -139,6 +175,7 @@ Service::finish()
     if (!pending_.empty())
         run_round(now_);
     EF_CHECK(pending_.empty());
+    maybe_snapshot();
 }
 
 void
@@ -161,6 +198,38 @@ void
 Service::decide(const Submission &submission, Time at,
                 ShedVerdict verdict)
 {
+    bool deliver = true;
+    if (replaying()) {
+        if (replay_verdict_next_ < replay_verdicts_.size()) {
+            // This verdict reached the journal before the crash, so
+            // the caller already observed it: verify the replay
+            // reproduced it and suppress the callback (exactly-once).
+            const ReplayVerdict &want =
+                replay_verdicts_[replay_verdict_next_];
+            EF_FATAL_IF(
+                want.id != submission.spec.id ||
+                    want.verdict != static_cast<std::uint8_t>(verdict),
+                "recovery divergence: journaled verdict "
+                    << replay_verdict_next_ << " was (job " << want.id
+                    << ", " << static_cast<int>(want.verdict)
+                    << ") but the replay produced (job "
+                    << submission.spec.id << ", "
+                    << static_cast<int>(verdict) << ")");
+            ++replay_verdict_next_;
+            deliver = false;
+        }
+        // Otherwise the crash hit between the submission record and
+        // its verdict: the caller never saw one, deliver it now.
+    } else if (durable_ != nullptr) {
+        // Verdict is durable before the caller can observe it, so a
+        // post-crash replay knows not to re-issue it.
+        recover::Encoder body;
+        body.i64(submission.spec.id);
+        body.u8(static_cast<std::uint8_t>(verdict));
+        body.f64(at);
+        journal_append(recover::RecordKind::kVerdict, body,
+                       /*sync=*/true);
+    }
     ++stats_.submitted;
     switch (verdict) {
       case ShedVerdict::kAdmitted:
@@ -191,7 +260,7 @@ Service::decide(const Submission &submission, Time at,
         event.b = static_cast<std::int64_t>(pending_.size());
         obs::emit(event);
     }
-    if (on_decision_) {
+    if (deliver && on_decision_) {
         on_decision_(Decision{submission.spec.id,
                               submission.spec.submit_time, at, verdict});
     }
@@ -432,7 +501,54 @@ Service::run_round(Time t)
         obs::emit(event);
     }
     fold_round_hash(t, batch, !token);
+    if (replaying() && replay_round_next_ < replay_rounds_.size()) {
+        // Rounds beyond the journaled commits are new work (their
+        // commit record was lost to the torn tail); only journaled
+        // rounds are verified.
+        const auto &want = replay_rounds_[replay_round_next_];
+        EF_FATAL_IF(want.first != stats_.rounds ||
+                        want.second != hash_,
+                    "recovery divergence at service round "
+                        << stats_.rounds << ": journaled (round "
+                        << want.first << ", hash " << std::hex
+                        << want.second << ") vs replayed hash "
+                        << hash_ << std::dec);
+        ++replay_round_next_;
+        obs::count("recover.replay_rounds");
+    } else if (durable_ != nullptr) {
+        recover::Encoder body;
+        body.u64(stats_.rounds);
+        body.f64(t);
+        body.u64(hash_);
+        journal_append(recover::RecordKind::kRoundCommit, body,
+                       /*sync=*/true);
+        // The cadence snapshot is deferred to the end of the public
+        // entry point: a round committed mid-submit() would otherwise
+        // truncate away the in-flight submission's journal record
+        // before its effects reach the snapshotted state.
+        if (stats_.rounds - snapshot_round_ >= snapshot_every_)
+            snapshot_pending_ = true;
+    }
     arm();
+}
+
+void
+Service::maybe_snapshot()
+{
+    if (durable_ == nullptr || !snapshot_pending_)
+        return;
+    snapshot_pending_ = false;
+    recover::Encoder enc;
+    encode_state(&enc);
+    recover::Status st = durable_->write_snapshot(enc.data());
+    EF_FATAL_IF(!st.ok(), "durability: service snapshot failed: "
+                              << st.to_string());
+    snapshot_round_ = stats_.rounds;
+    obs::count("recover.snapshots");
+    obs::count("recover.snapshot_bytes",
+               static_cast<std::uint64_t>(enc.size()));
+    obs::gauge_set("recover.snapshot_bytes_last",
+                   static_cast<double>(enc.size()));
 }
 
 void
@@ -471,6 +587,390 @@ Service::fold_round_hash(Time t, std::size_t batch, bool forced)
     if (faults_ != nullptr)
         h.u64(faults_->state_fingerprint());
     hash_ = h.digest();
+}
+
+void
+Service::journal_append(recover::RecordKind kind,
+                        const recover::Encoder &enc, bool sync)
+{
+    recover::Status st = durable_->append(kind, enc.data());
+    EF_FATAL_IF(!st.ok(), "durability: service journal append "
+                          "failed: "
+                              << st.to_string());
+    if (sync) {
+        st = durable_->commit();
+        EF_FATAL_IF(!st.ok(), "durability: service journal commit "
+                              "failed: "
+                                  << st.to_string());
+    }
+    obs::count("recover.journal_records");
+}
+
+std::uint64_t
+Service::config_fingerprint() const
+{
+    // Knobs that change decisions are load-bearing; execution-strategy
+    // knobs (planner_shards/threads) are deliberately excluded so a
+    // journal can be recovered under a different shard setting —
+    // rounds are bit-identical across them by construction.
+    Fnv1a h;
+    h.str("ef.serve.v1");
+    h.i64(static_cast<std::int64_t>(config_.total_gpus));
+    h.f64(config_.slot_seconds);
+    h.i64(config_.max_slots);
+    h.u64(static_cast<std::uint64_t>(config_.direction));
+    h.f64(config_.admission_margin);
+    h.f64(config_.overhead_allowance_s);
+    h.u64(config_.queue_watermark);
+    h.f64(config_.governor.rounds_per_second);
+    h.f64(config_.governor.burst);
+    h.f64(config_.governor.starvation_horizon_s);
+    h.u64(config_.degrade_infeasible ? 1 : 0);
+    h.u64(config_.max_active_best_effort);
+    h.u64(config_.watchdog_budget);
+    return h.digest();
+}
+
+void
+Service::encode_state(recover::Encoder *enc) const
+{
+    enc->u64(config_fingerprint());
+    enc->f64(now_);
+    enc->f64(last_round_);
+    enc->f64(next_due_);
+    enc->boolean(escalated_);
+    enc->i64(replan_failures_);
+    enc->u64(pending_.size());
+    for (const Submission &sub : pending_) {
+        encode_job_spec(enc, sub.spec);
+        encode_curve(enc, sub.curve);
+    }
+    auto put_active = [&](const std::map<JobId, Active> &jobs) {
+        enc->u64(jobs.size());
+        for (const auto &[id, active] : jobs) {
+            enc->i64(id);
+            encode_curve(enc, active.curve);
+            enc->f64(active.remaining_iterations);
+            enc->f64(active.deadline);
+            enc->boolean(active.soft);
+        }
+    };
+    put_active(slo_);
+    put_active(best_effort_);
+    enc->u64(gpus_now_.size());
+    for (const auto &[id, gpus] : gpus_now_) {
+        enc->i64(id);
+        enc->i64(static_cast<std::int64_t>(gpus));
+    }
+    enc->u64(stats_.submitted);
+    enc->u64(stats_.rpc_dropped);
+    enc->u64(stats_.admitted);
+    enc->u64(stats_.admitted_best_effort);
+    enc->u64(stats_.degraded);
+    enc->u64(stats_.shed_queue_full);
+    enc->u64(stats_.shed_infeasible);
+    enc->u64(stats_.rounds);
+    enc->u64(stats_.rounds_forced);
+    enc->u64(stats_.replan_timeouts);
+    enc->u64(stats_.planning_cost);
+    enc->u64(stats_.finished);
+    enc->u64(stats_.deadline_misses);
+    enc->u64(stats_.demotions);
+    enc->u64(stats_.max_queue_depth);
+    enc->f64(governor_.tokens_raw());
+    enc->f64(governor_.last_refill());
+    enc->boolean(faults_ != nullptr);
+    if (faults_ != nullptr)
+        encode_fault_state(enc, faults_->capture_state());
+    enc->u64(hash_);
+}
+
+recover::Status
+Service::decode_state(recover::Decoder *dec)
+{
+    const recover::Status corrupt = recover::Status::error(
+        recover::ErrorCode::kBadRecord,
+        "service snapshot payload is malformed");
+    std::uint64_t fingerprint = 0;
+    dec->u64(&fingerprint);
+    if (!dec->ok())
+        return corrupt;
+    if (fingerprint != config_fingerprint()) {
+        return recover::Status::error(
+            recover::ErrorCode::kStateMismatch,
+            "snapshot was taken with a different service "
+            "configuration");
+    }
+    dec->f64(&now_);
+    dec->f64(&last_round_);
+    dec->f64(&next_due_);
+    dec->boolean(&escalated_);
+    std::int64_t replan_failures = 0;
+    dec->i64(&replan_failures);
+    replan_failures_ = static_cast<int>(replan_failures);
+    std::uint64_t n = 0;
+    if (!dec->count(&n, 24))
+        return corrupt;
+    pending_.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Submission sub;
+        if (!decode_job_spec(dec, &sub.spec) ||
+            !decode_curve(dec, &sub.curve))
+            return corrupt;
+        pending_.push_back(std::move(sub));
+    }
+    auto get_active = [&](std::map<JobId, Active> *jobs)
+        -> bool {
+        std::uint64_t count = 0;
+        if (!dec->count(&count, 33))
+            return false;
+        jobs->clear();
+        JobId prev = -1;
+        for (std::uint64_t i = 0; i < count; ++i) {
+            std::int64_t id = 0;
+            Active active;
+            dec->i64(&id);
+            if (!decode_curve(dec, &active.curve))
+                return false;
+            dec->f64(&active.remaining_iterations);
+            dec->f64(&active.deadline);
+            dec->boolean(&active.soft);
+            if (!dec->ok() || id <= prev ||
+                !(active.remaining_iterations >= 0.0))
+                return false;
+            prev = id;
+            jobs->emplace(id, std::move(active));
+        }
+        return true;
+    };
+    if (!get_active(&slo_) || !get_active(&best_effort_))
+        return corrupt;
+    std::uint64_t allocs = 0;
+    if (!dec->count(&allocs, 16))
+        return corrupt;
+    gpus_now_.clear();
+    JobId prev = -1;
+    for (std::uint64_t i = 0; i < allocs; ++i) {
+        std::int64_t id = 0;
+        std::int64_t gpus = 0;
+        dec->i64(&id);
+        dec->i64(&gpus);
+        if (!dec->ok() || id <= prev || gpus < 0)
+            return corrupt;
+        prev = id;
+        gpus_now_[id] = static_cast<GpuCount>(gpus);
+    }
+    dec->u64(&stats_.submitted);
+    dec->u64(&stats_.rpc_dropped);
+    dec->u64(&stats_.admitted);
+    dec->u64(&stats_.admitted_best_effort);
+    dec->u64(&stats_.degraded);
+    dec->u64(&stats_.shed_queue_full);
+    dec->u64(&stats_.shed_infeasible);
+    dec->u64(&stats_.rounds);
+    dec->u64(&stats_.rounds_forced);
+    dec->u64(&stats_.replan_timeouts);
+    dec->u64(&stats_.planning_cost);
+    dec->u64(&stats_.finished);
+    dec->u64(&stats_.deadline_misses);
+    dec->u64(&stats_.demotions);
+    std::uint64_t max_depth = 0;
+    dec->u64(&max_depth);
+    stats_.max_queue_depth = static_cast<std::size_t>(max_depth);
+    double tokens = 0.0;
+    double last_refill = 0.0;
+    dec->f64(&tokens);
+    dec->f64(&last_refill);
+    bool has_faults = false;
+    dec->boolean(&has_faults);
+    if (!dec->ok())
+        return corrupt;
+    if (has_faults != (faults_ != nullptr)) {
+        return recover::Status::error(
+            recover::ErrorCode::kStateMismatch,
+            "snapshot fault-injection mode does not match this "
+            "service");
+    }
+    if (faults_ != nullptr) {
+        FaultInjector::State state;
+        if (!decode_fault_state(dec, &state))
+            return corrupt;
+        faults_->restore_state(state);
+    }
+    dec->u64(&hash_);
+    if (!dec->ok() || !dec->empty())
+        return corrupt;
+    governor_.restore(tokens, last_refill);
+    return recover::Status{};
+}
+
+recover::Status
+Service::replay_tail(const recover::JournalContents &tail)
+{
+    replay_active_ = true;
+    for (std::size_t i = 0; i < tail.records.size(); ++i) {
+        const recover::JournalRecord &rec = tail.records[i];
+        recover::Decoder dec(rec.body);
+        const auto bad = [&](const char *what) {
+            replay_active_ = false;
+            return recover::Status::error(
+                recover::ErrorCode::kBadRecord, what,
+                static_cast<std::int64_t>(i));
+        };
+        switch (rec.kind) {
+          case recover::RecordKind::kSubmission: {
+            Submission sub;
+            if (!decode_job_spec(&dec, &sub.spec) ||
+                !decode_curve(&dec, &sub.curve) || !dec.empty())
+                return bad("malformed service submission record");
+            submit(std::move(sub));
+            break;
+          }
+          case recover::RecordKind::kAdvance: {
+            double t = 0.0;
+            std::uint8_t mode = 0;
+            dec.f64(&t);
+            dec.u8(&mode);
+            if (!dec.ok() || !dec.empty() || mode > 1)
+                return bad("malformed service advance record");
+            if (mode == 1)
+                finish();
+            else
+                advance_internal(t);
+            break;
+          }
+          case recover::RecordKind::kVerdict:
+          case recover::RecordKind::kRoundCommit:
+            break;  // pre-scanned into the replay cursors
+          default:
+            return bad("unknown service journal record kind");
+        }
+    }
+    replay_active_ = false;
+    if (replay_round_next_ < replay_rounds_.size() ||
+        replay_verdict_next_ < replay_verdicts_.size()) {
+        return recover::Status::error(
+            recover::ErrorCode::kStateMismatch,
+            "journal records effects the replay never reproduced");
+    }
+    return recover::Status{};
+}
+
+recover::Status
+Service::bind_durability(const std::string &dir,
+                         std::uint64_t snapshot_every, bool recover)
+{
+    EF_CHECK_MSG(durable_ == nullptr,
+                 "service durability is already bound");
+    EF_FATAL_IF(dir.empty(), "service durability needs a directory");
+    EF_FATAL_IF(snapshot_every < 1,
+                "service durability needs snapshot_every >= 1");
+    snapshot_every_ = snapshot_every;
+    std::uint64_t journal_valid_bytes = 0;
+    if (recover) {
+        std::string snapshot;
+        recover::JournalContents tail;
+        recover::Status st =
+            recover::DurableLog::load(dir, &snapshot, &tail);
+        if (!st.ok())
+            return st;
+        journal_valid_bytes = tail.valid_bytes;
+        if (!tail.tail.ok()) {
+            EF_INFO("service recovery: discarding torn journal tail ("
+                    << tail.tail.to_string() << ")");
+        }
+        recover::Decoder dec(snapshot);
+        st = decode_state(&dec);
+        if (!st.ok())
+            return st;
+        // Pre-scan the tail: verdicts and round commits become the
+        // verification cursors the replayed inputs must reproduce.
+        replay_verdicts_.clear();
+        replay_rounds_.clear();
+        replay_verdict_next_ = 0;
+        replay_round_next_ = 0;
+        for (std::size_t i = 0; i < tail.records.size(); ++i) {
+            const recover::JournalRecord &rec = tail.records[i];
+            recover::Decoder scan(rec.body);
+            if (rec.kind == recover::RecordKind::kVerdict) {
+                ReplayVerdict v;
+                std::int64_t id = 0;
+                double at = 0.0;
+                scan.i64(&id);
+                scan.u8(&v.verdict);
+                scan.f64(&at);
+                if (!scan.ok() || !scan.empty()) {
+                    return recover::Status::error(
+                        recover::ErrorCode::kBadRecord,
+                        "malformed service verdict record",
+                        static_cast<std::int64_t>(i));
+                }
+                v.id = id;
+                replay_verdicts_.push_back(v);
+            } else if (rec.kind == recover::RecordKind::kRoundCommit) {
+                std::uint64_t round = 0;
+                double at = 0.0;
+                std::uint64_t hash = 0;
+                scan.u64(&round);
+                scan.f64(&at);
+                scan.u64(&hash);
+                if (!scan.ok() || !scan.empty() ||
+                    round != stats_.rounds + replay_rounds_.size() + 1) {
+                    return recover::Status::error(
+                        recover::ErrorCode::kBadRecord,
+                        "malformed or non-contiguous service "
+                        "round-commit record",
+                        static_cast<std::int64_t>(i));
+                }
+                replay_rounds_.emplace_back(round, hash);
+            }
+        }
+        if (obs::tracing()) {
+            obs::TraceEvent event;
+            event.time = now_;
+            event.kind = obs::EventKind::kRecoveryBegin;
+            event.a = static_cast<std::int64_t>(tail.records.size());
+            event.b = static_cast<std::int64_t>(replay_rounds_.size());
+            obs::emit(event);
+        }
+        st = replay_tail(tail);
+        if (!st.ok())
+            return st;
+        if (obs::tracing()) {
+            obs::TraceEvent event;
+            event.time = now_;
+            event.kind = obs::EventKind::kRecoveryEnd;
+            event.a = static_cast<std::int64_t>(replay_round_next_);
+            obs::emit(event);
+        }
+    }
+    durable_ = std::make_unique<recover::DurableLog>();
+    // On recovery, reopen the journal for *append* at its last valid
+    // byte: the old snapshot + full journal stays a complete recovery
+    // image until the fresh snapshot below atomically subsumes it. A
+    // plain (truncating) open would leave a crash window in which the
+    // replayed tail was lost.
+    recover::Status st =
+        recover ? durable_->open_existing(dir, journal_valid_bytes)
+                : durable_->open(dir);
+    if (!st.ok()) {
+        durable_.reset();
+        return st;
+    }
+    recover::Encoder enc;
+    encode_state(&enc);
+    st = durable_->write_snapshot(enc.data());
+    if (!st.ok()) {
+        durable_.reset();
+        return st;
+    }
+    snapshot_round_ = stats_.rounds;
+    obs::count("recover.snapshots");
+    obs::count("recover.snapshot_bytes",
+               static_cast<std::uint64_t>(enc.size()));
+    obs::gauge_set("recover.snapshot_bytes_last",
+                   static_cast<double>(enc.size()));
+    return recover::Status{};
 }
 
 }  // namespace serve

@@ -55,6 +55,7 @@
 #include "core/admission.h"
 #include "core/planner_concurrency.h"
 #include "core/scaling_curve.h"
+#include "recover/log.h"
 #include "serve/governor.h"
 #include "serve/verdict.h"
 #include "workload/job.h"
@@ -190,6 +191,27 @@ class Service
         on_decision_ = std::move(cb);
     }
 
+    /**
+     * Durable control plane (DESIGN.md §12). Opens (or recovers
+     * from) the snapshot + write-ahead journal under @p dir. With
+     * @p recover false the directory is initialised fresh: a base
+     * snapshot is written and every subsequent submission, external
+     * advance, verdict, and round commit is journaled with fsync'd
+     * commit points; a fresh snapshot truncates the journal every
+     * @p snapshot_every committed rounds. With @p recover true the
+     * last snapshot is loaded and the journal tail replayed through
+     * the normal code paths: verdicts whose kVerdict record reached
+     * the journal before the crash are suppressed (they were already
+     * delivered — exactly-once), every replayed round must reproduce
+     * its journaled hash, and a torn tail is discarded at the last
+     * valid commit point. Call before the first submit(); returns a
+     * typed Status instead of aborting on unreadable or corrupt
+     * input.
+     */
+    recover::Status bind_durability(const std::string &dir,
+                                    std::uint64_t snapshot_every,
+                                    bool recover);
+
   private:
     /** One active job (either list). */
     struct Active
@@ -204,6 +226,24 @@ class Service
                 ShedVerdict verdict);
     /** Run one planning round at time @p t. */
     void run_round(Time t);
+    /** advance_to() without journaling (shared with submit/replay). */
+    void advance_internal(Time t);
+    /** Full-state snapshot payload (DESIGN.md §12). */
+    void encode_state(recover::Encoder *enc) const;
+    recover::Status decode_state(recover::Decoder *dec);
+    std::uint64_t config_fingerprint() const;
+    /** Re-feed the journal tail through submit/advance/finish. */
+    recover::Status replay_tail(const recover::JournalContents &tail);
+    void journal_append(recover::RecordKind kind,
+                        const recover::Encoder &enc, bool sync);
+    /** Write a due cadence snapshot (end of each public entry). */
+    void maybe_snapshot();
+    bool replaying() const
+    {
+        return replay_round_next_ < replay_rounds_.size() ||
+               replay_verdict_next_ < replay_verdicts_.size() ||
+               replay_active_;
+    }
     /** Fluid progress + completion retirement over [last_round_, t]. */
     void retire(Time t);
     /** Recompute when the next round is due (infinity when idle). */
@@ -237,6 +277,26 @@ class Service
     ServiceStats stats_;
     std::uint64_t hash_ = 0x9e3779b97f4a7c15ULL;
     std::function<void(const Decision &)> on_decision_;
+
+    // --- durability (DESIGN.md §12) ------------------------------------
+    std::unique_ptr<recover::DurableLog> durable_;
+    std::uint64_t snapshot_every_ = 16;
+    std::uint64_t snapshot_round_ = 0;
+    /** A cadence snapshot is due at the next entry-point boundary. */
+    bool snapshot_pending_ = false;
+    /** Journaled verdicts not yet matched by the replay. */
+    struct ReplayVerdict
+    {
+        JobId id;
+        std::uint8_t verdict;
+    };
+    std::vector<ReplayVerdict> replay_verdicts_;
+    std::size_t replay_verdict_next_ = 0;
+    /** Journaled round commits (round index, hash) to verify. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> replay_rounds_;
+    std::size_t replay_round_next_ = 0;
+    /** True while replay_tail() re-feeds journaled inputs. */
+    bool replay_active_ = false;
 };
 
 }  // namespace serve

@@ -1,0 +1,254 @@
+/** @file See state_codec.h. */
+#include "serve/state_codec.h"
+
+#include <cstdint>
+
+#include "workload/model_zoo.h"
+
+namespace ef {
+namespace serve {
+
+void
+encode_job_spec(recover::Encoder *enc, const JobSpec &spec)
+{
+    enc->i64(spec.id);
+    enc->str(spec.name);
+    enc->str(spec.user);
+    enc->u32(static_cast<std::uint32_t>(spec.model));
+    enc->i64(spec.global_batch);
+    enc->i64(spec.iterations);
+    enc->f64(spec.submit_time);
+    enc->f64(spec.deadline);
+    enc->u8(static_cast<std::uint8_t>(spec.kind));
+    enc->i64(spec.requested_gpus);
+}
+
+bool
+decode_job_spec(recover::Decoder *dec, JobSpec *spec)
+{
+    std::int64_t id = 0;
+    std::string name;
+    std::string user;
+    std::uint32_t model = 0;
+    std::int64_t global_batch = 0;
+    std::int64_t iterations = 0;
+    double submit_time = 0.0;
+    double deadline = 0.0;
+    std::uint8_t kind = 0;
+    std::int64_t requested_gpus = 0;
+    dec->i64(&id);
+    dec->str(&name);
+    dec->str(&user);
+    dec->u32(&model);
+    dec->i64(&global_batch);
+    dec->i64(&iterations);
+    dec->f64(&submit_time);
+    dec->f64(&deadline);
+    dec->u8(&kind);
+    dec->i64(&requested_gpus);
+    if (!dec->ok())
+        return false;
+    if (model >= static_cast<std::uint32_t>(kNumModels) ||
+        kind > static_cast<std::uint8_t>(JobKind::kBestEffort)) {
+        dec->fail();
+        return false;
+    }
+    spec->id = static_cast<JobId>(id);
+    spec->name = std::move(name);
+    spec->user = std::move(user);
+    spec->model = static_cast<DnnModel>(model);
+    spec->global_batch = static_cast<int>(global_batch);
+    spec->iterations = iterations;
+    spec->submit_time = submit_time;
+    spec->deadline = deadline;
+    spec->kind = static_cast<JobKind>(kind);
+    spec->requested_gpus = static_cast<GpuCount>(requested_gpus);
+    return true;
+}
+
+void
+encode_curve(recover::Encoder *enc, const ScalingCurve &curve)
+{
+    const std::vector<double> &table = curve.table();
+    enc->u64(table.size());
+    for (double v : table)
+        enc->f64(v);
+}
+
+bool
+decode_curve(recover::Decoder *dec, ScalingCurve *curve)
+{
+    std::uint64_t n = 0;
+    if (!dec->count(&n, 8))
+        return false;
+    std::vector<double> table(static_cast<std::size_t>(n));
+    for (double &v : table)
+        dec->f64(&v);
+    if (!dec->ok())
+        return false;
+    if (table.empty()) {
+        *curve = ScalingCurve{};
+        return true;
+    }
+    // Reject anything that would trip from_pow2_table's EF_CHECKs
+    // (negative/NaN entries, no feasible count, a zero inside the
+    // valid region, oversized tables): corruption must surface as a
+    // typed error, never an abort.
+    if (table.size() >= 256) {
+        dec->fail();
+        return false;
+    }
+    std::size_t first = table.size();
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        double v = table[i];
+        if (v < 0.0 || v != v) {
+            dec->fail();
+            return false;
+        }
+        if (v > 0.0 && first == table.size())
+            first = i;
+        // ef-lint: allow(float-eq: exact 0.0 is the absent sentinel)
+        if (v == 0.0 && first < table.size()) {
+            dec->fail();
+            return false;
+        }
+    }
+    if (first == table.size()) {
+        dec->fail();
+        return false;
+    }
+    *curve = ScalingCurve::from_pow2_table(std::move(table),
+                                           /*enforce_concave=*/false);
+    return true;
+}
+
+void
+encode_step_series(recover::Encoder *enc, const StepSeries &series)
+{
+    const std::vector<double> &times = series.times();
+    const std::vector<double> &values = series.values();
+    enc->u64(times.size());
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        enc->f64(times[i]);
+        enc->f64(values[i]);
+    }
+}
+
+bool
+decode_step_series(recover::Decoder *dec, StepSeries *series)
+{
+    std::uint64_t n = 0;
+    if (!dec->count(&n, 16))
+        return false;
+    StepSeries out;
+    double prev_time = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        double time = 0.0;
+        double value = 0.0;
+        dec->f64(&time);
+        dec->f64(&value);
+        if (!dec->ok())
+            return false;
+        // Storage is canonical: strictly increasing times. Anything
+        // else would abort inside record(); reject it here instead.
+        if (i > 0 && !(time > prev_time)) {
+            dec->fail();
+            return false;
+        }
+        prev_time = time;
+        out.record(time, value);
+    }
+    *series = std::move(out);
+    return true;
+}
+
+void
+encode_fault_event(recover::Encoder *enc, const FaultEvent &event)
+{
+    enc->f64(event.time);
+    enc->u8(static_cast<std::uint8_t>(event.type));
+    enc->i64(event.target);
+    enc->f64(event.duration_s);
+    enc->f64(event.magnitude);
+}
+
+bool
+decode_fault_event(recover::Decoder *dec, FaultEvent *event)
+{
+    double time = 0.0;
+    std::uint8_t type = 0;
+    std::int64_t target = 0;
+    double duration = 0.0;
+    double magnitude = 0.0;
+    dec->f64(&time);
+    dec->u8(&type);
+    dec->i64(&target);
+    dec->f64(&duration);
+    dec->f64(&magnitude);
+    if (!dec->ok())
+        return false;
+    if (type > static_cast<std::uint8_t>(FaultType::kSchedCrash)) {
+        dec->fail();
+        return false;
+    }
+    event->time = time;
+    event->type = static_cast<FaultType>(type);
+    event->target = target;
+    event->duration_s = duration;
+    event->magnitude = magnitude;
+    return true;
+}
+
+void
+encode_fault_state(recover::Encoder *enc,
+                   const FaultInjector::State &state)
+{
+    enc->u64(state.streams.size());
+    for (const FaultInjector::State::Stream &stream : state.streams) {
+        enc->str(stream.engine);
+        enc->u64(stream.draws);
+        enc->u64(stream.forks);
+    }
+    enc->u64(state.armed_rpc.size());
+    for (const FaultEvent &event : state.armed_rpc)
+        encode_fault_event(enc, event);
+    enc->u64(state.armed_ckpt.size());
+    for (const FaultEvent &event : state.armed_ckpt)
+        encode_fault_event(enc, event);
+}
+
+bool
+decode_fault_state(recover::Decoder *dec, FaultInjector::State *state)
+{
+    FaultInjector::State out;
+    std::uint64_t n = 0;
+    if (!dec->count(&n, 24))
+        return false;
+    out.streams.resize(static_cast<std::size_t>(n));
+    for (FaultInjector::State::Stream &stream : out.streams) {
+        dec->str(&stream.engine);
+        dec->u64(&stream.draws);
+        dec->u64(&stream.forks);
+    }
+    if (!dec->count(&n, 33))
+        return false;
+    out.armed_rpc.resize(static_cast<std::size_t>(n));
+    for (FaultEvent &event : out.armed_rpc) {
+        if (!decode_fault_event(dec, &event))
+            return false;
+    }
+    if (!dec->count(&n, 33))
+        return false;
+    out.armed_ckpt.resize(static_cast<std::size_t>(n));
+    for (FaultEvent &event : out.armed_ckpt) {
+        if (!decode_fault_event(dec, &event))
+            return false;
+    }
+    if (!dec->ok())
+        return false;
+    *state = std::move(out);
+    return true;
+}
+
+}  // namespace serve
+}  // namespace ef

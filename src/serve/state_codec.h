@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared binary codecs for the crash-recovery snapshots (DESIGN.md
+ * §12): the value types that appear in both the simulator's and the
+ * service's durable state (job specs, scaling curves, step series,
+ * fault-injector state). Encoders never fail; decoders return false on
+ * malformed input instead of aborting, so corrupt snapshots surface as
+ * typed recovery errors, never as EF_CHECK aborts or UB.
+ */
+#ifndef EF_SERVE_STATE_CODEC_H_
+#define EF_SERVE_STATE_CODEC_H_
+
+#include "common/stats.h"
+#include "core/scaling_curve.h"
+#include "fault/fault.h"
+#include "recover/codec.h"
+#include "workload/job.h"
+
+namespace ef {
+namespace serve {
+
+void encode_job_spec(recover::Encoder *enc, const JobSpec &spec);
+bool decode_job_spec(recover::Decoder *dec, JobSpec *spec);
+
+/** Stores the pow2 table; decode rebuilds via from_pow2_table with
+ *  enforce_concave off, so the restored curve is bit-identical even
+ *  when the original table was not concave. */
+void encode_curve(recover::Encoder *enc, const ScalingCurve &curve);
+bool decode_curve(recover::Decoder *dec, ScalingCurve *curve);
+
+/** Decode replays record() over the stored points; StepSeries storage
+ *  is canonical (strictly increasing times, run-length compressed), so
+ *  the replay reproduces the exact vectors. */
+void encode_step_series(recover::Encoder *enc, const StepSeries &series);
+bool decode_step_series(recover::Decoder *dec, StepSeries *series);
+
+void encode_fault_event(recover::Encoder *enc, const FaultEvent &event);
+bool decode_fault_event(recover::Decoder *dec, FaultEvent *event);
+
+void encode_fault_state(recover::Encoder *enc,
+                        const FaultInjector::State &state);
+bool decode_fault_state(recover::Decoder *dec,
+                        FaultInjector::State *state);
+
+}  // namespace serve
+}  // namespace ef
+
+#endif  // EF_SERVE_STATE_CODEC_H_

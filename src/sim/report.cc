@@ -1,6 +1,6 @@
 #include "sim/report.h"
 
-#include <fstream>
+#include <fstream>  // ef-lint: allow(file-io: end-of-run report artifacts, not durable state)
 #include <sstream>
 
 #include "common/check.h"
@@ -175,6 +175,7 @@ std::string
 save_run_report(const std::string &prefix, const RunResult &result)
 {
     auto write = [](const std::string &path, const std::string &text) {
+        // ef-lint: allow(file-io: end-of-run report artifacts, not durable state)
         std::ofstream out(path);
         EF_FATAL_IF(!out, "cannot write report file: " << path);
         out << text;

@@ -9,6 +9,7 @@
 #include "common/table.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/state_codec.h"
 #include "serve/verdict.h"
 
 namespace ef {
@@ -30,6 +31,8 @@ const std::vector<double> kEfficiencyEdges = {0.1, 0.25, 0.5, 0.75,
 const std::vector<double> kDecisionLatencyEdges = {
     0.001, 0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0,
     20.0,  30.0, 60.0, 120.0, 300.0};
+const std::vector<double> kReplayEdges = {0,  1,  2,   4,   8,   16,
+                                          32, 64, 128, 256, 512, 1024};
 
 /** ids payload of an alloc-change event, from concrete GPU ids. */
 std::vector<std::int64_t>
@@ -691,6 +694,13 @@ Simulator::handle_server_down(const Event &event)
     placement_.set_server_available(server, false);
     view_dirty_ = true;  // capacity shrank; victims lost their GPUs
     ++fault_epoch_;
+    if (durable_ != nullptr) {
+        recover::Encoder body;
+        body.f64(now_);
+        body.u8(static_cast<std::uint8_t>(FaultType::kServerCrash));
+        body.i64(server);
+        journal_append(recover::RecordKind::kFault, body);
+    }
     obs::emit({now_, obs::EventKind::kServerDown, kInvalidJob, server,
                static_cast<std::int64_t>(victims.size())});
     obs::count("sim.faults.server_down");
@@ -725,6 +735,13 @@ Simulator::handle_gpu_down(const Event &event)
     ++result_.gpu_faults;
     ++fault_epoch_;
     view_dirty_ = true;
+    if (durable_ != nullptr) {
+        recover::Encoder body;
+        body.f64(now_);
+        body.u8(static_cast<std::uint8_t>(FaultType::kGpuFault));
+        body.i64(gpu);
+        journal_append(recover::RecordKind::kFault, body);
+    }
     obs::emit({now_, obs::EventKind::kGpuDown, kInvalidJob, gpu,
                victim != kInvalidJob ? 1 : 0});
     obs::count("sim.faults.gpu_down");
@@ -851,13 +868,623 @@ Simulator::state_hash() const
 }
 
 void
-Simulator::audit_state()
+Simulator::audit_state(bool terminal)
 {
     Fnv1a h;
     h.u64(result_.state_hash);
     h.u64(state_hash());
     result_.state_hash = h.digest();
     ++result_.state_hash_samples;
+    if (durable_ != nullptr || replaying())
+        commit_round(terminal);
+}
+
+std::uint64_t
+Simulator::config_fingerprint() const
+{
+    // The shape a snapshot is only valid against. Deliberately absent:
+    // planner_shards/threads (decisions are bit-identical across shard
+    // settings, so recovery may change them) and the fault *rates*
+    // (the injector's RNG cursors are in the snapshot body).
+    Fnv1a h;
+    h.str(trace_.name);
+    h.u64(trace_.jobs.size());
+    for (const JobSpec &job : trace_.jobs) {
+        // Trace *content*, not just its shape: two presets that differ
+        // only in generator seed must not share a fingerprint.
+        h.i64(job.id);
+        h.f64(job.submit_time);
+        h.i64(job.iterations);
+        h.f64(job.deadline);
+        h.i64(job.requested_gpus);
+    }
+    h.i64(topology_.total_gpus());
+    h.i64(topology_.num_servers());
+    h.str(result_.scheduler_name);
+    h.byte(config_.service.enabled ? 1 : 0);
+    h.byte(fault_ != nullptr ? 1 : 0);
+    h.f64(config_.max_time);
+    return h.digest();
+}
+
+void
+Simulator::encode_state(recover::Encoder *enc) const
+{
+    enc->u64(config_fingerprint());
+    // Clocks and replan bookkeeping.
+    enc->f64(now_);
+    enc->u64(next_seq_);
+    enc->u64(fault_epoch_);
+    enc->boolean(tick_armed_);
+    enc->boolean(replan_pending_);
+    enc->boolean(view_dirty_);
+    enc->f64(last_decision_time_);
+    enc->u64(sched_crash_cursor_);
+    // Event queue, drained in pop order (deterministic bytes; restore
+    // re-heapifies, so any order would round-trip the same state).
+    {
+        auto copy = events_;
+        enc->u64(copy.size());
+        while (!copy.empty()) {
+            const Event &e = copy.top();
+            enc->f64(e.time);
+            enc->u64(e.seq);
+            enc->u8(static_cast<std::uint8_t>(e.kind));
+            enc->i64(e.job);
+            enc->f64(e.dur);
+            enc->f64(e.mag);
+            enc->boolean(e.from_script);
+            copy.pop();
+        }
+    }
+    // Jobs, in submission order. The spec is stored (not rebuilt from
+    // the trace) because service mode mutates it in place on degrade.
+    enc->u64(submit_order_.size());
+    for (JobId id : submit_order_) {
+        const JobRt &job = rt(id);
+        serve::encode_job_spec(enc, job.spec);
+        serve::encode_curve(enc, job.curve);
+        enc->boolean(job.arrived);
+        enc->u8(static_cast<std::uint8_t>(job.state));
+        enc->f64(job.executed);
+        enc->f64(job.last_update);
+        enc->f64(job.progress_resume);
+        enc->f64(job.attained_gpu_seconds);
+        enc->i64(job.gpus);
+        enc->f64(job.current_tpt);
+        enc->f64(job.noise_factor);
+        enc->f64(job.checkpoint_iters);
+        enc->f64(job.straggler_factor);
+        enc->f64(job.straggler_until);
+        enc->boolean(job.outcome.admitted);
+        enc->boolean(job.outcome.finished);
+        enc->f64(job.outcome.finish_time);
+        enc->f64(job.outcome.first_run_time);
+        enc->f64(job.outcome.gpu_seconds);
+        enc->i64(job.outcome.scaling_events);
+        enc->i64(job.outcome.migrations);
+        enc->i64(job.outcome.failures_suffered);
+        enc->boolean(job.outcome.demoted);
+    }
+    // Concrete placement and hardware health.
+    const GpuCount total = topology_.total_gpus();
+    enc->u64(static_cast<std::uint64_t>(total));
+    for (GpuCount gpu = 0; gpu < total; ++gpu) {
+        enc->i64(placement_.owner_of(gpu));
+        enc->boolean(!placement_.gpu_available(gpu));
+    }
+    enc->u64(static_cast<std::uint64_t>(topology_.num_servers()));
+    for (int server = 0; server < topology_.num_servers(); ++server)
+        enc->boolean(!placement_.server_available(server));
+    // Service mode.
+    if (service_governor_ != nullptr) {
+        enc->boolean(true);
+        enc->f64(service_governor_->tokens_raw());
+        enc->f64(service_governor_->last_refill());
+    } else {
+        enc->boolean(false);
+    }
+    enc->u64(service_queue_.size());
+    for (JobId id : service_queue_)
+        enc->i64(id);
+    // Fault-injector RNG cursors and armed scripted events.
+    if (fault_ != nullptr) {
+        enc->boolean(true);
+        serve::encode_fault_state(enc, fault_->capture_state());
+    } else {
+        enc->boolean(false);
+    }
+    // Scheduler-internal cross-round state (policy-owned blob).
+    std::string blob;
+    scheduler_->encode_recovery_state(&blob);
+    enc->str(blob);
+    // Result counters and timelines accumulated so far.
+    enc->u64(result_.allocation_log.size());
+    for (const AllocationEvent &ev : result_.allocation_log) {
+        enc->f64(ev.time);
+        enc->i64(ev.job);
+        enc->u64(ev.gpus.size());
+        for (GpuCount g : ev.gpus)
+            enc->i64(g);
+    }
+    serve::encode_step_series(enc, result_.used_gpus);
+    serve::encode_step_series(enc, result_.cluster_efficiency);
+    serve::encode_step_series(enc, result_.submitted_jobs);
+    serve::encode_step_series(enc, result_.admitted_jobs);
+    enc->f64(result_.makespan);
+    enc->i64(result_.placement_failures);
+    enc->i64(result_.replans_attempted);
+    enc->i64(result_.replans_coalesced);
+    enc->i64(result_.replans_elided);
+    enc->i64(result_.rpc_retries);
+    enc->i64(result_.rpc_gave_up);
+    enc->i64(result_.stragglers_observed);
+    enc->i64(result_.gpu_faults);
+    enc->i64(result_.ckpt_failures);
+    enc->i64(result_.slo_demotions);
+    enc->i64(result_.shed_queue_full);
+    enc->i64(result_.service_rounds);
+    enc->i64(result_.service_rounds_forced);
+    enc->i64(result_.service_degraded);
+    enc->u64(result_.max_service_queue_depth);
+    enc->u64(result_.state_hash);
+    enc->u64(result_.state_hash_samples);
+}
+
+recover::Status
+Simulator::decode_state(recover::Decoder *dec)
+{
+    using recover::ErrorCode;
+    using recover::Status;
+    const Status corrupt = Status::error(
+        ErrorCode::kBadRecord, "snapshot payload is malformed");
+
+    std::uint64_t fingerprint = 0;
+    if (!dec->u64(&fingerprint))
+        return corrupt;
+    if (fingerprint != config_fingerprint()) {
+        return Status::error(
+            ErrorCode::kStateMismatch,
+            "snapshot was taken with a different trace, scheduler, or "
+            "configuration");
+    }
+    dec->f64(&now_);
+    dec->u64(&next_seq_);
+    dec->u64(&fault_epoch_);
+    dec->boolean(&tick_armed_);
+    dec->boolean(&replan_pending_);
+    dec->boolean(&view_dirty_);
+    dec->f64(&last_decision_time_);
+    dec->u64(&sched_crash_cursor_);
+    std::uint64_t n = 0;
+    if (!dec->count(&n, 42))  // event wire size: 8*5 + 1 + 1
+        return corrupt;
+    events_ = decltype(events_)(event_after);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Event e;
+        std::uint8_t kind = 0;
+        std::int64_t job = 0;
+        dec->f64(&e.time);
+        dec->u64(&e.seq);
+        dec->u8(&kind);
+        dec->i64(&job);
+        dec->f64(&e.dur);
+        dec->f64(&e.mag);
+        dec->boolean(&e.from_script);
+        if (!dec->ok() || kind > Event::kStragglerEnd)
+            return corrupt;
+        e.kind = static_cast<Event::Kind>(kind);
+        e.job = static_cast<JobId>(job);
+        events_.push(e);
+    }
+    if (!dec->count(&n, 64) || n != submit_order_.size())
+        return corrupt;
+    for (JobId id : submit_order_) {
+        JobRt &job = rt(id);
+        JobSpec spec;
+        if (!serve::decode_job_spec(dec, &spec) || spec.id != id)
+            return corrupt;
+        ScalingCurve curve;
+        if (!serve::decode_curve(dec, &curve) || curve.empty())
+            return corrupt;
+        std::uint8_t state = 0;
+        dec->boolean(&job.arrived);
+        dec->u8(&state);
+        dec->f64(&job.executed);
+        dec->f64(&job.last_update);
+        dec->f64(&job.progress_resume);
+        dec->f64(&job.attained_gpu_seconds);
+        std::int64_t gpus = 0;
+        dec->i64(&gpus);
+        dec->f64(&job.current_tpt);
+        dec->f64(&job.noise_factor);
+        dec->f64(&job.checkpoint_iters);
+        dec->f64(&job.straggler_factor);
+        dec->f64(&job.straggler_until);
+        dec->boolean(&job.outcome.admitted);
+        dec->boolean(&job.outcome.finished);
+        dec->f64(&job.outcome.finish_time);
+        dec->f64(&job.outcome.first_run_time);
+        dec->f64(&job.outcome.gpu_seconds);
+        std::int64_t scaling_events = 0, migrations = 0, failures = 0;
+        dec->i64(&scaling_events);
+        dec->i64(&migrations);
+        dec->i64(&failures);
+        dec->boolean(&job.outcome.demoted);
+        if (!dec->ok() ||
+            state > static_cast<std::uint8_t>(JobState::kFinished))
+            return corrupt;
+        job.spec = spec;
+        job.curve = curve;
+        job.outcome.spec = spec;
+        job.state = static_cast<JobState>(state);
+        job.gpus = static_cast<GpuCount>(gpus);
+        job.outcome.scaling_events = static_cast<int>(scaling_events);
+        job.outcome.migrations = static_cast<int>(migrations);
+        job.outcome.failures_suffered = static_cast<int>(failures);
+    }
+    const GpuCount total = topology_.total_gpus();
+    if (!dec->count(&n, 9) ||
+        n != static_cast<std::uint64_t>(total))
+        return corrupt;
+    std::vector<JobId> owner(static_cast<std::size_t>(total));
+    std::vector<bool> gpu_down(static_cast<std::size_t>(total));
+    for (GpuCount gpu = 0; gpu < total; ++gpu) {
+        std::int64_t job = 0;
+        bool down = false;
+        dec->i64(&job);
+        dec->boolean(&down);
+        owner[static_cast<std::size_t>(gpu)] =
+            static_cast<JobId>(job);
+        gpu_down[static_cast<std::size_t>(gpu)] = down;
+    }
+    if (!dec->count(&n, 1) ||
+        n != static_cast<std::uint64_t>(topology_.num_servers()))
+        return corrupt;
+    std::vector<bool> server_down(
+        static_cast<std::size_t>(topology_.num_servers()));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        bool down = false;
+        dec->boolean(&down);
+        server_down[static_cast<std::size_t>(i)] = down;
+    }
+    for (JobId id : owner) {
+        if (id != kInvalidJob && jobs_.count(id) == 0)
+            return corrupt;
+    }
+    if (!dec->ok())
+        return corrupt;
+    placement_.restore(owner, gpu_down, server_down);
+    bool has_governor = false;
+    if (!dec->boolean(&has_governor) ||
+        has_governor != (service_governor_ != nullptr))
+        return Status::error(ErrorCode::kStateMismatch,
+                             "snapshot service mode differs from the "
+                             "running configuration");
+    if (has_governor) {
+        double tokens = 0.0;
+        Time last_refill = 0.0;
+        dec->f64(&tokens);
+        dec->f64(&last_refill);
+        if (!dec->ok())
+            return corrupt;
+        service_governor_->restore(tokens, last_refill);
+    }
+    if (!dec->count(&n, 8))
+        return corrupt;
+    service_queue_.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::int64_t id = 0;
+        if (!dec->i64(&id) ||
+            jobs_.count(static_cast<JobId>(id)) == 0)
+            return corrupt;
+        service_queue_.push_back(static_cast<JobId>(id));
+    }
+    bool has_faults = false;
+    if (!dec->boolean(&has_faults) ||
+        has_faults != (fault_ != nullptr))
+        return Status::error(ErrorCode::kStateMismatch,
+                             "snapshot fault injection differs from "
+                             "the running configuration");
+    if (has_faults) {
+        FaultInjector::State state;
+        if (!serve::decode_fault_state(dec, &state) ||
+            state.streams.size() != 6)
+            return corrupt;
+        fault_->restore_state(state);
+    }
+    std::string blob;
+    if (!dec->str(&blob))
+        return corrupt;
+    if (!scheduler_->decode_recovery_state(blob)) {
+        return Status::error(ErrorCode::kStateMismatch,
+                             "scheduler rejected its recovery state");
+    }
+    if (!dec->count(&n, 24))
+        return corrupt;
+    result_.allocation_log.clear();
+    result_.allocation_log.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+        AllocationEvent ev;
+        std::int64_t job = 0;
+        dec->f64(&ev.time);
+        dec->i64(&job);
+        ev.job = static_cast<JobId>(job);
+        std::uint64_t m = 0;
+        if (!dec->count(&m, 8))
+            return corrupt;
+        ev.gpus.resize(static_cast<std::size_t>(m));
+        for (GpuCount &g : ev.gpus) {
+            std::int64_t raw = 0;
+            dec->i64(&raw);
+            g = static_cast<GpuCount>(raw);
+        }
+        if (!dec->ok())
+            return corrupt;
+        result_.allocation_log.push_back(std::move(ev));
+    }
+    if (!serve::decode_step_series(dec, &result_.used_gpus) ||
+        !serve::decode_step_series(dec, &result_.cluster_efficiency) ||
+        !serve::decode_step_series(dec, &result_.submitted_jobs) ||
+        !serve::decode_step_series(dec, &result_.admitted_jobs))
+        return corrupt;
+    dec->f64(&result_.makespan);
+    std::int64_t counters[14] = {};
+    for (std::int64_t &c : counters)
+        dec->i64(&c);
+    std::uint64_t max_depth = 0;
+    dec->u64(&max_depth);
+    dec->u64(&result_.state_hash);
+    dec->u64(&result_.state_hash_samples);
+    if (!dec->ok() || !dec->empty())
+        return corrupt;
+    result_.placement_failures = static_cast<int>(counters[0]);
+    result_.replans_attempted = static_cast<int>(counters[1]);
+    result_.replans_coalesced = static_cast<int>(counters[2]);
+    result_.replans_elided = static_cast<int>(counters[3]);
+    result_.rpc_retries = static_cast<int>(counters[4]);
+    result_.rpc_gave_up = static_cast<int>(counters[5]);
+    result_.stragglers_observed = static_cast<int>(counters[6]);
+    result_.gpu_faults = static_cast<int>(counters[7]);
+    result_.ckpt_failures = static_cast<int>(counters[8]);
+    result_.slo_demotions = static_cast<int>(counters[9]);
+    result_.shed_queue_full = static_cast<int>(counters[10]);
+    result_.service_rounds = static_cast<int>(counters[11]);
+    result_.service_rounds_forced = static_cast<int>(counters[12]);
+    result_.service_degraded = static_cast<int>(counters[13]);
+    result_.max_service_queue_depth =
+        static_cast<std::size_t>(max_depth);
+    return Status{};
+}
+
+recover::Status
+Simulator::recover_state(const std::string &snapshot,
+                         const recover::JournalContents &tail)
+{
+    using recover::ErrorCode;
+    using recover::RecordKind;
+    using recover::Status;
+
+    recover::Decoder dec(snapshot);
+    Status st = decode_state(&dec);
+    if (!st.ok())
+        return st;
+
+    // Collect the round commits the re-execution must reproduce. Delta
+    // records (submissions, verdicts, plan commits, faults) are the
+    // audit trail; re-execution regenerates their effects from the
+    // snapshot, so only the commit hashes are needed for verification.
+    replay_.clear();
+    replay_journal_records_ = tail.records.size();
+    recovered_journal_bytes_ = tail.valid_bytes;
+    for (std::size_t i = 0; i < tail.records.size(); ++i) {
+        const recover::JournalRecord &rec = tail.records[i];
+        if (rec.kind != RecordKind::kRoundCommit)
+            continue;
+        recover::Decoder body(rec.body);
+        ReplayCommit rc;
+        body.u64(&rc.round);
+        body.f64(&rc.time);
+        body.u64(&rc.hash);
+        body.u64(&rc.crash_cursor);
+        body.boolean(&rc.terminal);
+        if (!body.ok() || !body.empty()) {
+            return Status::error(ErrorCode::kBadRecord,
+                                 "malformed round-commit record",
+                                 static_cast<std::int64_t>(i));
+        }
+        const std::uint64_t expected =
+            result_.state_hash_samples + replay_.size() + 1;
+        if (rc.round != expected) {
+            return Status::error(
+                ErrorCode::kBadRecord,
+                "round-commit sequence is not contiguous with the "
+                "snapshot",
+                static_cast<std::int64_t>(i));
+        }
+        replay_.push_back(rc);
+    }
+    replay_next_ = 0;
+    if (!replay_.empty()) {
+        // The last durable commit is authoritative for the scripted
+        // crash cursor: it was written *after* that round's crash
+        // check, so the crash that interrupted the run (if scripted)
+        // is already consumed and cannot re-fire.
+        sched_crash_cursor_ = replay_.back().crash_cursor;
+    }
+    recovered_ = true;
+    obs::emit({now_, obs::EventKind::kRecoveryBegin, kInvalidJob,
+               static_cast<std::int64_t>(replay_journal_records_),
+               static_cast<std::int64_t>(replay_.size())});
+    obs::count("recover.journal_records", replay_journal_records_);
+    if (replay_.empty())
+        finish_recovery();  // nothing to re-execute; resume directly
+    return Status{};
+}
+
+void
+Simulator::finish_recovery()
+{
+    // Re-anchor the log at the recovered state. The journal is
+    // reopened for *append* (keeping the replayed records) and the
+    // fresh snapshot deferred to the next event-loop boundary: the
+    // replay exhausts inside commit_round, mid-flush_replan, where a
+    // snapshot would capture a state the uninterrupted run never
+    // holds at a boundary (same argument as the cadence deferral).
+    // Until that snapshot lands, old snapshot + full journal is still
+    // a complete recovery image, so a crash here loses nothing.
+    durable_ = std::make_unique<recover::DurableLog>();
+    recover::Status st =
+        durable_->open_existing(config_.durability.journal_dir,
+                                recovered_journal_bytes_);
+    EF_FATAL_IF(!st.ok(),
+                "durability: reopening the journal failed: "
+                    << st.to_string());
+    snapshot_pending_ = true;
+    obs::emit({now_, obs::EventKind::kRecoveryEnd, kInvalidJob,
+               static_cast<std::int64_t>(replay_next_)});
+    // Deterministic replay cost: journal records re-applied. (A
+    // wall-clock replay_ms would break byte-identical obs dumps.)
+    obs::observe("recover.replay_cost_units", kReplayEdges,
+                 static_cast<double>(replay_journal_records_));
+}
+
+void
+Simulator::journal_append(recover::RecordKind kind,
+                          const recover::Encoder &body)
+{
+    if (durable_ == nullptr || replaying())
+        return;
+    recover::Status st = durable_->append(kind, body.data());
+    EF_FATAL_IF(!st.ok(),
+                "durability: journal append failed: " << st.to_string());
+}
+
+void
+Simulator::commit_round(bool terminal)
+{
+    const std::uint64_t round = result_.state_hash_samples;
+    if (replaying()) {
+        // Re-executing a journaled round: verify instead of write.
+        const ReplayCommit &expect = replay_[replay_next_];
+        EF_FATAL_IF(
+            expect.round != round || expect.hash != result_.state_hash,
+            "recovery divergence at round "
+                << round << ": journal has hash "
+                << expect.hash << " for round " << expect.round
+                << ", re-execution produced " << result_.state_hash);
+        sched_crash_cursor_ = expect.crash_cursor;
+        ++replay_next_;
+        obs::count("recover.replay_rounds");
+        if (!replaying())
+            finish_recovery();
+        return;
+    }
+    if (durable_ == nullptr)
+        return;
+
+    // Crash decision BEFORE the commit record: the persisted cursor
+    // must already exclude a crash that fires at this round, or
+    // recovery would re-fire it forever.
+    bool will_crash = false;
+    if (fault_ != nullptr) {
+        const std::vector<FaultEvent> &script =
+            fault_->sched_crash_events();
+        if (sched_crash_cursor_ < script.size()) {
+            const FaultEvent &ev = script[sched_crash_cursor_];
+            if (now_ >= ev.time &&
+                (ev.target < 0 ||
+                 round >= static_cast<std::uint64_t>(ev.target))) {
+                ++sched_crash_cursor_;
+                will_crash = true;
+                obs::count("fault.sched_crashes");
+            }
+        }
+        if (fault_->sched_crash_fires())
+            will_crash = true;
+    }
+
+    recover::Encoder body;
+    body.u64(round);
+    body.f64(now_);
+    body.u64(result_.state_hash);
+    body.u64(sched_crash_cursor_);
+    body.boolean(terminal);
+    journal_append(recover::RecordKind::kRoundCommit, body);
+    recover::Status st = durable_->commit();
+    EF_FATAL_IF(!st.ok(),
+                "durability: round commit failed: " << st.to_string());
+    obs::count("recover.journal_records");
+
+    if (!terminal && !will_crash &&
+        round - snapshot_round_ >= config_.durability.snapshot_every) {
+        // Deferred to the event-loop boundary: the commit fires from
+        // inside flush_replan, before arm_tick() re-arms the tick, so
+        // snapshotting here would capture a state the uninterrupted
+        // run never passes through.
+        snapshot_pending_ = true;
+    }
+    if (will_crash) {
+        crashed_ = true;
+        obs::count("fault.sched_crashes");
+        EF_INFO("scheduler crash injected at round "
+                << round << " (t=" << format_double(now_, 3) << " s)");
+    }
+}
+
+recover::Status
+Simulator::write_snapshot_now()
+{
+    EF_CHECK_MSG(durable_ != nullptr && durable_->is_open(),
+                 "durability is not prepared");
+    recover::Encoder enc;
+    encode_state(&enc);
+    recover::Status st = durable_->write_snapshot(enc.data());
+    if (!st.ok())
+        return st;
+    snapshot_round_ = result_.state_hash_samples;
+    obs::count("recover.snapshots");
+    obs::count("recover.snapshot_bytes", enc.size());
+    obs::gauge_set("recover.snapshot_bytes_last",
+                   static_cast<double>(enc.size()));
+    return st;
+}
+
+recover::Status
+Simulator::prepare_durability()
+{
+    using recover::Status;
+    if (durability_ready_)
+        return Status{};
+    const DurabilityConfig &cfg = config_.durability;
+    EF_CHECK_MSG(!cfg.journal_dir.empty(),
+                 "prepare_durability needs a journal_dir");
+    EF_FATAL_IF(cfg.snapshot_every < 1,
+                "durability.snapshot_every must be >= 1");
+    if (cfg.recover) {
+        std::string snapshot;
+        recover::JournalContents contents;
+        Status st = recover::DurableLog::load(cfg.journal_dir,
+                                              &snapshot, &contents);
+        if (!st.ok())
+            return st;
+        if (contents.tail.code != recover::ErrorCode::kOk) {
+            EF_INFO("journal tail discarded during recovery: "
+                    << contents.tail.to_string());
+        }
+        st = recover_state(snapshot, contents);
+        if (!st.ok())
+            return st;
+    } else {
+        durable_ = std::make_unique<recover::DurableLog>();
+        Status st = durable_->open(cfg.journal_dir);
+        if (!st.ok()) {
+            durable_.reset();
+            return st;
+        }
+    }
+    durability_ready_ = true;
+    return Status{};
 }
 
 void
@@ -908,6 +1535,16 @@ Simulator::flush_replan()
     SchedulerDecision decision = scheduler_->allocate();
     view_dirty_ = false;
     last_decision_time_ = now_;
+    if (durable_ != nullptr) {
+        recover::Encoder body;
+        body.f64(now_);
+        body.u64(decision.gpus.size());
+        for (const auto &[id, g] : decision.gpus) {
+            body.i64(id);
+            body.i64(g);
+        }
+        journal_append(recover::RecordKind::kPlanCommit, body);
+    }
     apply_decision(decision);
     const std::size_t resizes =
         result_.allocation_log.size() - log_before;
@@ -972,6 +1609,13 @@ Simulator::flush_replan()
 void
 Simulator::apply_admission(JobId id, bool admitted)
 {
+    if (durable_ != nullptr) {
+        recover::Encoder body;
+        body.i64(id);
+        body.f64(now_);
+        body.boolean(admitted);
+        journal_append(recover::RecordKind::kVerdict, body);
+    }
     JobRt &job = rt(id);
     job.arrived = true;
     job.outcome.admitted = admitted;
@@ -1000,6 +1644,12 @@ Simulator::apply_admission(JobId id, bool admitted)
 void
 Simulator::handle_arrival(JobId id)
 {
+    if (durable_ != nullptr) {
+        recover::Encoder body;
+        body.i64(id);
+        body.f64(now_);
+        journal_append(recover::RecordKind::kSubmission, body);
+    }
     if (config_.service.enabled) {
         handle_service_arrival(id);
         return;
@@ -1164,19 +1814,34 @@ Simulator::work_pending() const
 RunResult
 Simulator::run()
 {
-    for (JobId id : submit_order_) {
-        events_.push(Event{rt(id).spec.submit_time, next_seq_++,
-                           Event::kArrival, id});
+    if (!config_.durability.journal_dir.empty() &&
+        !durability_ready_) {
+        recover::Status st = prepare_durability();
+        EF_FATAL_IF(!st.ok(), "durability: " << st.to_string());
     }
-    if (fault_ != nullptr) {
-        if (fault_->server_crashes_enabled()) {
-            for (int server = 0; server < topology_.num_servers();
-                 ++server) {
-                schedule_next_failure(server);
-            }
+    if (!recovered_) {
+        for (JobId id : submit_order_) {
+            events_.push(Event{rt(id).spec.submit_time, next_seq_++,
+                               Event::kArrival, id});
         }
-        schedule_next_gpu_fault();
-        queue_scripted_faults();
+        if (fault_ != nullptr) {
+            if (fault_->server_crashes_enabled()) {
+                for (int server = 0;
+                     server < topology_.num_servers(); ++server) {
+                    schedule_next_failure(server);
+                }
+            }
+            schedule_next_gpu_fault();
+            queue_scripted_faults();
+        }
+        if (durable_ != nullptr) {
+            // Base snapshot of the seeded initial state: recovery
+            // always has something to load, even before round 1.
+            recover::Status st = write_snapshot_now();
+            EF_FATAL_IF(!st.ok(), "durability: initial snapshot "
+                                  "failed: "
+                                      << st.to_string());
+        }
     }
 
     while (true) {
@@ -1186,6 +1851,18 @@ Simulator::run()
         if (replan_pending_ &&
             (events_.empty() || events_.top().time > now_)) {
             flush_replan();
+            if (crashed_)
+                break;  // injected scheduler crash at a round commit
+        }
+        if (snapshot_pending_) {
+            // Cadence snapshot, taken at a clean inter-event boundary
+            // so the captured state matches what the uninterrupted
+            // run holds at this point.
+            snapshot_pending_ = false;
+            recover::Status st = write_snapshot_now();
+            EF_FATAL_IF(!st.ok(),
+                        "durability: cadence snapshot failed: "
+                            << st.to_string());
         }
         if (events_.empty())
             break;
@@ -1253,7 +1930,25 @@ Simulator::run()
         }
     }
     result_.replan_failures = scheduler_->replan_failures();
-    audit_state();  // final digest over the terminal state
+    // Final digest over the terminal state. An injected crash dies at
+    // its commit point instead — that commit is already durable, and
+    // the recovered run takes the terminal sample itself.
+    if (!crashed_)
+        audit_state(/*terminal=*/true);
+    if (snapshot_pending_ && !crashed_ && durable_ != nullptr) {
+        // Replay exhausted at the terminal round: the end of the run
+        // is itself a clean boundary, so the deferred post-recovery
+        // snapshot lands here.
+        snapshot_pending_ = false;
+        recover::Status st = write_snapshot_now();
+        EF_FATAL_IF(!st.ok(), "durability: terminal snapshot failed: "
+                                  << st.to_string());
+    }
+    EF_FATAL_IF(!crashed_ && replaying(),
+                "recovery divergence: journal holds "
+                    << replay_.size() - replay_next_
+                    << " round commits the re-execution never "
+                       "reached");
     return result_;
 }
 

@@ -27,6 +27,7 @@
 #include "cluster/placement.h"
 #include "common/rng.h"
 #include "fault/fault.h"
+#include "recover/log.h"
 #include "sched/scheduler.h"
 #include "serve/governor.h"
 #include "sim/metrics.h"
@@ -91,6 +92,23 @@ struct ServiceModeConfig
     bool degrade_infeasible = false;
 };
 
+/**
+ * Crash-consistent control plane (DESIGN.md §12): snapshot + write-
+ * ahead journal under a directory, with deterministic recovery. A run
+ * with an empty journal_dir is byte-identical to one predating this
+ * knob; a recovered run's decisions and RunResult::state_hash are
+ * bit-identical to an uninterrupted one.
+ */
+struct DurabilityConfig
+{
+    /** Directory holding snapshot.bin + journal.bin; empty = off. */
+    std::string journal_dir;
+    /** Round commits between snapshots (each truncates the journal). */
+    std::uint64_t snapshot_every = 16;
+    /** Resume from the directory instead of starting fresh. */
+    bool recover = false;
+};
+
 /** Simulator knobs. */
 struct SimConfig
 {
@@ -131,6 +149,8 @@ struct SimConfig
     /** Shard-phase worker threads (including the caller); <= 1 runs
      *  shards inline. Only read when planner_shards is positive. */
     int planner_threads = 1;
+    /** Crash consistency (snapshot + journal); off by default. */
+    DurabilityConfig durability;
 };
 
 /** Lifecycle of a job inside the simulator. */
@@ -154,6 +174,29 @@ class Simulator : public ClusterView
 
     /** Run to completion and return the metrics. */
     RunResult run();
+
+    /**
+     * Open — or, with DurabilityConfig::recover, load and replay — the
+     * durable log named in SimConfig::durability. Optional: run()
+     * calls it implicitly (and aborts on failure); calling it first
+     * lets a driver surface unreadable/corrupt snapshot or journal
+     * input as a typed error instead.
+     */
+    recover::Status prepare_durability();
+
+    /**
+     * run() ended early because an injected scheduler crash
+     * (FaultType::kSchedCrash) fired at a round commit. The journal
+     * directory then holds everything needed to resume: a fresh
+     * Simulator with durability.recover set continues bit-identically.
+     */
+    bool crashed() const { return crashed_; }
+
+    /**
+     * Write a snapshot of the current state immediately (the cadence
+     * snapshot machinery, callable by benchmarks and tests).
+     */
+    recover::Status write_snapshot_now();
 
     /**
      * Determinism auditor: FNV-1a hash of all determinism-relevant
@@ -224,8 +267,10 @@ class Simulator : public ClusterView
     void request_replan();
     /** Run the scheduler (unless elidable) and apply its decision. */
     void flush_replan();
-    /** Fold state_hash() into the chained RunResult digest. */
-    void audit_state();
+    /** Fold state_hash() into the chained RunResult digest and commit
+     *  the round to the durable log (terminal = the run's final
+     *  sample). */
+    void audit_state(bool terminal = false);
     void apply_decision(const SchedulerDecision &decision);
     void apply_resize(JobRt &job, GpuCount desired);
     void charge_pause(JobRt &job, Time seconds);
@@ -236,6 +281,33 @@ class Simulator : public ClusterView
     bool any_nonterminal_jobs() const;
     bool work_pending() const;
     void arm_tick();
+
+    // --- durability (DESIGN.md §12) -------------------------------------
+    /** One expected round commit parsed from the journal tail. */
+    struct ReplayCommit
+    {
+        std::uint64_t round = 0;
+        Time time = 0.0;
+        std::uint64_t hash = 0;
+        std::uint64_t crash_cursor = 0;
+        bool terminal = false;
+    };
+    /** Digest of the (trace, scheduler, config) shape a snapshot is
+     *  only valid against. */
+    std::uint64_t config_fingerprint() const;
+    void encode_state(recover::Encoder *enc) const;
+    recover::Status decode_state(recover::Decoder *dec);
+    recover::Status recover_state(const std::string &snapshot,
+                                  const recover::JournalContents &tail);
+    /** Round boundary: crash check, commit record, fsync, snapshot
+     *  cadence — or, while replaying, hash verification instead. */
+    void commit_round(bool terminal);
+    /** Replay verified: re-anchor the log at the recovered state. */
+    void finish_recovery();
+    void journal_append(recover::RecordKind kind,
+                        const recover::Encoder &body);
+    /** Re-executing journaled rounds (journaling suppressed). */
+    bool replaying() const { return replay_next_ < replay_.size(); }
 
     JobRt &rt(JobId id);
     const JobRt &rt(JobId id) const;
@@ -272,6 +344,31 @@ class Simulator : public ClusterView
     std::unique_ptr<FaultInjector> fault_;
     /** Capacity-affecting fault events so far (ClusterView). */
     std::uint64_t fault_epoch_ = 0;
+
+    /** Null unless durability is configured; write side only (null
+     *  while replaying a journal tail — recovery loads read-only). */
+    std::unique_ptr<recover::DurableLog> durable_;
+    bool durability_ready_ = false;
+    /** State was restored from a snapshot (skip run() seeding). */
+    bool recovered_ = false;
+    /** Round commits awaiting re-execution verification. */
+    std::vector<ReplayCommit> replay_;
+    std::size_t replay_next_ = 0;
+    /** Journal records read at recovery (for obs accounting). */
+    std::uint64_t replay_journal_records_ = 0;
+    /** Valid journal bytes at recovery: where post-replay appends
+     *  resume, so the pre-crash tail stays recoverable until the next
+     *  snapshot subsumes it. */
+    std::uint64_t recovered_journal_bytes_ = 0;
+    /** Scripted kSchedCrash events consumed so far. Persisted in every
+     *  round-commit record *after* the crash check, so recovery never
+     *  re-fires a crash that already happened. */
+    std::uint64_t sched_crash_cursor_ = 0;
+    /** Round of the last snapshot (cadence base). */
+    std::uint64_t snapshot_round_ = 0;
+    /** A cadence snapshot is due at the next event-loop boundary. */
+    bool snapshot_pending_ = false;
+    bool crashed_ = false;
 
     RunResult result_;
 };

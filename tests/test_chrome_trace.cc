@@ -33,10 +33,12 @@ read_file(const std::string &path)
     return out.str();
 }
 
-/** The scripted lifecycle the golden file was generated from: one job
- *  admitted via a shard-parallel replan (two planner shards), scaled
- *  2 -> 4 GPUs, released, finished. Regenerate the golden by dumping
- *  chrome_trace_json(events, 3) for this sequence. */
+/** The scripted lifecycle the golden file was generated from: a
+ *  crash-recovery replay (6 journal records, 2 rounds re-executed),
+ *  then one job admitted via a shard-parallel replan (two planner
+ *  shards), scaled 2 -> 4 GPUs, released, finished. Regenerate the
+ *  golden by dumping chrome_trace_json(events, 3) for this
+ *  sequence. */
 std::vector<obs::TraceEvent>
 scripted_events()
 {
@@ -56,6 +58,8 @@ scripted_events()
         events.push_back(e);
     };
     ev(0.0, EventKind::kJobSubmit, 7, 4);
+    ev(0.5, EventKind::kRecoveryBegin, kInvalidJob, 6, 2);
+    ev(0.9, EventKind::kRecoveryEnd, kInvalidJob, 2);
     ev(1.0, EventKind::kJobAdmit, 7);
     ev(1.0, EventKind::kReplanBegin, kInvalidJob, 1);
     ev(1.0, EventKind::kShardPlan, kInvalidJob, 0, 120, 1.2);
@@ -102,6 +106,14 @@ TEST(ChromeTrace, ScriptedSpansHaveExpectedGeometry)
                         "\"ph\":\"X\",\"pid\":3,\"tid\":4,"
                         "\"ts\":1000000,\"dur\":80"),
               std::string::npos);
+    // The recovery replay is an async span on the scheduler row,
+    // annotated with the journal-record and replay-round counts.
+    EXPECT_NE(json.find("\"name\":\"recovery\",\"cat\":\"recovery\","
+                        "\"ph\":\"b\",\"id\":0,\"pid\":3,\"tid\":0,"
+                        "\"ts\":500000"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"journal_records\":6"), std::string::npos);
+    EXPECT_NE(json.find("\"replayed\":2"), std::string::npos);
     // The replan is an async begin/end pair with an outcome.
     EXPECT_NE(json.find("\"ph\":\"b\",\"id\":0"), std::string::npos);
     EXPECT_NE(json.find("\"outcome\":\"executed\""), std::string::npos);

@@ -277,6 +277,66 @@ TEST(EfLintThreading, AllowAnnotationSuppresses)
         "threading"));
 }
 
+TEST(EfLintFileIo, LibraryConfinedToRecoverAndTraceIo)
+{
+    FileClass cls = library_class();
+    // The include directive, stream types, and C-style opens are each
+    // one violation.
+    const auto include_rules = rules_in("#include <fstream>\n", cls);
+    EXPECT_EQ(std::count(include_rules.begin(), include_rules.end(),
+                         "file-io"),
+              1);
+    EXPECT_TRUE(
+        has_rule(rules_in("std::ofstream out(path);", cls), "file-io"));
+    EXPECT_TRUE(
+        has_rule(rules_in("std::ifstream in(path);", cls), "file-io"));
+    EXPECT_TRUE(has_rule(
+        rules_in("FILE *f = std::fopen(p, \"rb\");", cls), "file-io"));
+    EXPECT_TRUE(
+        has_rule(rules_in("f = freopen(p, \"w\", f);", cls), "file-io"));
+    // A member named fopen is not the C call; other includes are fine.
+    EXPECT_TRUE(rules_in("vfs.fopen(p);", cls).empty());
+    EXPECT_TRUE(rules_in("#include <sstream>\n", cls).empty());
+}
+
+TEST(EfLintFileIo, RecoverAndTraceIoAreTheSanctionedHomes)
+{
+    EXPECT_TRUE(classify("src/recover/journal.cc").file_io_exempt);
+    EXPECT_TRUE(classify("src/recover/snapshot.h").file_io_exempt);
+    EXPECT_TRUE(classify("src/workload/trace_io.cc").file_io_exempt);
+    EXPECT_FALSE(classify("src/workload/trace_gen.cc").file_io_exempt);
+    EXPECT_FALSE(classify("src/sim/report.cc").file_io_exempt);
+
+    const char *text = "#include <fstream>\nstd::ofstream out(p);\n";
+    EXPECT_TRUE(
+        rules_in(text, classify("src/recover/snapshot.cc")).empty());
+    EXPECT_TRUE(
+        rules_in(text, classify("src/workload/trace_io.cc")).empty());
+    // Outside src/ the rule does not apply at all.
+    EXPECT_TRUE(rules_in(text, classify("tests/test_recover.cc")).empty());
+    EXPECT_TRUE(rules_in(text, classify("tools/ef_lint/main.cc")).empty());
+}
+
+TEST(EfLintFileIo, AllowAnnotationSuppresses)
+{
+    FileClass cls = library_class();
+    EXPECT_TRUE(rules_in(
+                    "// ef-lint: allow(file-io: read-only script input)\n"
+                    "std::ifstream in(path);\n",
+                    cls)
+                    .empty());
+    EXPECT_TRUE(
+        rules_in("#include <fstream>  "
+                 "// ef-lint: allow(file-io: report artifacts)\n",
+                 cls)
+            .empty());
+    // An allow() for a different rule does not silence it.
+    EXPECT_TRUE(has_rule(
+        rules_in("#include <fstream>  // ef-lint: allow(io: wrong)\n",
+                 cls),
+        "file-io"));
+}
+
 TEST(EfLintIssues, FormatAndLineNumbers)
 {
     auto issues = lint_source("src/sched/x.cc",
@@ -293,7 +353,7 @@ TEST(EfLintRules, NamesAreStable)
     const std::vector<std::string> expected = {
         "nondet",            "unordered", "float-eq",
         "check-side-effect", "io",        "using-namespace",
-        "threading"};
+        "threading",         "file-io"};
     EXPECT_EQ(lint::rule_names(), expected);
 }
 

@@ -299,6 +299,10 @@ const std::set<std::string> kThreadingHeaders = {
     "thread",    "mutex",     "atomic",    "condition_variable",
     "shared_mutex", "future", "semaphore", "barrier",
     "latch",     "stop_token"};
+const std::set<std::string> kFileIoTypes = {"ifstream", "ofstream",
+                                            "fstream", "filebuf"};
+const std::set<std::string> kFileIoCalls = {"fopen", "freopen",
+                                            "tmpfile"};
 const std::set<std::string> kSideEffectOps = {
     "=",  "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
     "<<=", ">>=", "++", "--"};
@@ -417,6 +421,8 @@ classify(std::string_view path)
         starts("src/common/logging.") || starts("src/common/check.");
     cls.rng_exempt = starts("src/common/rng.");
     cls.threading_exempt = starts("src/common/parallel.");
+    cls.file_io_exempt =
+        starts("src/recover/") || starts("src/workload/trace_io.");
     return cls;
 }
 
@@ -426,7 +432,7 @@ rule_names()
     static const std::vector<std::string> kNames = {
         "nondet",           "unordered", "float-eq",
         "check-side-effect", "io",        "using-namespace",
-        "threading"};
+        "threading",        "file-io"};
     return kNames;
 }
 
@@ -478,6 +484,23 @@ lint_source(std::string_view path, std::string_view text,
                               "EF_INFO/EF_WARN or return text to the "
                               "caller");
             }
+            // (An `#include <fstream>` directive is reported once, by
+            // the include branch below — the `<` guard skips it here.)
+            const bool after_angle =
+                i > 0 && tokens[i - 1].kind == Token::kPunct &&
+                tokens[i - 1].text == "<";
+            if (cls.library && !cls.file_io_exempt &&
+                !is_member(tokens, i) && !after_angle &&
+                (kFileIoTypes.count(tok.text) > 0 ||
+                 (kFileIoCalls.count(tok.text) > 0 &&
+                  next_is(tokens, i, "(")))) {
+                add_issue(issues, path, tok.line, "file-io",
+                          "raw file I/O ('" + tok.text +
+                              "') in library code — durable state "
+                              "flows through recover::DurableLog "
+                              "(recover/) or workload/trace_io so "
+                              "crash-consistency guarantees hold");
+            }
             if (cls.library && tok.text == "using" &&
                 i + 1 < tokens.size() &&
                 tokens[i + 1].kind == Token::kIdent &&
@@ -521,16 +544,17 @@ lint_source(std::string_view path, std::string_view text,
             }
         } else if (tok.kind == Token::kPunct && tok.text == "#") {
             // Include directives lex as `#` `include` `<` name `>`.
-            if (cls.library && !cls.threading_exempt &&
+            const bool is_include =
                 i + 4 < tokens.size() &&
                 tokens[i + 1].kind == Token::kIdent &&
                 tokens[i + 1].text == "include" &&
                 tokens[i + 2].kind == Token::kPunct &&
                 tokens[i + 2].text == "<" &&
                 tokens[i + 3].kind == Token::kIdent &&
-                kThreadingHeaders.count(tokens[i + 3].text) > 0 &&
                 tokens[i + 4].kind == Token::kPunct &&
-                tokens[i + 4].text == ">") {
+                tokens[i + 4].text == ">";
+            if (cls.library && !cls.threading_exempt && is_include &&
+                kThreadingHeaders.count(tokens[i + 3].text) > 0) {
                 add_issue(issues, path, tok.line, "threading",
                           "direct <" + tokens[i + 3].text +
                               "> include in library code — all "
@@ -538,6 +562,15 @@ lint_source(std::string_view path, std::string_view text,
                               "ef::ThreadPool (common/parallel.h), "
                               "which keeps planner decisions "
                               "deterministic");
+            }
+            if (cls.library && !cls.file_io_exempt && is_include &&
+                tokens[i + 3].text == "fstream") {
+                add_issue(issues, path, tok.line, "file-io",
+                          "<fstream> include in library code — "
+                          "durable state flows through "
+                          "recover::DurableLog (recover/) or "
+                          "workload/trace_io so crash-consistency "
+                          "guarantees hold");
             }
         } else if (tok.kind == Token::kPunct &&
                    (tok.text == "==" || tok.text == "!=")) {

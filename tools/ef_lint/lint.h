@@ -29,6 +29,13 @@
  *                     flows through ef::ThreadPool, whose deterministic
  *                     index-ownership contract keeps planner decisions
  *                     bit-identical to single-threaded runs.
+ *   file-io           No raw file I/O (<fstream> includes, fstream
+ *                     stream types, fopen/freopen) in library code
+ *                     outside recover/ and workload/trace_io.* — all
+ *                     durable state flows through recover::DurableLog
+ *                     so crash-consistency (checksums, fsync'd commit
+ *                     points, atomic snapshot replace) cannot be
+ *                     bypassed by ad-hoc writes.
  *
  * Escape hatch: a violation is suppressed by a line comment on the
  * same line or the line directly above it, naming the rule and a
@@ -65,6 +72,8 @@ struct FileClass
     bool rng_exempt = false;
     /** The sanctioned threading primitive (common/parallel.*). */
     bool threading_exempt = false;
+    /** The sanctioned persistence layer (recover/, workload/trace_io.*). */
+    bool file_io_exempt = false;
 };
 
 /** Classify a forward-slash path relative to the repo root. */
