@@ -134,7 +134,7 @@ almost_equal(double a, double b, double rel_tol, double abs_tol)
     if (std::isinf(a) || std::isinf(b)) {
         // Equal infinities are exactly equal; anything else is not
         // within any tolerance of an infinity.
-        return a == b;  // ef-lint: allow(float-eq: exact sentinel compare is this function's job)
+        return a == b;
     }
     double diff = std::fabs(a - b);
     if (diff <= abs_tol)

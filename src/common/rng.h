@@ -94,7 +94,9 @@ class Rng
     }
 
   private:
+    // ef-audit: transient(hash: position fully pinned by the (seed_, draws_, fork_count_) cursor; journaled verbatim (codec) to skip replaying draws)
     std::mt19937_64 engine_;
+    // ef-audit: transient(decode: construction-time constant — restore() requires an Rng built with the matching seed)
     std::uint64_t seed_;
     std::uint64_t fork_count_ = 0;
     std::uint64_t draws_ = 0;

@@ -123,9 +123,12 @@ class ScalingCurve
     static constexpr std::size_t kIndexEntries = 34;
 
     std::vector<double> table_;     // index k -> throughput at 2^k GPUs
+    // ef-audit: transient(encode: derived from table_; from_pow2_table() recomputes it on decode)
     GpuCount max_useful_ = 0;
+    // ef-audit: transient(encode: derived from table_; from_pow2_table() recomputes it on decode)
     GpuCount min_workers_ = 0;
     /** bit_width(gpus) -> clamped table index (min(log2, size-1)). */
+    // ef-audit: transient(codec: lookup acceleration, rebuilt from table_ by rebuild_index())
     std::array<std::uint8_t, kIndexEntries> index_{};
 };
 

@@ -277,6 +277,7 @@ class FaultInjector
     void restore_state(const State &state);
 
   private:
+    // ef-audit: transient(all: construction-time constant; restore_state() requires the same config)
     FaultConfig config_;
     Rng server_rng_;
     Rng gpu_rng_;
@@ -284,11 +285,15 @@ class FaultInjector
     Rng straggler_rng_;
     Rng ckpt_rng_;
     /** Meta stream: excluded from state_fingerprint() by design. */
+    // ef-audit: transient(hash: meta stream consumed before the run, pinned by sched_crash_cursor_ instead)
     Rng sched_rng_;
+    // ef-audit: transient(codec: scripted events, re-parsed from the fault script at construction)
     std::vector<FaultEvent> queueable_;
     std::vector<FaultEvent> armed_rpc_;
     std::vector<FaultEvent> armed_ckpt_;
+    // ef-audit: transient(codec: scripted storms, re-parsed from the fault script at construction)
     std::vector<FaultEvent> storms_;
+    // ef-audit: transient(all: scripted crash points, re-parsed at construction; consumption is pinned by sched_crash_cursor_)
     std::vector<FaultEvent> armed_sched_;
 };
 

@@ -21,7 +21,7 @@
 #define EF_RECOVER_JOURNAL_H_
 
 #include <cstdint>
-#include <cstdio>  // ef-lint: allow(file-io: recover/ owns all persistence)
+#include <cstdio>
 #include <string>
 #include <vector>
 

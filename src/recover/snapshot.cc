@@ -1,7 +1,7 @@
 #include "recover/snapshot.h"
 
 #include <cerrno>
-#include <cstdio>  // ef-lint: allow(file-io: recover/ owns all persistence)
+#include <cstdio>
 #include <cstring>
 
 #include <fcntl.h>

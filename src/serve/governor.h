@@ -86,6 +86,7 @@ class ReplanGovernor
     /** Refill up to @p now (monotonic; past times are ignored). */
     void refill(Time now);
 
+    // ef-audit: transient(all: construction-time constant, re-supplied when the service is rebuilt)
     GovernorConfig config_;
     double tokens_ = 0.0;
     Time last_refill_ = 0.0;

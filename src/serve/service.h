@@ -124,15 +124,19 @@ struct ServiceStats
     std::uint64_t shed_queue_full = 0;
     std::uint64_t shed_infeasible = 0;
 
+    // ef-audit: transient(hash: monotone round counter, implied by the number of folded commits)
     std::uint64_t rounds = 0;         ///< committed planning rounds
+    // ef-audit: transient(hash: diagnostic counter; the forced flag itself is folded per round)
     std::uint64_t rounds_forced = 0;  ///< committed without a token
     std::uint64_t replan_timeouts = 0;///< watchdog abandonments
+    // ef-audit: transient(hash: cost accounting, derived from the committed plan sizes)
     std::uint64_t planning_cost = 0;  ///< total cost units spent
 
     std::uint64_t finished = 0;       ///< retired completions
     std::uint64_t deadline_misses = 0;///< retired past their deadline
     std::uint64_t demotions = 0;      ///< SLO parked to best-effort
 
+    // ef-audit: transient(hash: high-water diagnostic, derived from the folded queue depths)
     std::size_t max_queue_depth = 0;  ///< never exceeds the watermark
 
     /** Sheds of both kinds. */
@@ -216,9 +220,11 @@ class Service
     /** One active job (either list). */
     struct Active
     {
+        // ef-audit: transient(hash: submission-time constant, journaled (codec) and pinned by the job id)
         ScalingCurve curve;
         double remaining_iterations = 0.0;
         Time deadline = kTimeInfinity;  ///< infinity for best-effort
+        // ef-audit: transient(hash: submission-time constant, implied by which list (slo_/best_effort_) holds the job)
         bool soft = false;
     };
 
@@ -250,21 +256,31 @@ class Service
     void arm();
     void fold_round_hash(Time t, std::size_t batch, bool forced);
 
+    // ef-audit: transient(all: construction-time constant; its fingerprint is checked against the snapshot header instead)
     ServiceConfig config_;
+    // ef-audit: transient(all: derived from config_ at construction)
     PlannerConfig planner_;
     FaultInjector *faults_;
     ReplanGovernor governor_;
     /** Shard worker pool (only when planner_threads > 1). */
+    // ef-audit: transient(all: worker threads, rebuilt from config_ at construction)
     std::unique_ptr<ThreadPool> pool_;
     /** Sharding plan; shards <= 1 and no pool when disabled. */
+    // ef-audit: transient(all: derived from config_ at construction)
     PlannerConcurrency concurrency_;
+    // ef-audit: transient(all: derived from config_ at construction)
     bool sharded_ = false;
 
+    // ef-audit: covered(hash: folded into every round commit as the round time t)
     Time now_ = 0.0;
+    // ef-audit: transient(hash: equals the previous folded round time)
     Time last_round_ = 0.0;
+    // ef-audit: transient(hash: re-derived by arm() from pending_/active state after every entry point)
     Time next_due_ = kTimeInfinity;
+    // ef-audit: transient(hash: watchdog retry latch, resolved within the round that set it)
     bool escalated_ = false;  ///< watchdog retry in progress
 
+    // ef-audit: transient(hash: queue contents are journaled (codec); each round folds the batch it drains, so queue history is pinned)
     std::deque<Submission> pending_;
     std::map<JobId, Active> slo_;
     std::map<JobId, Active> best_effort_;
@@ -272,17 +288,23 @@ class Service
         watchdog fallback keeps these untouched when a round is
         abandoned. */
     std::map<JobId, GpuCount> gpus_now_;
+    // ef-audit: transient(hash: watchdog escalation memo, resolved by the next committed round)
     int replan_failures_ = 0;
 
     ServiceStats stats_;
     std::uint64_t hash_ = 0x9e3779b97f4a7c15ULL;
+    // ef-audit: transient(all: borrowed observer callback, not state)
     std::function<void(const Decision &)> on_decision_;
 
     // --- durability (DESIGN.md §12) ------------------------------------
+    // ef-audit: transient(all: the log handle IS the persistence mechanism, not state inside it)
     std::unique_ptr<recover::DurableLog> durable_;
+    // ef-audit: transient(all: bind_durability() parameter, re-supplied on recovery)
     std::uint64_t snapshot_every_ = 16;
+    // ef-audit: transient(all: snapshot cadence memo; a recovered service restarts its cadence at the recovery point)
     std::uint64_t snapshot_round_ = 0;
     /** A cadence snapshot is due at the next entry-point boundary. */
+    // ef-audit: transient(all: drains at the next entry-point boundary, never live at a commit point)
     bool snapshot_pending_ = false;
     /** Journaled verdicts not yet matched by the replay. */
     struct ReplayVerdict
@@ -290,12 +312,17 @@ class Service
         JobId id;
         std::uint8_t verdict;
     };
+    // ef-audit: transient(all: recovery-session scratch, loaded FROM the journal)
     std::vector<ReplayVerdict> replay_verdicts_;
+    // ef-audit: transient(all: recovery-session cursor into replay_verdicts_)
     std::size_t replay_verdict_next_ = 0;
     /** Journaled round commits (round index, hash) to verify. */
+    // ef-audit: transient(all: recovery-session scratch, loaded FROM the journal)
     std::vector<std::pair<std::uint64_t, std::uint64_t>> replay_rounds_;
+    // ef-audit: transient(all: recovery-session cursor into replay_rounds_)
     std::size_t replay_round_next_ = 0;
     /** True while replay_tail() re-feeds journaled inputs. */
+    // ef-audit: transient(all: recovery-session flag, true only inside replay_tail())
     bool replay_active_ = false;
 };
 

@@ -46,7 +46,9 @@ trace_ids(const std::vector<GpuCount> &gpus)
 /** Runtime record of one job. */
 struct Simulator::JobRt
 {
+    // ef-audit: transient(hash: submission-time constant, journaled (codec) and pinned by the job id)
     JobSpec spec;
+    // ef-audit: transient(hash: submission-time constant, journaled (codec) and pinned by the job id)
     ScalingCurve curve;
     bool arrived = false;
     JobState state = JobState::kWaiting;
@@ -58,12 +60,14 @@ struct Simulator::JobRt
 
     GpuCount gpus = 0;              ///< currently held GPUs
     double current_tpt = 0.0;       ///< iterations/sec on the placement
+    // ef-audit: transient(hash: drawn once per job from the journaled Rng cursor, so it is pinned by (seed, draws))
     double noise_factor = 1.0;      ///< executor-vs-profile mismatch
     double checkpoint_iters = 0.0;  ///< progress safe from failures
 
     double straggler_factor = 1.0;  ///< >1 while a worker straggles
     Time straggler_until = -kTimeInfinity;
 
+    // ef-audit: transient(hash: derived report row, filled in at retirement from hashed progress state)
     JobOutcome outcome;
 
     double remaining() const

@@ -312,28 +312,39 @@ class Simulator : public ClusterView
     JobRt &rt(JobId id);
     const JobRt &rt(JobId id) const;
 
+    // ef-audit: transient(all: append-only observability output, never read back)
     Trace trace_;
+    // ef-audit: transient(hash: borrowed policy object; its choices are pinned by the decisions they produce)
     Scheduler *scheduler_;
+    // ef-audit: transient(all: construction-time constant; recovery re-derives it from the run setup)
     SimConfig config_;
 
     Topology topology_;
+    // ef-audit: transient(all: pure function of config_, no mutable state)
     PerfModel perf_;
     PlacementManager placement_;
+    // ef-audit: transient(all: pure function of config_, no mutable state)
     OverheadModel overhead_;
 
     Time now_ = 0.0;
     std::uint64_t next_seq_ = 0;
+    // ef-audit: transient(hash: pending futures, not history — journaled verbatim (codec) and pinned by (now_, next_seq_) plus the committed state that scheduled them)
     std::priority_queue<Event, std::vector<Event>,
                         bool (*)(const Event &, const Event &)> events_;
 
+    // ef-audit: covered(hash, encode: every JobRt is hashed and journaled via the rt() loop over submit_order_)
     std::map<JobId, std::unique_ptr<JobRt>> jobs_;
     std::vector<JobId> submit_order_;
 
+    // ef-audit: transient(hash: re-armed deterministically from events_ at the next boundary)
     bool tick_armed_ = false;
     /** A replan request is waiting for the current timestamp to drain. */
+    // ef-audit: transient(hash: drains within the current timestamp, never live at a round commit)
     bool replan_pending_ = false;
     /** Scheduler-visible state changed since the last decision. */
+    // ef-audit: transient(hash: recomputed from the event stream; a recovered run re-dirties on the first post-replay event)
     bool view_dirty_ = true;
+    // ef-audit: transient(hash: cadence memo, derived from the committed decision history)
     Time last_decision_time_ = -kTimeInfinity;
     /** Null unless service mode is enabled. */
     std::unique_ptr<serve::ReplanGovernor> service_governor_;
@@ -347,29 +358,41 @@ class Simulator : public ClusterView
 
     /** Null unless durability is configured; write side only (null
      *  while replaying a journal tail — recovery loads read-only). */
+    // ef-audit: transient(all: the log handle IS the persistence mechanism, not state inside it)
     std::unique_ptr<recover::DurableLog> durable_;
+    // ef-audit: transient(all: write-side plumbing flag, rebuilt by bind_durability())
     bool durability_ready_ = false;
     /** State was restored from a snapshot (skip run() seeding). */
+    // ef-audit: transient(all: recovery-session flag, true only on the recovering side)
     bool recovered_ = false;
     /** Round commits awaiting re-execution verification. */
+    // ef-audit: transient(all: recovery-session scratch, loaded FROM the journal)
     std::vector<ReplayCommit> replay_;
+    // ef-audit: transient(all: recovery-session cursor into replay_)
     std::size_t replay_next_ = 0;
     /** Journal records read at recovery (for obs accounting). */
+    // ef-audit: transient(all: recovery-session accounting, reported then dropped)
     std::uint64_t replay_journal_records_ = 0;
     /** Valid journal bytes at recovery: where post-replay appends
      *  resume, so the pre-crash tail stays recoverable until the next
      *  snapshot subsumes it. */
+    // ef-audit: transient(all: recovery-session offset, derived from the journal scan itself)
     std::uint64_t recovered_journal_bytes_ = 0;
     /** Scripted kSchedCrash events consumed so far. Persisted in every
      *  round-commit record *after* the crash check, so recovery never
      *  re-fires a crash that already happened. */
+    // ef-audit: transient(hash: journaled (codec) but excluded from the digest — both sides of a crash boundary must agree on the pre-crash history)
     std::uint64_t sched_crash_cursor_ = 0;
     /** Round of the last snapshot (cadence base). */
+    // ef-audit: transient(all: snapshot cadence memo; a recovered run restarts its cadence at the recovery point)
     std::uint64_t snapshot_round_ = 0;
     /** A cadence snapshot is due at the next event-loop boundary. */
+    // ef-audit: transient(all: drains at the next boundary, never live at a commit point)
     bool snapshot_pending_ = false;
+    // ef-audit: transient(all: the crashed side never persists again; the recovering side starts false)
     bool crashed_ = false;
 
+    // ef-audit: transient(hash: derived output summary, recomputed by finish())
     RunResult result_;
 };
 

@@ -348,6 +348,27 @@ TEST(EfLintIssues, FormatAndLineNumbers)
     EXPECT_EQ(formatted.find("src/sched/x.cc:3: [unordered] "), 0u);
 }
 
+TEST(EfLintUnusedAllow, ReportedOnlyWhenAsked)
+{
+    FileClass cls = library_class();
+    const char *stale =
+        "// ef-lint: allow(float-eq: nothing floaty here)\n"
+        "int n = 3;\n";
+    // Default behavior is unchanged: stale allows stay silent.
+    EXPECT_TRUE(lint_source("fixture.cc", stale, cls).empty());
+    lint::LintOptions options;
+    options.warn_unused_allow = true;
+    auto issues = lint_source("fixture.cc", stale, cls, options);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_EQ(issues[0].rule, "unused-allow");
+    EXPECT_EQ(issues[0].line, 1);
+
+    // An allow that actually suppressed something is not stale.
+    const char *used =
+        "bool eq = x == 1.0;  // ef-lint: allow(float-eq: by design)\n";
+    EXPECT_TRUE(lint_source("fixture.cc", used, cls, options).empty());
+}
+
 TEST(EfLintRules, NamesAreStable)
 {
     const std::vector<std::string> expected = {

@@ -1,0 +1,688 @@
+/** @file ef-audit pass 2: cross-file rules over the symbol index. */
+#include "audit.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "common/json.h"
+#include "common/parallel.h"
+#include "index.h"
+
+namespace ef {
+namespace audit {
+namespace {
+
+using lint::Token;
+
+const std::set<std::string> kAssignOps = {
+    "=",  "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "<<=", ">>="};
+
+/** Container methods that mutate the receiver. */
+const std::set<std::string> kMutatingMethods = {
+    "push_back", "emplace_back", "emplace", "insert", "erase",
+    "clear",     "resize",       "assign",  "pop_back", "push",
+    "pop",       "reserve",      "swap",    "fill"};
+
+/** Rules an `ef-audit: allow(...)` may suppress. */
+const std::set<std::string> kAllowableRules = {"thread-ownership",
+                                               "layering"};
+
+std::string
+terminal_name(std::string_view qualified)
+{
+    std::size_t pos = qualified.rfind("::");
+    return std::string(pos == std::string_view::npos
+                           ? qualified
+                           : qualified.substr(pos + 2));
+}
+
+void
+add_finding(std::vector<Finding> &findings, std::string file, int line,
+            const char *rule, std::string symbol, std::string message)
+{
+    findings.push_back(Finding{std::move(file), line, rule,
+                               std::move(symbol), std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// thread-ownership
+// ---------------------------------------------------------------------------
+
+/**
+ * Local declarations inside a lambda body, by a two-token pattern:
+ * an identifier preceded by a type-ish token (identifier, '&', '*',
+ * '>') and followed by '=', ';', ':' or '{'. Catches `Foo &slot =
+ * out[i];`, `const auto x = ...;` and range-for variables — the
+ * idiomatic owned-slot bindings — without parsing declarations fully.
+ */
+std::set<std::string>
+collect_locals(const std::vector<Token> &tokens, std::size_t begin,
+               std::size_t end)
+{
+    static const std::set<std::string> kNotTypes = {
+        "return", "case",  "goto",     "delete", "throw",
+        "new",    "else",  "do",       "sizeof", "co_return",
+        "co_yield", "co_await", "break", "continue"};
+    std::set<std::string> locals;
+    for (std::size_t k = begin; k < end; ++k) {
+        if (tokens[k].kind != Token::kIdent || k == begin ||
+            k + 1 >= end) {
+            continue;
+        }
+        const Token &prev = tokens[k - 1];
+        const Token &next = tokens[k + 1];
+        const bool prev_typeish =
+            (prev.kind == Token::kIdent &&
+             kNotTypes.count(prev.text) == 0) ||
+            (prev.kind == Token::kPunct &&
+             (prev.text == "&" || prev.text == "*" ||
+              prev.text == ">"));
+        const bool next_declish =
+            next.kind == Token::kPunct &&
+            (next.text == "=" || next.text == ";" ||
+             next.text == ":" || next.text == "{");
+        if (prev_typeish && next_declish)
+            locals.insert(tokens[k].text);
+    }
+    return locals;
+}
+
+struct Lvalue
+{
+    std::string root;
+    bool subscript = false;
+};
+
+/**
+ * Walk the member-access chain leftward from @p j (the token just
+ * before a mutation) to its root identifier. `a.b[i].c` → root "a",
+ * subscript true. Complex lvalues (through a call's result) return an
+ * empty root and are skipped.
+ */
+Lvalue
+walk_lvalue(const std::vector<Token> &tokens, std::size_t j,
+            std::size_t begin)
+{
+    Lvalue out;
+    while (true) {
+        if (j < begin || j >= tokens.size())
+            return {};
+        const Token &tok = tokens[j];
+        if (tok.kind == Token::kPunct && tok.text == "]") {
+            int depth = 0;
+            while (true) {
+                const Token &t = tokens[j];
+                if (t.kind == Token::kPunct && t.text == "]") {
+                    ++depth;
+                } else if (t.kind == Token::kPunct &&
+                           t.text == "[") {
+                    if (--depth == 0)
+                        break;
+                }
+                if (j == begin)
+                    return {};
+                --j;
+            }
+            out.subscript = true;
+            if (j == begin)
+                return {};
+            --j;
+            continue;
+        }
+        if (tok.kind == Token::kIdent) {
+            if (j >= begin + 2 &&
+                tokens[j - 1].kind == Token::kPunct &&
+                (tokens[j - 1].text == "." ||
+                 tokens[j - 1].text == "->")) {
+                j -= 2;
+                continue;
+            }
+            out.root = tok.text;
+            return out;
+        }
+        return {};  // ')' etc.: lvalue through a call — skip
+    }
+}
+
+void
+check_lambda_site(const FileIndex &index, const LambdaSite &site,
+                  std::vector<Finding> &findings)
+{
+    // An allow(thread-ownership) on the dispatch line (or the line
+    // above it) sanctions the whole lambda — writes are flagged at
+    // their own line, which the annotator cannot predict.
+    for (const AuditAnnotation &a : index.annotations) {
+        if (!a.malformed && a.kind == AuditAnnotation::kAllow &&
+            a.rule == "thread-ownership" &&
+            (a.line == site.line || a.line == site.line - 1)) {
+            return;
+        }
+    }
+    const std::vector<Token> &tokens = index.lexed.tokens;
+    const std::set<std::string> locals =
+        collect_locals(tokens, site.body_begin, site.body_end);
+    auto flag = [&](const Lvalue &lv, int line,
+                    const std::string &via) {
+        if (lv.root.empty() || lv.subscript)
+            return;
+        if (locals.count(lv.root) > 0 ||
+            site.params.count(lv.root) > 0 ||
+            site.by_value.count(lv.root) > 0) {
+            return;
+        }
+        const bool shared =
+            lv.root == "this"
+                ? (site.captures_this || site.capture_default_ref ||
+                   site.capture_default_value)
+                : (site.by_ref.count(lv.root) > 0 ||
+                   site.capture_default_ref);
+        if (!shared)
+            return;
+        add_finding(
+            findings, index.path, line, "thread-ownership", "",
+            "lambda at this parallel_for site " + via + " '" +
+                lv.root +
+                "' captured by reference without an index-owned "
+                "subscript — fn(i) may only touch index-i state "
+                "(write through a slot like out[i], or annotate "
+                "`// ef-audit: allow(thread-ownership: ...)`)");
+    };
+    for (std::size_t k = site.body_begin; k < site.body_end; ++k) {
+        const Token &tok = tokens[k];
+        if (tok.kind != Token::kPunct && tok.kind != Token::kIdent)
+            continue;
+        if (tok.kind == Token::kPunct &&
+            kAssignOps.count(tok.text) > 0 && k > site.body_begin) {
+            flag(walk_lvalue(tokens, k - 1, site.body_begin),
+                 tok.line, "writes");
+        } else if (tok.kind == Token::kPunct &&
+                   (tok.text == "++" || tok.text == "--")) {
+            const bool postfix =
+                k > site.body_begin &&
+                (tokens[k - 1].kind == Token::kIdent ||
+                 (tokens[k - 1].kind == Token::kPunct &&
+                  (tokens[k - 1].text == "]" ||
+                   tokens[k - 1].text == ")")));
+            if (postfix) {
+                flag(walk_lvalue(tokens, k - 1, site.body_begin),
+                     tok.line, "increments");
+            } else if (k + 1 < site.body_end &&
+                       tokens[k + 1].kind == Token::kIdent) {
+                // Prefix: the chain runs rightward; re-use the
+                // leftward walker from the chain's last token.
+                std::size_t e = k + 1;
+                while (e + 1 < site.body_end) {
+                    const Token &nx = tokens[e + 1];
+                    if (nx.kind == Token::kPunct &&
+                        (nx.text == "." || nx.text == "->") &&
+                        e + 2 < site.body_end &&
+                        tokens[e + 2].kind == Token::kIdent) {
+                        e += 2;
+                    } else if (nx.kind == Token::kPunct &&
+                               nx.text == "[") {
+                        int depth = 0;
+                        std::size_t m = e + 1;
+                        for (; m < site.body_end; ++m) {
+                            if (tokens[m].kind == Token::kPunct &&
+                                tokens[m].text == "[")
+                                ++depth;
+                            else if (tokens[m].kind ==
+                                         Token::kPunct &&
+                                     tokens[m].text == "]" &&
+                                     --depth == 0)
+                                break;
+                        }
+                        e = m;
+                    } else {
+                        break;
+                    }
+                }
+                flag(walk_lvalue(tokens, e, site.body_begin),
+                     tok.line, "increments");
+            }
+        } else if (tok.kind == Token::kIdent &&
+                   kMutatingMethods.count(tok.text) > 0 &&
+                   k + 1 < site.body_end &&
+                   tokens[k + 1].kind == Token::kPunct &&
+                   tokens[k + 1].text == "(" &&
+                   k >= site.body_begin + 2 &&
+                   tokens[k - 1].kind == Token::kPunct &&
+                   (tokens[k - 1].text == "." ||
+                    tokens[k - 1].text == "->")) {
+            flag(walk_lvalue(tokens, k - 2, site.body_begin),
+                 tok.line, "calls mutating method ." + tok.text +
+                               "() on");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// state-coverage
+// ---------------------------------------------------------------------------
+
+struct SurfaceIdents
+{
+    std::set<std::string> idents;
+    std::string described;  // "state_hash (src/sim/simulator.cc)", ...
+    bool present = false;   // the manifest lists >= 1 surface
+    bool resolved = false;  // >= 1 listed surface body was found
+};
+
+SurfaceIdents
+collect_surface(const std::map<std::string, const FileIndex *> &by_path,
+                const std::vector<Manifest::Surface> &surfaces,
+                std::string_view manifest_path,
+                std::vector<Finding> &findings)
+{
+    SurfaceIdents out;
+    out.present = !surfaces.empty();
+    for (const Manifest::Surface &surface : surfaces) {
+        if (!out.described.empty())
+            out.described += ", ";
+        out.described += surface.function + " (" + surface.file + ")";
+        auto it = by_path.find(surface.file);
+        if (it == by_path.end()) {
+            add_finding(findings, std::string(manifest_path),
+                        surface.line, "manifest", "",
+                        "surface file " + surface.file +
+                            " is not in the scanned file set");
+            continue;
+        }
+        int bodies = 0;
+        std::set<std::string> idents = function_body_idents(
+            *it->second, surface.function, &bodies);
+        if (bodies == 0) {
+            add_finding(findings, std::string(manifest_path),
+                        surface.line, "manifest", "",
+                        "no definition of " + surface.function +
+                            "() found in " + surface.file +
+                            " — update the manifest after renames");
+            continue;
+        }
+        out.resolved = true;
+        out.idents.insert(idents.begin(), idents.end());
+    }
+    return out;
+}
+
+void
+check_type_coverage(
+    const std::map<std::string, const FileIndex *> &by_path,
+    const Manifest::Type &type, std::string_view manifest_path,
+    std::vector<Finding> &findings)
+{
+    auto def_it = by_path.find(type.def_file);
+    if (def_it == by_path.end()) {
+        add_finding(findings, std::string(manifest_path), type.line,
+                    "manifest", "",
+                    "def file " + type.def_file +
+                        " for type " + type.name +
+                        " is not in the scanned file set");
+        return;
+    }
+    const FileIndex &def = *def_it->second;
+    TypeDef td = find_type(def, terminal_name(type.name));
+    if (!td.found) {
+        add_finding(findings, std::string(manifest_path), type.line,
+                    "manifest", "",
+                    "type " + type.name + " (terminal '" +
+                        terminal_name(type.name) +
+                        "') not found in " + type.def_file +
+                        " — update the manifest after renames");
+        return;
+    }
+    const SurfaceIdents hash = collect_surface(
+        by_path, type.hash, manifest_path, findings);
+    const SurfaceIdents encode = collect_surface(
+        by_path, type.encode, manifest_path, findings);
+    const SurfaceIdents decode = collect_surface(
+        by_path, type.decode, manifest_path, findings);
+
+    // transient/covered annotations in the defining file, by line.
+    std::map<int, const AuditAnnotation *> exempts;
+    for (const AuditAnnotation &a : def.annotations) {
+        if (!a.malformed && (a.kind == AuditAnnotation::kTransient ||
+                             a.kind == AuditAnnotation::kCovered)) {
+            exempts[a.line] = &a;
+        }
+    }
+    struct SurfaceCheck
+    {
+        const SurfaceIdents *surface;
+        const char *what;
+        bool AuditAnnotation::*exempt_flag;
+    };
+    const SurfaceCheck checks[] = {
+        {&hash, "hash", &AuditAnnotation::hash},
+        {&encode, "encode", &AuditAnnotation::encode},
+        {&decode, "decode", &AuditAnnotation::decode}};
+    for (const FieldInfo &field : td.fields) {
+        // The annotation may sit on the name's line, the line above
+        // it, or (for declarations that wrap) the line above the
+        // declaration's first line.
+        const AuditAnnotation *ann = nullptr;
+        for (int line : {field.line, field.line - 1,
+                         field.decl_line - 1}) {
+            auto it = exempts.find(line);
+            if (it != exempts.end()) {
+                ann = it->second;
+                break;
+            }
+        }
+        for (const SurfaceCheck &check : checks) {
+            // An unresolved surface already blocked with a manifest
+            // finding; per-field noise on top would drown it out.
+            if (!check.surface->present || !check.surface->resolved)
+                continue;
+            if (ann != nullptr && ann->*(check.exempt_flag))
+                continue;
+            if (check.surface->idents.count(field.name) > 0)
+                continue;
+            add_finding(
+                findings, type.def_file, field.line,
+                "state-coverage", type.name + "::" + field.name,
+                "persistent field '" + field.name + "' of " +
+                    type.name + " does not appear in its " +
+                    check.what + " surface [" +
+                    check.surface->described +
+                    "] — cover it there or annotate the declaration "
+                    "with `// ef-audit: transient(" +
+                    std::string(check.what) + ": <reason>)`");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// layering
+// ---------------------------------------------------------------------------
+
+std::map<std::string, std::set<std::string>>
+layer_closure(const Manifest &manifest, std::string_view manifest_path,
+              std::vector<Finding> &findings)
+{
+    std::map<std::string, std::vector<std::string>> direct;
+    std::map<std::string, int> lines;
+    for (const Manifest::Layer &layer : manifest.layers) {
+        direct[layer.dir] = layer.deps;
+        lines[layer.dir] = layer.line;
+    }
+    for (const Manifest::Layer &layer : manifest.layers) {
+        for (const std::string &dep : layer.deps) {
+            if (direct.count(dep) == 0) {
+                add_finding(findings, std::string(manifest_path),
+                            layer.line, "manifest", "",
+                            "layer " + layer.dir +
+                                " depends on undeclared layer '" +
+                                dep + "'");
+            }
+        }
+    }
+    std::map<std::string, std::set<std::string>> closure;
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    std::map<std::string, int> color;
+    std::function<void(const std::string &)> visit =
+        [&](const std::string &dir) {
+            color[dir] = 1;
+            for (const std::string &dep : direct[dir]) {
+                if (direct.count(dep) == 0)
+                    continue;
+                if (color[dep] == 1) {
+                    add_finding(findings,
+                                std::string(manifest_path),
+                                lines[dir], "manifest", "",
+                                "layer DAG cycle through " + dir +
+                                    " -> " + dep);
+                    continue;
+                }
+                if (color[dep] == 0)
+                    visit(dep);
+                closure[dir].insert(dep);
+                closure[dir].insert(closure[dep].begin(),
+                                    closure[dep].end());
+            }
+            color[dir] = 2;
+        };
+    for (const Manifest::Layer &layer : manifest.layers) {
+        if (color[layer.dir] == 0)
+            visit(layer.dir);
+    }
+    return closure;
+}
+
+void
+check_layering(const FileIndex &index,
+               const std::map<std::string, std::set<std::string>>
+                   &closure,
+               std::vector<Finding> &findings)
+{
+    const std::string &path = index.path;
+    if (path.rfind("src/", 0) != 0)
+        return;
+    std::size_t slash = path.find('/', 4);
+    if (slash == std::string::npos)
+        return;  // src/ top-level files are outside the DAG
+    const std::string dir = path.substr(4, slash - 4);
+    if (closure.count(dir) == 0) {
+        add_finding(findings, path, 1, "layering", "",
+                    "directory src/" + dir +
+                        "/ is not declared in the manifest layer "
+                        "DAG — add a 'layer " +
+                        dir + " : ...' line");
+        return;
+    }
+    for (const IncludeDirective &inc : index.includes) {
+        std::size_t inc_slash = inc.path.find('/');
+        if (inc_slash == std::string::npos)
+            continue;  // same-directory include
+        const std::string target = inc.path.substr(0, inc_slash);
+        if (closure.count(target) == 0)
+            continue;  // not a library directory (e.g. nested path)
+        if (target == dir || closure.at(dir).count(target) > 0)
+            continue;
+        add_finding(findings, path, inc.line, "layering", "",
+                    "src/" + dir + "/ includes \"" + inc.path +
+                        "\" but the declared DAG gives " + dir +
+                        " no (transitive) dependency on " + target);
+    }
+}
+
+}  // namespace
+
+std::string
+format_finding(const Finding &finding)
+{
+    std::ostringstream out;
+    out << finding.file << ":" << finding.line << ": ["
+        << finding.rule << "] ";
+    if (!finding.symbol.empty())
+        out << finding.symbol << ": ";
+    out << finding.message;
+    return out.str();
+}
+
+const std::vector<std::string> &
+rule_names()
+{
+    static const std::vector<std::string> kNames = {
+        "state-coverage", "thread-ownership", "layering", "manifest",
+        "bad-annotation"};
+    return kNames;
+}
+
+std::vector<Finding>
+run_audit(const Manifest &manifest,
+          const std::vector<SourceFile> &files,
+          const AuditOptions &options)
+{
+    // Pass 1: per-file indexes, one index-owned slot per file.
+    std::vector<FileIndex> indexes(files.size());
+    ThreadPool pool(options.jobs < 1 ? 1 : options.jobs);
+    parallel_for(&pool, static_cast<int>(files.size()), [&](int i) {
+        const std::size_t n = static_cast<std::size_t>(i);
+        indexes[n] = index_file(files[n].path, files[n].text);
+    });
+    std::map<std::string, const FileIndex *> by_path;
+    for (const FileIndex &index : indexes)
+        by_path[index.path] = &index;
+    const std::string manifest_path =
+        "tools/ef_audit/state_manifest.txt";
+
+    std::vector<Finding> findings;
+
+    // Annotation hygiene + allow() collection across every file.
+    std::map<std::tuple<std::string, std::string, int>, bool> allows;
+    for (const FileIndex &index : indexes) {
+        for (const AuditAnnotation &a : index.annotations) {
+            if (a.malformed) {
+                add_finding(findings, index.path, a.line,
+                            "bad-annotation", "", a.error);
+                continue;
+            }
+            if (a.kind != AuditAnnotation::kAllow)
+                continue;
+            if (kAllowableRules.count(a.rule) == 0) {
+                add_finding(findings, index.path, a.line,
+                            "bad-annotation", "",
+                            "ef-audit: allow() cannot suppress '" +
+                                a.rule +
+                                "' (suppressible: thread-ownership, "
+                                "layering)");
+                continue;
+            }
+            allows[{index.path, a.rule, a.line}] = true;
+        }
+    }
+
+    for (const Manifest::Type &type : manifest.types) {
+        if (type.def_file.empty())
+            continue;  // already reported by parse_manifest
+        check_type_coverage(by_path, type, manifest_path, findings);
+    }
+
+    for (const FileIndex &index : indexes) {
+        for (const LambdaSite &site : index.lambda_sites)
+            check_lambda_site(index, site, findings);
+    }
+
+    const std::map<std::string, std::set<std::string>> closure =
+        layer_closure(manifest, manifest_path, findings);
+    if (!manifest.layers.empty()) {
+        for (const FileIndex &index : indexes)
+            check_layering(index, closure, findings);
+    }
+
+    // allow() suppression: an annotation on the finding's line or the
+    // line directly above it.
+    std::vector<Finding> kept;
+    for (Finding &finding : findings) {
+        if (kAllowableRules.count(finding.rule) > 0 &&
+            (allows.count({finding.file, finding.rule,
+                           finding.line}) > 0 ||
+             allows.count({finding.file, finding.rule,
+                           finding.line - 1}) > 0)) {
+            continue;
+        }
+        kept.push_back(std::move(finding));
+    }
+    std::sort(kept.begin(), kept.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.file, a.line, a.rule, a.symbol,
+                                  a.message) <
+                         std::tie(b.file, b.line, b.rule, b.symbol,
+                                  b.message);
+              });
+    kept.erase(std::unique(kept.begin(), kept.end(),
+                           [](const Finding &a, const Finding &b) {
+                               return std::tie(a.file, a.line, a.rule,
+                                               a.symbol, a.message) ==
+                                      std::tie(b.file, b.line, b.rule,
+                                               b.symbol, b.message);
+                           }),
+               kept.end());
+    return kept;
+}
+
+std::string
+findings_to_json(const std::vector<Finding> &findings)
+{
+    JsonWriter w;
+    w.begin_object();
+    w.key("findings").begin_array();
+    for (const Finding &finding : findings) {
+        w.begin_object();
+        w.kv("file", finding.file);
+        w.kv("line", finding.line);
+        w.kv("rule", finding.rule);
+        w.kv("symbol", finding.symbol);
+        w.kv("message", finding.message);
+        w.end_object();
+    }
+    w.end_array();
+    w.kv("count", static_cast<std::int64_t>(findings.size()));
+    w.end_object();
+    return w.str();
+}
+
+std::string
+findings_to_sarif(const std::vector<Finding> &findings)
+{
+    JsonWriter w;
+    w.begin_object();
+    w.kv("version", "2.1.0");
+    w.kv("$schema",
+         "https://json.schemastore.org/sarif-2.1.0.json");
+    w.key("runs").begin_array();
+    w.begin_object();
+    w.key("tool").begin_object();
+    w.key("driver").begin_object();
+    w.kv("name", "ef-audit");
+    w.kv("informationUri",
+         "https://github.com/elasticflow/elasticflow");
+    w.key("rules").begin_array();
+    for (const std::string &rule : rule_names()) {
+        w.begin_object();
+        w.kv("id", rule);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();  // driver
+    w.end_object();  // tool
+    w.key("results").begin_array();
+    for (const Finding &finding : findings) {
+        w.begin_object();
+        w.kv("ruleId", finding.rule);
+        w.kv("level", "error");
+        w.key("message").begin_object();
+        w.kv("text", finding.symbol.empty()
+                         ? finding.message
+                         : finding.symbol + ": " + finding.message);
+        w.end_object();
+        w.key("locations").begin_array();
+        w.begin_object();
+        w.key("physicalLocation").begin_object();
+        w.key("artifactLocation").begin_object();
+        w.kv("uri", finding.file);
+        w.end_object();
+        w.key("region").begin_object();
+        w.kv("startLine", finding.line);
+        w.end_object();
+        w.end_object();  // physicalLocation
+        w.end_object();  // location
+        w.end_array();   // locations
+        w.end_object();  // result
+    }
+    w.end_array();   // results
+    w.end_object();  // run
+    w.end_array();   // runs
+    w.end_object();
+    return w.str();
+}
+
+}  // namespace audit
+}  // namespace ef

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * ef-audit command-line driver.
+ *
+ *   ef_audit --root <repo-root>       audit src/ and tools/ against
+ *                                     tools/ef_audit/state_manifest.txt
+ *   --manifest <file>                 alternate manifest (repo-relative
+ *                                     or absolute)
+ *   --jobs N                          index files on N threads
+ *   --json <file|->                   machine-readable findings
+ *   --sarif <file>                    SARIF 2.1.0 report
+ *   --list-rules                      print rule names and exit
+ *
+ * Exits 0 when clean, 1 when any finding was reported, 2 on usage/IO
+ * errors. Text output is one "file:line: [rule] message" per finding,
+ * sorted by (file, line, rule) so runs are diffable regardless of
+ * --jobs.
+ */
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audit.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool
+auditable(const fs::path &path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cc" ||
+           ext == ".cpp";
+}
+
+std::string
+slurp(const fs::path &path, bool &ok)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        ok = false;
+        return {};
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    ok = true;
+    return buffer.str();
+}
+
+bool
+spill(const fs::path &path, std::string_view text)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << text;
+    return static_cast<bool>(out);
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: ef_audit --root <repo-root> [--manifest <file>]\n"
+        << "                [--jobs N] [--json <file|->] "
+        << "[--sarif <file>]\n"
+        << "       ef_audit --list-rules\n";
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root;
+    std::string manifest_arg;
+    std::string json_out;
+    std::string sarif_out;
+    ef::audit::AuditOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const std::string &name : ef::audit::rule_names())
+                std::cout << name << "\n";
+            return 0;
+        } else if (arg == "--root") {
+            if (i + 1 >= argc)
+                return usage();
+            root = argv[++i];
+        } else if (arg == "--manifest") {
+            if (i + 1 >= argc)
+                return usage();
+            manifest_arg = argv[++i];
+        } else if (arg == "--jobs") {
+            if (i + 1 >= argc)
+                return usage();
+            options.jobs = std::atoi(argv[++i]);
+            if (options.jobs < 1)
+                return usage();
+        } else if (arg == "--json") {
+            if (i + 1 >= argc)
+                return usage();
+            json_out = argv[++i];
+        } else if (arg == "--sarif") {
+            if (i + 1 >= argc)
+                return usage();
+            sarif_out = argv[++i];
+        } else {
+            return usage();
+        }
+    }
+    if (root.empty())
+        return usage();
+    if (!fs::is_directory(root)) {
+        std::cerr << "ef_audit: not a directory: " << root.string()
+                  << "\n";
+        return 2;
+    }
+
+    fs::path manifest_path =
+        manifest_arg.empty()
+            ? root / "tools" / "ef_audit" / "state_manifest.txt"
+            : fs::path(manifest_arg).is_absolute()
+                  ? fs::path(manifest_arg)
+                  : root / manifest_arg;
+    bool ok = false;
+    const std::string manifest_text = slurp(manifest_path, ok);
+    if (!ok) {
+        std::cerr << "ef_audit: cannot read manifest "
+                  << manifest_path.string() << "\n";
+        return 2;
+    }
+
+    std::vector<std::string> rels;
+    for (const char *dir : {"src", "tools"}) {
+        const fs::path base = root / dir;
+        if (!fs::is_directory(base))
+            continue;
+        for (const auto &entry :
+             fs::recursive_directory_iterator(base)) {
+            if (entry.is_regular_file() && auditable(entry.path())) {
+                rels.push_back(fs::relative(entry.path(), root)
+                                   .generic_string());
+            }
+        }
+    }
+    std::sort(rels.begin(), rels.end());
+
+    std::vector<ef::audit::SourceFile> files;
+    files.reserve(rels.size());
+    int file_errors = 0;
+    for (const std::string &rel : rels) {
+        bool read_ok = false;
+        std::string text = slurp(root / rel, read_ok);
+        if (!read_ok) {
+            std::cerr << "ef_audit: cannot read " << rel << "\n";
+            ++file_errors;
+            continue;
+        }
+        files.push_back({rel, std::move(text)});
+    }
+
+    std::vector<ef::audit::Finding> findings;
+    const ef::audit::Manifest manifest = ef::audit::parse_manifest(
+        fs::relative(manifest_path, root).generic_string(),
+        manifest_text, &findings);
+    std::vector<ef::audit::Finding> audited =
+        ef::audit::run_audit(manifest, files, options);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(audited.begin()),
+                    std::make_move_iterator(audited.end()));
+    std::sort(findings.begin(), findings.end(),
+              [](const ef::audit::Finding &a,
+                 const ef::audit::Finding &b) {
+                  return std::tie(a.file, a.line, a.rule, a.symbol) <
+                         std::tie(b.file, b.line, b.rule, b.symbol);
+              });
+
+    for (const ef::audit::Finding &finding : findings)
+        std::cout << ef::audit::format_finding(finding) << "\n";
+    if (!json_out.empty()) {
+        const std::string doc =
+            ef::audit::findings_to_json(findings);
+        if (json_out == "-") {
+            std::cout << doc << "\n";
+        } else if (!spill(json_out, doc)) {
+            std::cerr << "ef_audit: cannot write " << json_out
+                      << "\n";
+            ++file_errors;
+        }
+    }
+    if (!sarif_out.empty() &&
+        !spill(sarif_out, ef::audit::findings_to_sarif(findings))) {
+        std::cerr << "ef_audit: cannot write " << sarif_out << "\n";
+        ++file_errors;
+    }
+
+    std::cerr << "ef_audit: " << files.size() << " files, "
+              << findings.size() << " finding(s)\n";
+    if (file_errors > 0)
+        return 2;
+    return findings.empty() ? 0 : 1;
+}

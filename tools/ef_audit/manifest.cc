@@ -1,0 +1,118 @@
+/** @file Manifest parsing (see audit.h for the format contract). */
+#include "audit.h"
+
+#include <sstream>
+
+namespace ef {
+namespace audit {
+namespace {
+
+void
+manifest_error(std::vector<Finding> *errors, std::string_view path,
+               int line, std::string message)
+{
+    if (errors == nullptr)
+        return;
+    errors->push_back(Finding{std::string(path), line, "manifest", "",
+                              std::move(message)});
+}
+
+std::vector<std::string>
+split_words(std::string_view line)
+{
+    std::vector<std::string> words;
+    std::istringstream in{std::string(line)};
+    std::string word;
+    while (in >> word)
+        words.push_back(word);
+    return words;
+}
+
+}  // namespace
+
+Manifest
+parse_manifest(std::string_view path, std::string_view text,
+               std::vector<Finding> *errors)
+{
+    Manifest manifest;
+    Manifest::Type *current = nullptr;
+    int ln = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        std::string_view line = text.substr(
+            pos, eol == std::string_view::npos ? text.size() - pos
+                                               : eol - pos);
+        ++ln;
+        pos = eol == std::string_view::npos ? text.size() + 1
+                                            : eol + 1;
+        std::size_t hash = line.find('#');
+        if (hash != std::string_view::npos)
+            line = line.substr(0, hash);
+        std::vector<std::string> words = split_words(line);
+        if (words.empty())
+            continue;
+        const std::string &kw = words[0];
+        if (kw == "layer") {
+            // layer <dir> : [<direct deps>...]
+            if (words.size() < 3 || words[2] != ":") {
+                manifest_error(errors, path, ln,
+                               "expected 'layer <dir> : [deps...]'");
+                continue;
+            }
+            Manifest::Layer layer;
+            layer.dir = words[1];
+            layer.deps.assign(words.begin() + 3, words.end());
+            layer.line = ln;
+            manifest.layers.push_back(std::move(layer));
+        } else if (kw == "type") {
+            if (words.size() != 2) {
+                manifest_error(errors, path, ln,
+                               "expected 'type <qualified-name>'");
+                current = nullptr;
+                continue;
+            }
+            Manifest::Type type;
+            type.name = words[1];
+            type.line = ln;
+            manifest.types.push_back(std::move(type));
+            current = &manifest.types.back();
+        } else if (kw == "def") {
+            if (current == nullptr || words.size() != 2) {
+                manifest_error(errors, path, ln,
+                               "'def <file>' must follow a type line");
+                continue;
+            }
+            current->def_file = words[1];
+        } else if (kw == "hash" || kw == "encode" || kw == "decode") {
+            if (current == nullptr || words.size() != 3) {
+                manifest_error(errors, path, ln,
+                               "'" + kw +
+                                   " <file> <function>' must follow "
+                                   "a type line");
+                continue;
+            }
+            Manifest::Surface surface{words[1], words[2], ln};
+            if (kw == "hash")
+                current->hash.push_back(std::move(surface));
+            else if (kw == "encode")
+                current->encode.push_back(std::move(surface));
+            else
+                current->decode.push_back(std::move(surface));
+        } else {
+            manifest_error(errors, path, ln,
+                           "unknown manifest directive '" + kw + "'");
+        }
+    }
+    for (const Manifest::Type &type : manifest.types) {
+        if (type.def_file.empty()) {
+            manifest_error(errors, path, type.line,
+                           "type " + type.name +
+                               " has no 'def <file>' line");
+        }
+    }
+    return manifest;
+}
+
+}  // namespace audit
+}  // namespace ef

@@ -1,0 +1,200 @@
+/** @file See lexer.h. */
+#include "lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace ef {
+namespace lint {
+
+bool
+ident_start(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+ident_char(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string
+trim(std::string_view s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return std::string(s.substr(b, e - b));
+}
+
+Lexed
+lex(std::string_view text)
+{
+    Lexed out;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+    auto peek = [&](std::size_t k) {
+        return i + k < n ? text[i + k] : '\0';
+    };
+
+    while (i < n) {
+        char c = text[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            std::size_t end = text.find('\n', i);
+            if (end == std::string_view::npos)
+                end = n;
+            out.comments.push_back(
+                {line, std::string(text.substr(i + 2, end - i - 2))});
+            i = end;  // the newline itself bumps `line` next round
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            i += 2;
+            while (i < n && !(text[i] == '*' && peek(1) == '/')) {
+                if (text[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            i = i + 2 <= n ? i + 2 : n;
+            continue;
+        }
+        if (c == 'R' && peek(1) == '"') {
+            // Raw string: skip to the matching )delim" unprocessed.
+            std::size_t open = text.find('(', i + 2);
+            std::string closer = ")";
+            if (open != std::string_view::npos)
+                closer += std::string(text.substr(i + 2, open - i - 2));
+            closer += '"';
+            std::size_t end = open == std::string_view::npos
+                                  ? std::string_view::npos
+                                  : text.find(closer, open + 1);
+            std::size_t stop = end == std::string_view::npos
+                                   ? n
+                                   : end + closer.size();
+            out.tokens.push_back({Token::kString, "", line, false});
+            for (std::size_t k = i; k < stop; ++k) {
+                if (text[k] == '\n')
+                    ++line;
+            }
+            i = stop;
+            continue;
+        }
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            const int start_line = line;
+            ++i;
+            const std::size_t body = i;
+            while (i < n && text[i] != quote) {
+                if (text[i] == '\\')
+                    ++i;
+                else if (text[i] == '\n')
+                    ++line;  // unterminated-literal safety net
+                ++i;
+            }
+            std::string literal(text.substr(body, i - body));
+            if (i < n)
+                ++i;  // closing quote
+            out.tokens.push_back(
+                {quote == '"' ? Token::kString : Token::kChar,
+                 std::move(literal), start_line, false});
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            const std::size_t start = i;
+            bool is_float = false;
+            const bool hex = c == '0' && (peek(1) == 'x' || peek(1) == 'X');
+            if (hex)
+                i += 2;
+            while (i < n) {
+                char d = text[i];
+                if (std::isdigit(static_cast<unsigned char>(d)) ||
+                    d == '\'' ||
+                    (hex &&
+                     std::isxdigit(static_cast<unsigned char>(d)))) {
+                    ++i;
+                    continue;
+                }
+                if (d == '.') {
+                    is_float = true;
+                    ++i;
+                    continue;
+                }
+                if ((!hex && (d == 'e' || d == 'E')) ||
+                    (hex && (d == 'p' || d == 'P'))) {
+                    is_float = true;
+                    ++i;
+                    if (i < n && (text[i] == '+' || text[i] == '-'))
+                        ++i;
+                    continue;
+                }
+                if (std::isalpha(static_cast<unsigned char>(d))) {
+                    // Suffixes (u, l, f, z). Hex digits a-f were
+                    // consumed above, so an 'f' here is a suffix.
+                    if (d == 'f' || d == 'F')
+                        is_float = true;
+                    ++i;
+                    continue;
+                }
+                break;
+            }
+            out.tokens.push_back({Token::kNumber,
+                                  std::string(text.substr(start, i - start)),
+                                  line, is_float});
+            continue;
+        }
+        if (ident_start(c)) {
+            const std::size_t start = i;
+            while (i < n && ident_char(text[i]))
+                ++i;
+            out.tokens.push_back({Token::kIdent,
+                                  std::string(text.substr(start, i - start)),
+                                  line, false});
+            continue;
+        }
+        // Punctuation, longest match first.
+        static const std::string_view kThree[] = {"<<=", ">>=", "<=>",
+                                                  "->*", "..."};
+        static const std::string_view kTwo[] = {
+            "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--",
+            "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->", "::",
+            ".*"};
+        std::size_t len = 1;
+        for (std::string_view op : kThree) {
+            if (text.substr(i, 3) == op) {
+                len = 3;
+                break;
+            }
+        }
+        if (len == 1) {
+            for (std::string_view op : kTwo) {
+                if (text.substr(i, 2) == op) {
+                    len = 2;
+                    break;
+                }
+            }
+        }
+        out.tokens.push_back({Token::kPunct,
+                              std::string(text.substr(i, len)), line,
+                              false});
+        i += len;
+    }
+    return out;
+}
+
+}  // namespace lint
+}  // namespace ef

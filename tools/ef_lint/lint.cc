@@ -1,32 +1,16 @@
 #include "lint.h"
 
-#include <cctype>
 #include <cstddef>
+#include <map>
 #include <set>
 #include <sstream>
+#include <utility>
+
+#include "lexer.h"
 
 namespace ef {
 namespace lint {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Lexer
-// ---------------------------------------------------------------------------
-
-/**
- * A token of preprocessed-enough C++: comments are stripped (their
- * ef-lint annotations captured separately), string and character
- * literals are collapsed to opaque tokens so rule patterns never match
- * inside them, and numbers know whether they are floating-point.
- */
-struct Token
-{
-    enum Kind { kIdent, kNumber, kPunct, kString, kChar };
-    Kind kind = kPunct;
-    std::string text;
-    int line = 0;
-    bool is_float = false;
-};
 
 /** One `ef-lint: allow(rule: reason)` comment, or a malformed try. */
 struct Annotation
@@ -37,35 +21,6 @@ struct Annotation
     bool malformed = false;
     std::string error;
 };
-
-struct Lexed
-{
-    std::vector<Token> tokens;
-    std::vector<Annotation> annotations;
-};
-
-bool
-ident_start(char c)
-{
-    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-
-bool
-ident_char(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-std::string
-trim(std::string_view s)
-{
-    std::size_t b = 0, e = s.size();
-    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
-        ++b;
-    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
-        --e;
-    return std::string(s.substr(b, e - b));
-}
 
 /**
  * Parse an ef-lint annotation out of one line comment's body. The
@@ -114,169 +69,6 @@ parse_annotation(std::string_view comment, int line,
         a.error = "allow() needs a rule name and a non-empty reason";
     }
     out.push_back(std::move(a));
-}
-
-Lexed
-lex(std::string_view text)
-{
-    Lexed out;
-    int line = 1;
-    std::size_t i = 0;
-    const std::size_t n = text.size();
-    auto peek = [&](std::size_t k) {
-        return i + k < n ? text[i + k] : '\0';
-    };
-
-    while (i < n) {
-        char c = text[i];
-        if (c == '\n') {
-            ++line;
-            ++i;
-            continue;
-        }
-        if (std::isspace(static_cast<unsigned char>(c))) {
-            ++i;
-            continue;
-        }
-        if (c == '/' && peek(1) == '/') {
-            std::size_t end = text.find('\n', i);
-            if (end == std::string_view::npos)
-                end = n;
-            parse_annotation(text.substr(i + 2, end - i - 2), line,
-                             out.annotations);
-            i = end;  // the newline itself bumps `line` next round
-            continue;
-        }
-        if (c == '/' && peek(1) == '*') {
-            i += 2;
-            while (i < n && !(text[i] == '*' && peek(1) == '/')) {
-                if (text[i] == '\n')
-                    ++line;
-                ++i;
-            }
-            i = i + 2 <= n ? i + 2 : n;
-            continue;
-        }
-        if (c == 'R' && peek(1) == '"') {
-            // Raw string: skip to the matching )delim" unprocessed.
-            std::size_t open = text.find('(', i + 2);
-            std::string closer = ")";
-            if (open != std::string_view::npos)
-                closer += std::string(text.substr(i + 2, open - i - 2));
-            closer += '"';
-            std::size_t end = open == std::string_view::npos
-                                  ? std::string_view::npos
-                                  : text.find(closer, open + 1);
-            std::size_t stop = end == std::string_view::npos
-                                   ? n
-                                   : end + closer.size();
-            out.tokens.push_back({Token::kString, "", line, false});
-            for (std::size_t k = i; k < stop; ++k) {
-                if (text[k] == '\n')
-                    ++line;
-            }
-            i = stop;
-            continue;
-        }
-        if (c == '"' || c == '\'') {
-            const char quote = c;
-            ++i;
-            while (i < n && text[i] != quote) {
-                if (text[i] == '\\')
-                    ++i;
-                else if (text[i] == '\n')
-                    ++line;  // unterminated-literal safety net
-                ++i;
-            }
-            if (i < n)
-                ++i;  // closing quote
-            out.tokens.push_back(
-                {quote == '"' ? Token::kString : Token::kChar, "", line,
-                 false});
-            continue;
-        }
-        if (std::isdigit(static_cast<unsigned char>(c)) ||
-            (c == '.' &&
-             std::isdigit(static_cast<unsigned char>(peek(1))))) {
-            const std::size_t start = i;
-            bool is_float = false;
-            const bool hex = c == '0' && (peek(1) == 'x' || peek(1) == 'X');
-            if (hex)
-                i += 2;
-            while (i < n) {
-                char d = text[i];
-                if (std::isdigit(static_cast<unsigned char>(d)) ||
-                    d == '\'' ||
-                    (hex &&
-                     std::isxdigit(static_cast<unsigned char>(d)))) {
-                    ++i;
-                    continue;
-                }
-                if (d == '.') {
-                    is_float = true;
-                    ++i;
-                    continue;
-                }
-                if ((!hex && (d == 'e' || d == 'E')) ||
-                    (hex && (d == 'p' || d == 'P'))) {
-                    is_float = true;
-                    ++i;
-                    if (i < n && (text[i] == '+' || text[i] == '-'))
-                        ++i;
-                    continue;
-                }
-                if (std::isalpha(static_cast<unsigned char>(d))) {
-                    // Suffixes (u, l, f, z). Hex digits a-f were
-                    // consumed above, so an 'f' here is a suffix.
-                    if (d == 'f' || d == 'F')
-                        is_float = true;
-                    ++i;
-                    continue;
-                }
-                break;
-            }
-            out.tokens.push_back({Token::kNumber,
-                                  std::string(text.substr(start, i - start)),
-                                  line, is_float});
-            continue;
-        }
-        if (ident_start(c)) {
-            const std::size_t start = i;
-            while (i < n && ident_char(text[i]))
-                ++i;
-            out.tokens.push_back({Token::kIdent,
-                                  std::string(text.substr(start, i - start)),
-                                  line, false});
-            continue;
-        }
-        // Punctuation, longest match first.
-        static const std::string_view kThree[] = {"<<=", ">>=", "<=>",
-                                                  "->*", "..."};
-        static const std::string_view kTwo[] = {
-            "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--",
-            "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->", "::",
-            ".*"};
-        std::size_t len = 1;
-        for (std::string_view op : kThree) {
-            if (text.substr(i, 3) == op) {
-                len = 3;
-                break;
-            }
-        }
-        if (len == 1) {
-            for (std::string_view op : kTwo) {
-                if (text.substr(i, 2) == op) {
-                    len = 2;
-                    break;
-                }
-            }
-        }
-        out.tokens.push_back({Token::kPunct,
-                              std::string(text.substr(i, len)), line,
-                              false});
-        i += len;
-    }
-    return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -449,6 +241,13 @@ std::vector<Issue>
 lint_source(std::string_view path, std::string_view text,
             const FileClass &cls)
 {
+    return lint_source(path, text, cls, LintOptions{});
+}
+
+std::vector<Issue>
+lint_source(std::string_view path, std::string_view text,
+            const FileClass &cls, const LintOptions &options)
+{
     Lexed lexed = lex(text);
     const std::vector<Token> &tokens = lexed.tokens;
     std::vector<Issue> issues;
@@ -585,9 +384,12 @@ lint_source(std::string_view path, std::string_view text,
     }
 
     // Annotation validation + suppression.
-    std::set<std::pair<std::string, int>> allows;
+    std::vector<Annotation> annotations;
+    for (const Comment &comment : lexed.comments)
+        parse_annotation(comment.text, comment.line, annotations);
+    std::map<std::pair<std::string, int>, bool> allows;  // -> used?
     const std::vector<std::string> &known = rule_names();
-    for (const Annotation &a : lexed.annotations) {
+    for (const Annotation &a : annotations) {
         if (a.malformed) {
             add_issue(issues, path, a.line, "bad-annotation", a.error);
             continue;
@@ -601,16 +403,34 @@ lint_source(std::string_view path, std::string_view text,
                           "' in ef-lint: allow(...)");
             continue;
         }
-        allows.insert({a.rule, a.line});
+        allows.insert({{a.rule, a.line}, false});
     }
     std::vector<Issue> kept;
     for (Issue &issue : issues) {
-        if (issue.rule != "bad-annotation" &&
-            (allows.count({issue.rule, issue.line}) > 0 ||
-             allows.count({issue.rule, issue.line - 1}) > 0)) {
-            continue;  // suppressed by an allow() on this/previous line
+        if (issue.rule != "bad-annotation") {
+            auto same = allows.find({issue.rule, issue.line});
+            auto above = allows.find({issue.rule, issue.line - 1});
+            if (same != allows.end() || above != allows.end()) {
+                // Suppressed by an allow() on this/previous line.
+                if (same != allows.end())
+                    same->second = true;
+                if (above != allows.end())
+                    above->second = true;
+                continue;
+            }
         }
         kept.push_back(std::move(issue));
+    }
+    if (options.warn_unused_allow) {
+        for (const auto &[key, used] : allows) {
+            if (used)
+                continue;
+            add_issue(kept, path, key.second, "unused-allow",
+                      "ef-lint: allow(" + key.first +
+                          ") suppressed nothing — stale escape "
+                          "hatches hide real regressions; remove it "
+                          "or re-anchor it to the flagged line");
+        }
     }
     return kept;
 }

@@ -45,9 +45,11 @@
  *     //                into a sorted vector)
  *
  * Malformed annotations (unknown rule, missing reason) are themselves
- * reported, as rule "bad-annotation". Unused annotations are legal:
- * they may document intent at sites the lexical heuristics are too
- * weak to flag.
+ * reported, as rule "bad-annotation". Unused annotations are legal by
+ * default — they may document intent at sites the lexical heuristics
+ * are too weak to flag — but LintOptions::warn_unused_allow surfaces
+ * them as advisory "unused-allow" issues so stale escape hatches are
+ * visible instead of accumulating silently.
  */
 #ifndef EF_TOOLS_EF_LINT_LINT_H_
 #define EF_TOOLS_EF_LINT_LINT_H_
@@ -94,6 +96,18 @@ std::string format_issue(const Issue &issue);
 /** All valid rule names, for annotation validation and --list-rules. */
 const std::vector<std::string> &rule_names();
 
+/** Optional behaviors beyond the always-on rule set. */
+struct LintOptions
+{
+    /**
+     * Emit an advisory "unused-allow" issue for every well-formed
+     * allow() annotation that suppressed nothing. Not a member of
+     * rule_names(): it cannot itself be allow()ed, and callers treat
+     * it as a warning (it never affects the ef_lint exit status).
+     */
+    bool warn_unused_allow = false;
+};
+
 /**
  * Lint one file's contents. @p path is used for issue reporting only;
  * pass @p cls from classify() (or hand-build it in tests).
@@ -101,6 +115,10 @@ const std::vector<std::string> &rule_names();
 std::vector<Issue> lint_source(std::string_view path,
                                std::string_view text,
                                const FileClass &cls);
+std::vector<Issue> lint_source(std::string_view path,
+                               std::string_view text,
+                               const FileClass &cls,
+                               const LintOptions &options);
 
 }  // namespace lint
 }  // namespace ef

@@ -6,12 +6,19 @@
  *   ef_lint --root <repo-root> <files>  lint specific files (paths
  *                                       relative to the root)
  *   ef_lint --list-rules                print rule names and exit
+ *   --jobs N                            lint files on N threads
+ *                                       (output order is unchanged)
+ *   --warn-unused-allow                 advisory: report allow()
+ *                                       annotations that suppressed
+ *                                       nothing (never affects the
+ *                                       exit status)
  *
  * Exits 0 when clean, 1 when any issue was found, 2 on usage/IO
  * errors. Output is one "file:line: [rule] message" per issue, in
- * sorted file order so runs are diffable.
+ * sorted file order so runs are diffable regardless of --jobs.
  */
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -19,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "lint.h"
 
 namespace fs = std::filesystem;
@@ -50,7 +58,8 @@ slurp(const fs::path &path, bool &ok)
 int
 usage()
 {
-    std::cerr << "usage: ef_lint --root <repo-root> [files...]\n"
+    std::cerr << "usage: ef_lint --root <repo-root> [--jobs N]"
+              << " [--warn-unused-allow] [files...]\n"
               << "       ef_lint --list-rules\n";
     return 2;
 }
@@ -62,6 +71,8 @@ main(int argc, char **argv)
 {
     fs::path root;
     std::vector<std::string> explicit_files;
+    ef::lint::LintOptions options;
+    int jobs = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--list-rules") {
@@ -72,6 +83,14 @@ main(int argc, char **argv)
             if (i + 1 >= argc)
                 return usage();
             root = argv[++i];
+        } else if (arg == "--jobs") {
+            if (i + 1 >= argc)
+                return usage();
+            jobs = std::atoi(argv[++i]);
+            if (jobs < 1)
+                return usage();
+        } else if (arg == "--warn-unused-allow") {
+            options.warn_unused_allow = true;
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else {
@@ -108,26 +127,54 @@ main(int argc, char **argv)
     }
     std::sort(files.begin(), files.end());
 
+    // Lint every file into its own slot (index-owned, so the parallel
+    // scan is deterministic), then report in sorted file order.
+    struct FileResult
+    {
+        std::vector<ef::lint::Issue> issues;
+        bool read_error = false;
+    };
+    std::vector<FileResult> results(files.size());
+    ef::ThreadPool pool(jobs);
+    ef::parallel_for(
+        &pool, static_cast<int>(files.size()), [&](int idx) {
+            FileResult &slot = results[static_cast<std::size_t>(idx)];
+            const std::string &rel =
+                files[static_cast<std::size_t>(idx)];
+            bool ok = false;
+            const std::string text = slurp(root / rel, ok);
+            if (!ok) {
+                slot.read_error = true;
+                return;
+            }
+            const ef::lint::FileClass cls = ef::lint::classify(rel);
+            slot.issues =
+                ef::lint::lint_source(rel, text, cls, options);
+        });
+
     int issue_count = 0;
+    int warn_count = 0;
     int file_errors = 0;
-    for (const std::string &rel : files) {
-        bool ok = false;
-        const std::string text = slurp(root / rel, ok);
-        if (!ok) {
-            std::cerr << "ef_lint: cannot read " << rel << "\n";
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        if (results[i].read_error) {
+            std::cerr << "ef_lint: cannot read " << files[i] << "\n";
             ++file_errors;
             continue;
         }
-        const ef::lint::FileClass cls = ef::lint::classify(rel);
-        for (const ef::lint::Issue &issue :
-             ef::lint::lint_source(rel, text, cls)) {
+        for (const ef::lint::Issue &issue : results[i].issues) {
             std::cout << ef::lint::format_issue(issue) << "\n";
-            ++issue_count;
+            if (issue.rule == "unused-allow")
+                ++warn_count;
+            else
+                ++issue_count;
         }
     }
 
     std::cerr << "ef_lint: " << files.size() << " files, "
-              << issue_count << " issue(s)\n";
+              << issue_count << " issue(s)";
+    if (options.warn_unused_allow)
+        std::cerr << ", " << warn_count << " warning(s)";
+    std::cerr << "\n";
     if (file_errors > 0)
         return 2;
     return issue_count > 0 ? 1 : 0;
