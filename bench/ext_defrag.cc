@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Micro benchmarks (google-benchmark) for ef::defrag (DESIGN.md §14):
+ * the cost of one SA planning round over a heavily fragmented 256-GPU
+ * placement, and an end-to-end churn-trace run with background defrag
+ * enabled. Both are also compiled into micro_scheduler_overhead (with
+ * EF_BENCH_NO_MAIN) so repack cost is recorded into BENCH_sched.json
+ * and stays visible in the repo's perf trajectory.
+ */
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cluster/fragmentation.h"
+#include "cluster/placement.h"
+#include "cluster/topology.h"
+#include "common/check.h"
+#include "defrag/defrag.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "workload/perf_model.h"
+#include "workload/trace_gen.h"
+
+namespace ef {
+namespace {
+
+/**
+ * A deliberately fragmented fixture: mixed-size jobs scattered
+ * round-robin across a 256-GPU cluster, so nearly every multi-GPU job
+ * spans more servers than its compact shape needs.
+ */
+struct FragmentedFixture
+{
+    Topology topology;
+    PerfModel perf;
+    PlacementManager placement;
+    std::vector<defrag::DefragJob> jobs;
+
+    FragmentedFixture()
+        : topology(TopologySpec::with_total_gpus(256)),
+          perf(&topology),
+          placement(&topology)
+    {
+        const GpuCount sizes[] = {2, 4, 8, 4};
+        JobId id = 0;
+        for (int i = 0; i < 48; ++i) {
+            GpuCount size = sizes[i % 4];
+            if (!placement.place(id, size, PlacementStrategy::kScatter,
+                                 false).ok)
+                break;
+            jobs.push_back({id, DnnModel::kResNet50, 256});
+            ++id;
+        }
+        EF_CHECK_MSG(jobs.size() >= 40u, "bench fixture underfilled");
+    }
+};
+
+/** One full SA planning round (max_steps proposals plus the concrete
+ *  GPU-id materialization of the winning batch) on the fragmented
+ *  256-GPU fixture. Moves are planned, never applied, so every
+ *  iteration searches the same placement. */
+void
+BM_DefragPlanRound(benchmark::State &state)
+{
+    FragmentedFixture fx;
+    defrag::DefragConfig config;
+    config.enabled = true;
+    config.budget_units_per_round = 64.0;
+    config.max_steps = static_cast<int>(state.range(0));
+    config.governor = {1000.0, 1000.0, kTimeInfinity};
+
+    defrag::Defragmenter defrag(config, &fx.topology, &fx.perf);
+    Time now = 0.0;
+    double gain = 0.0;
+    int moves = 0;
+    for (auto _ : state) {
+        now += 1.0;
+        EF_CHECK_MSG(defrag.try_begin_round(now),
+                     "bench governor starved a round");
+        defrag::DefragPlan plan = defrag.plan_round(fx.placement,
+                                                    fx.jobs);
+        benchmark::DoNotOptimize(plan);
+        gain = plan.objective_before - plan.objective_after;
+        moves = static_cast<int>(plan.moves.size());
+    }
+    state.counters["objective_gain"] = gain;
+    state.counters["moves_planned"] = moves;
+}
+BENCHMARK(BM_DefragPlanRound)
+    ->Arg(100)
+    ->Arg(400)
+    ->Unit(benchmark::kMicrosecond);
+
+/** End-to-end churn run (64 GPUs, 60 jobs, tiresias) with background
+ *  defrag: the full price of governor-gated repacking inside the
+ *  planning loop, with the fragmentation win recorded as counters. */
+void
+BM_DefragChurnEndToEnd(benchmark::State &state)
+{
+    static const Trace kTrace = [] {
+        TraceGenConfig gen = churn_preset();
+        gen.num_jobs = 60;
+        return TraceGenerator::generate(gen);
+    }();
+
+    SimConfig config;
+    config.defrag.enabled = state.range(0) != 0;
+
+    RunResult result;
+    for (auto _ : state) {
+        auto scheduler = make_scheduler("tiresias");
+        Simulator sim(kTrace, scheduler.get(), config);
+        result = sim.run();
+        benchmark::DoNotOptimize(result.state_hash);
+    }
+    state.counters["defrag_moves"] =
+        static_cast<double>(result.defrag_moves);
+    state.counters["frag_avg_pct"] = 100.0 * average_fragmentation(result);
+    state.counters["span_excess_avg"] = average_span_excess(result);
+    state.counters["deadline_pct"] = 100.0 * result.deadline_ratio();
+}
+BENCHMARK(BM_DefragChurnEndToEnd)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ef
+
+#ifndef EF_BENCH_NO_MAIN
+/** Same custom main as micro_scheduler_overhead: record the build type
+ *  of the ef libraries under measurement (`ef_build_type`), which the
+ *  release-baseline guard gates on. */
+int
+main(int argc, char **argv)
+{
+#ifdef NDEBUG
+    benchmark::AddCustomContext("ef_build_type", "release");
+#else
+    benchmark::AddCustomContext("ef_build_type", "debug");
+#endif
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+#endif  // EF_BENCH_NO_MAIN

@@ -43,6 +43,7 @@
 #include "sched/scheduler.h"
 #include "serve/service.h"
 #include "serve/stream.h"
+#include "sim/report.h"
 #include "sim/simulator.h"
 #include "workload/trace_gen.h"
 #include "workload/trace_io.h"
@@ -66,7 +67,10 @@ usage()
         << "            [--planner-shards N] [--planner-threads N]\n"
         << "            [--trace-out FILE.json] [--metrics-out FILE]\n"
         << "            [--journal-dir DIR] [--snapshot-every N]\n"
-        << "            [--recover]\n"
+        << "            [--recover] [--report-out PREFIX]\n"
+        << "            [--defrag] [--defrag-budget UNITS]\n"
+        << "            [--defrag-steps N] [--defrag-interval S]\n"
+        << "            [--defrag-seed N]\n"
         << "            [--log-level debug|info|warn|error]\n"
         << "            [--service]\n"
         << "  run_trace --service --arrival-rate JOBS_PER_S "
@@ -75,7 +79,7 @@ usage()
         << "            [--fault-script FILE] [--fault-seed N]\n"
         << "            [--rpc-drop PROB] [--metrics-out FILE]\n"
         << "  run_trace --generate <preset> <out.csv>\n"
-        << "presets: testbed-small, testbed-large, philly, "
+        << "presets: testbed-small, testbed-large, philly, churn, "
         << "cluster1..cluster10\nschedulers:";
     for (const std::string &name : all_scheduler_names())
         std::cerr << " " << name;
@@ -92,6 +96,8 @@ preset_by_name(const std::string &name)
         return testbed_large_preset();
     if (name == "philly")
         return philly_preset();
+    if (name == "churn")
+        return churn_preset();
     if (name.rfind("cluster", 0) == 0)
         return cluster_preset(std::stoi(name.substr(7)));
     EF_FATAL_IF(true, "unknown preset '" << name << "'");
@@ -244,6 +250,7 @@ main(int argc, char **argv)
     std::uint64_t stream_seed = 1;
     std::string trace_out;
     std::string metrics_out;
+    std::string report_out;
     SimConfig sim_config;
     for (int i = first_flag; i < argc; ++i) {
         std::string arg = argv[i];
@@ -312,6 +319,21 @@ main(int argc, char **argv)
             sim_config.durability.snapshot_every = std::stoull(next());
         } else if (arg == "--recover") {
             sim_config.durability.recover = true;
+        } else if (arg == "--defrag") {
+            sim_config.defrag.enabled = true;
+        } else if (arg == "--defrag-budget") {
+            sim_config.defrag.enabled = true;
+            sim_config.defrag.budget_units_per_round =
+                std::stod(next());
+        } else if (arg == "--defrag-steps") {
+            sim_config.defrag.max_steps = std::stoi(next());
+        } else if (arg == "--defrag-interval") {
+            sim_config.defrag.governor.rounds_per_second =
+                1.0 / std::stod(next());
+        } else if (arg == "--defrag-seed") {
+            sim_config.defrag.seed = std::stoull(next());
+        } else if (arg == "--report-out") {
+            report_out = next();
         } else if (arg == "--trace-out") {
             trace_out = next();
         } else if (arg == "--metrics-out") {
@@ -416,6 +438,10 @@ main(int argc, char **argv)
         out << registry.text_dump();
         std::cout << "wrote metrics to " << metrics_out << "\n";
     }
+    if (!report_out.empty()) {
+        save_run_report(report_out, result);
+        std::cout << "wrote report files to " << report_out << ".*\n";
+    }
 
     std::cout << summarize(result) << "\n\n";
     ConsoleTable table({"metric", "value"});
@@ -457,6 +483,20 @@ main(int argc, char **argv)
                        std::to_string(result.ckpt_failures)});
         table.add_row({"SLO demotions",
                        std::to_string(result.slo_demotions)});
+    }
+    table.add_row({"fragmentation (avg/final)",
+                   format_double(average_fragmentation(result), 3) +
+                       "/" +
+                       format_double(final_fragmentation(result), 3)});
+    table.add_row({"span excess (avg/final)",
+                   format_double(average_span_excess(result), 1) + "/" +
+                       format_double(final_span_excess(result), 1)});
+    if (sim_config.defrag.enabled) {
+        table.add_row({"defrag rounds/moves",
+                       std::to_string(result.defrag_rounds) + "/" +
+                           std::to_string(result.defrag_moves)});
+        table.add_row({"defrag budget spent",
+                       format_double(result.defrag_budget_spent, 1)});
     }
     if (sim_config.service.enabled) {
         table.add_row({"service rounds (forced)",

@@ -116,6 +116,16 @@ class PlacementManager
                            PlacementStrategy strategy,
                            bool allow_migration);
 
+    /**
+     * Atomically relocate a batch of placed jobs (background
+     * defragmentation commit path). Every move's `from` must match the
+     * job's current GPUs and every `to` must keep the job's size; the
+     * union of targets may only reuse GPUs freed by the batch itself.
+     * All moved jobs are released first, then reassigned, so circular
+     * exchanges (swaps) commit in one step. Validates on completion.
+     */
+    void apply_moves(const std::vector<Migration> &moves);
+
     /** Free all GPUs of a placed job. */
     void release(JobId job);
 

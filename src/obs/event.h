@@ -85,6 +85,10 @@ enum class EventKind {
     kRecoveryBegin,   ///< snapshot loaded; a = journal records read,
                       ///< b = round commits to replay
     kRecoveryEnd,     ///< recovery verified; a = rounds replayed
+
+    // --- background defrag (DESIGN.md §14) -------------------------------
+    kDefragRound,     ///< SA round done; a = moves committed,
+                      ///< b = proposals evaluated, x = objective gain
 };
 
 /** Stable lowercase name (Chrome-trace event names, tests, dumps). */

@@ -42,6 +42,7 @@ event_kind_name(EventKind kind)
       case EventKind::kShardPlan: return "shard_plan";
       case EventKind::kRecoveryBegin: return "recovery_begin";
       case EventKind::kRecoveryEnd: return "recovery_end";
+      case EventKind::kDefragRound: return "defrag_round";
     }
     return "?";
 }

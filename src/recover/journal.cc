@@ -41,6 +41,8 @@ record_kind_name(RecordKind kind)
         return "fault";
     case RecordKind::kAdvance:
         return "advance";
+    case RecordKind::kDefrag:
+        return "defrag";
     }
     return "unknown";
 }

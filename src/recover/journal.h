@@ -54,6 +54,8 @@ enum class RecordKind : std::uint8_t {
     kFault = 5,
     /** An explicit external clock advance (serve mode only). */
     kAdvance = 6,
+    /** A committed background-defrag move batch (DESIGN.md §14). */
+    kDefrag = 7,
 };
 
 /** Stable lowercase name ("round-commit", ...) for diagnostics. */

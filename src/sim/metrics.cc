@@ -103,6 +103,50 @@ RunResult::total_gpu_seconds() const
     return total;
 }
 
+namespace {
+
+double
+series_average(const StepSeries &series, Time horizon)
+{
+    if (series.empty() || horizon <= 0.0)
+        return 0.0;
+    return series.time_average(0.0, horizon);
+}
+
+double
+series_final(const StepSeries &series)
+{
+    if (series.empty())
+        return 0.0;
+    return series.values().back();
+}
+
+}  // namespace
+
+double
+average_fragmentation(const RunResult &result)
+{
+    return series_average(result.buddy_fragmentation, result.makespan);
+}
+
+double
+final_fragmentation(const RunResult &result)
+{
+    return series_final(result.buddy_fragmentation);
+}
+
+double
+average_span_excess(const RunResult &result)
+{
+    return series_average(result.span_excess, result.makespan);
+}
+
+double
+final_span_excess(const RunResult &result)
+{
+    return series_final(result.span_excess);
+}
+
 std::string
 summarize(const RunResult &result)
 {

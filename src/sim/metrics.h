@@ -65,6 +65,10 @@ struct RunResult
     StepSeries cluster_efficiency;  ///< Eq. 8 over time (Fig. 10)
     StepSeries submitted_jobs;      ///< cumulative submissions (Fig. 7b)
     StepSeries admitted_jobs;       ///< cumulative admissions (Fig. 7b)
+    /** Buddy external fragmentation sampled at every replan (§3.2). */
+    StepSeries buddy_fragmentation;
+    /** Total cross-server span excess over placed jobs, same cadence. */
+    StepSeries span_excess;
 
     Time makespan = 0.0;  ///< last completion time
     int replan_failures = 0;
@@ -104,6 +108,14 @@ struct RunResult
     /** Peak service-queue depth (never exceeds the watermark). */
     std::size_t max_service_queue_depth = 0;
 
+    // --- background defrag (all 0 unless SimConfig::defrag enabled) -----
+    /** Governor-funded SA rounds planned (including empty ones). */
+    int defrag_rounds = 0;
+    /** Relocations committed by defrag rounds. */
+    int defrag_moves = 0;
+    /** Migration-cost budget units spent across all rounds. */
+    double defrag_budget_spent = 0.0;
+
     // --- determinism audit ----------------------------------------------
     /**
      * Chained FNV-1a digest of Simulator::state_hash() sampled at
@@ -138,6 +150,15 @@ struct RunResult
     /** Total GPU-seconds consumed by all jobs. */
     double total_gpu_seconds() const;
 };
+
+/** Time-averaged buddy external fragmentation over [0, makespan]. */
+double average_fragmentation(const RunResult &result);
+/** Buddy external fragmentation at the end of the run. */
+double final_fragmentation(const RunResult &result);
+/** Time-averaged total cross-server span excess over [0, makespan]. */
+double average_span_excess(const RunResult &result);
+/** Total cross-server span excess at the end of the run. */
+double final_span_excess(const RunResult &result);
 
 /** One-line human-readable summary for logs and benches. */
 std::string summarize(const RunResult &result);

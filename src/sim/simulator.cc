@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cluster/fragmentation.h"
 #include "common/check.h"
 #include "common/hash.h"
 #include "common/logging.h"
@@ -23,6 +24,7 @@ const std::vector<double> kQueueDepthEdges = {0,  1,  2,   4,  8,
                                               16, 32, 64, 128, 256};
 const std::vector<double> kFragmentationEdges = {0.0, 0.05, 0.1, 0.2,
                                                  0.4, 0.6,  0.8};
+const std::vector<double> kSpanExcessEdges = {0, 1, 2, 4, 8, 16, 32};
 const std::vector<double> kReplanIntervalEdges = {
     1.0, 10.0, 60.0, 300.0, 600.0, 1800.0, 3600.0, 7200.0};
 const std::vector<double> kResizeEdges = {0, 1, 2, 4, 8, 16, 32, 64};
@@ -178,6 +180,13 @@ Simulator::Simulator(const Trace &trace, Scheduler *scheduler,
                     "service mode needs queue_watermark >= 1");
         service_governor_ = std::make_unique<serve::ReplanGovernor>(
             config_.service.governor);
+    }
+    // A zero budget stays null on purpose: such a run must be
+    // byte-identical to a defrag-disabled one (DESIGN.md §14).
+    if (config_.defrag.enabled &&
+        config_.defrag.budget_units_per_round > 0.0) {
+        defrag_ = std::make_unique<defrag::Defragmenter>(
+            config_.defrag, &topology_, &perf_);
     }
 }
 
@@ -529,6 +538,7 @@ void
 Simulator::record_timelines()
 {
     result_.used_gpus.record(now_, placement_.used_gpus());
+    record_fragmentation();
     if (!config_.record_efficiency)
         return;
     double ce = 0.0;
@@ -868,6 +878,11 @@ Simulator::state_hash() const
     // divergence even before it changes any allocation.
     if (fault_ != nullptr)
         h.u64(fault_->state_fingerprint());
+    // Background defrag: SA cursor, governor bucket, budget ledger and
+    // accepted-move log (null — and absent from the digest — when
+    // disabled or budget-zero, keeping those runs byte-identical).
+    if (defrag_ != nullptr)
+        h.u64(defrag_->fingerprint());
     return h.digest();
 }
 
@@ -907,6 +922,7 @@ Simulator::config_fingerprint() const
     h.str(result_.scheduler_name);
     h.byte(config_.service.enabled ? 1 : 0);
     h.byte(fault_ != nullptr ? 1 : 0);
+    h.byte(defrag_ != nullptr ? 1 : 0);
     h.f64(config_.max_time);
     return h.digest();
 }
@@ -998,6 +1014,14 @@ Simulator::encode_state(recover::Encoder *enc) const
     } else {
         enc->boolean(false);
     }
+    // Background defrag: SA stream, governor bucket, budget ledger,
+    // accepted-move log.
+    if (defrag_ != nullptr) {
+        enc->boolean(true);
+        defrag_->encode_state(enc);
+    } else {
+        enc->boolean(false);
+    }
     // Scheduler-internal cross-round state (policy-owned blob).
     std::string blob;
     scheduler_->encode_recovery_state(&blob);
@@ -1015,6 +1039,8 @@ Simulator::encode_state(recover::Encoder *enc) const
     serve::encode_step_series(enc, result_.cluster_efficiency);
     serve::encode_step_series(enc, result_.submitted_jobs);
     serve::encode_step_series(enc, result_.admitted_jobs);
+    serve::encode_step_series(enc, result_.buddy_fragmentation);
+    serve::encode_step_series(enc, result_.span_excess);
     enc->f64(result_.makespan);
     enc->i64(result_.placement_failures);
     enc->i64(result_.replans_attempted);
@@ -1031,6 +1057,9 @@ Simulator::encode_state(recover::Encoder *enc) const
     enc->i64(result_.service_rounds_forced);
     enc->i64(result_.service_degraded);
     enc->u64(result_.max_service_queue_depth);
+    enc->i64(result_.defrag_rounds);
+    enc->i64(result_.defrag_moves);
+    enc->f64(result_.defrag_budget_spent);
     enc->u64(result_.state_hash);
     enc->u64(result_.state_hash_samples);
 }
@@ -1197,6 +1226,14 @@ Simulator::decode_state(recover::Decoder *dec)
             return corrupt;
         fault_->restore_state(state);
     }
+    bool has_defrag = false;
+    if (!dec->boolean(&has_defrag) ||
+        has_defrag != (defrag_ != nullptr))
+        return Status::error(ErrorCode::kStateMismatch,
+                             "snapshot defrag mode differs from the "
+                             "running configuration");
+    if (has_defrag && !defrag_->decode_state(dec))
+        return corrupt;
     std::string blob;
     if (!dec->str(&blob))
         return corrupt;
@@ -1230,7 +1267,9 @@ Simulator::decode_state(recover::Decoder *dec)
     if (!serve::decode_step_series(dec, &result_.used_gpus) ||
         !serve::decode_step_series(dec, &result_.cluster_efficiency) ||
         !serve::decode_step_series(dec, &result_.submitted_jobs) ||
-        !serve::decode_step_series(dec, &result_.admitted_jobs))
+        !serve::decode_step_series(dec, &result_.admitted_jobs) ||
+        !serve::decode_step_series(dec, &result_.buddy_fragmentation) ||
+        !serve::decode_step_series(dec, &result_.span_excess))
         return corrupt;
     dec->f64(&result_.makespan);
     std::int64_t counters[14] = {};
@@ -1238,10 +1277,18 @@ Simulator::decode_state(recover::Decoder *dec)
         dec->i64(&c);
     std::uint64_t max_depth = 0;
     dec->u64(&max_depth);
+    std::int64_t defrag_rounds = 0, defrag_moves = 0;
+    double defrag_budget_spent = 0.0;
+    dec->i64(&defrag_rounds);
+    dec->i64(&defrag_moves);
+    dec->f64(&defrag_budget_spent);
     dec->u64(&result_.state_hash);
     dec->u64(&result_.state_hash_samples);
     if (!dec->ok() || !dec->empty())
         return corrupt;
+    result_.defrag_rounds = static_cast<int>(defrag_rounds);
+    result_.defrag_moves = static_cast<int>(defrag_moves);
+    result_.defrag_budget_spent = defrag_budget_spent;
     result_.placement_failures = static_cast<int>(counters[0]);
     result_.replans_attempted = static_cast<int>(counters[1]);
     result_.replans_coalesced = static_cast<int>(counters[2]);
@@ -1605,9 +1652,113 @@ Simulator::flush_replan()
         EF_INFO("job " << id << " demoted to best-effort at "
                        << format_double(now_ / kHour, 2) << " h");
     }
+    // Background defrag runs after the decision is applied, so the
+    // round hash (audit_state below) covers any committed moves and a
+    // journal replay re-executes them deterministically.
+    maybe_defrag();
     record_timelines();
     audit_state();
     arm_tick();
+}
+
+void
+Simulator::maybe_defrag()
+{
+    if (defrag_ == nullptr || !defrag_->try_begin_round(now_))
+        return;
+    // Eligible movers: running jobs currently holding GPUs. jobs_ is
+    // ordered, so the list ascends by id as the planner requires.
+    std::vector<defrag::DefragJob> eligible;
+    for (const auto &[id, job] : jobs_) {
+        if (job->state != JobState::kRunning || job->gpus <= 0 ||
+            !placement_.is_placed(id))
+            continue;
+        defrag::DefragJob dj;
+        dj.id = id;
+        dj.model = job->spec.model;
+        dj.global_batch = job->spec.global_batch;
+        eligible.push_back(dj);
+    }
+    ++result_.defrag_rounds;
+    const defrag::DefragPlan plan =
+        defrag_->plan_round(placement_, eligible);
+    if (!plan.moves.empty()) {
+        // Audit trail: the accepted batch, journaled before it takes
+        // effect (replay regenerates it by re-running the SA round).
+        if (durable_ != nullptr) {
+            recover::Encoder body;
+            body.f64(now_);
+            body.u64(plan.moves.size());
+            for (const Migration &m : plan.moves) {
+                body.i64(m.job);
+                body.u64(m.to.size());
+                for (GpuCount g : m.to)
+                    body.i64(g);
+            }
+            journal_append(recover::RecordKind::kDefrag, body);
+        }
+        placement_.apply_moves(plan.moves);
+        for (const Migration &m : plan.moves) {
+            JobRt &moved = rt(m.job);
+            ++moved.outcome.migrations;
+            charge_pause(moved, overhead_.migration_seconds(
+                                    moved.spec.model, moved.gpus));
+            if (moved.state == JobState::kRunning)
+                refresh_throughput(moved);
+            result_.allocation_log.push_back(
+                AllocationEvent{now_, m.job, m.to});
+            if (obs::tracing()) {
+                obs::TraceEvent alloc{now_,
+                                      obs::EventKind::kAllocChange,
+                                      m.job, moved.gpus};
+                alloc.ids = trace_ids(m.to);
+                obs::emit(alloc);
+                obs::TraceEvent mig{now_, obs::EventKind::kMigration,
+                                    m.job, moved.gpus};
+                mig.ids = trace_ids(m.to);
+                obs::emit(mig);
+            }
+            obs::count("sim.migrations");
+        }
+        result_.defrag_moves += static_cast<int>(plan.moves.size());
+        result_.defrag_budget_spent += plan.cost_units;
+    }
+    if (obs::tracing()) {
+        obs::TraceEvent round{now_, obs::EventKind::kDefragRound,
+                              kInvalidJob,
+                              static_cast<std::int64_t>(
+                                  plan.moves.size()),
+                              static_cast<std::int64_t>(plan.steps)};
+        round.x = plan.objective_before - plan.objective_after;
+        obs::emit(round);
+    }
+    if (obs::metrics() != nullptr) {
+        obs::count("sim.defrag.rounds");
+        obs::gauge_set("sim.defrag.budget_spent_total",
+                       defrag_->budget_spent_units());
+        obs::gauge_set("sim.defrag.moves_total",
+                       static_cast<double>(defrag_->moves_committed()));
+    }
+}
+
+void
+Simulator::record_fragmentation()
+{
+    const FragmentationStats stats = fragmentation_stats(placement_);
+    result_.buddy_fragmentation.record(now_,
+                                       stats.buddy_external_frag);
+    result_.span_excess.record(
+        now_, static_cast<double>(stats.total_span_excess));
+    if (obs::metrics() != nullptr) {
+        obs::gauge_set("sim.buddy_fragmentation_last",
+                       stats.buddy_external_frag);
+        obs::observe("sim.buddy_fragmentation", kFragmentationEdges,
+                     stats.buddy_external_frag);
+        obs::gauge_set("sim.span_excess_last",
+                       static_cast<double>(stats.total_span_excess));
+        obs::observe("sim.span_excess", kSpanExcessEdges,
+                     static_cast<double>(stats.total_span_excess));
+    }
 }
 
 void

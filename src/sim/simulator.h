@@ -26,6 +26,7 @@
 
 #include "cluster/placement.h"
 #include "common/rng.h"
+#include "defrag/defrag.h"
 #include "fault/fault.h"
 #include "recover/log.h"
 #include "sched/scheduler.h"
@@ -151,6 +152,13 @@ struct SimConfig
     int planner_threads = 1;
     /** Crash consistency (snapshot + journal); off by default. */
     DurabilityConfig durability;
+    /**
+     * Background defragmentation (DESIGN.md §14): governor-gated SA
+     * repacking rounds bounded by a migration-cost budget. Disabled —
+     * or enabled with a zero budget — is byte-identical to runs
+     * predating this knob.
+     */
+    defrag::DefragConfig defrag;
 };
 
 /** Lifecycle of a job inside the simulator. */
@@ -272,6 +280,10 @@ class Simulator : public ClusterView
      *  sample). */
     void audit_state(bool terminal = false);
     void apply_decision(const SchedulerDecision &decision);
+    /** Governor-gated background defrag round (DESIGN.md §14). */
+    void maybe_defrag();
+    /** Sample fragmentation gauges/series (always on, defrag or not). */
+    void record_fragmentation();
     void apply_resize(JobRt &job, GpuCount desired);
     void charge_pause(JobRt &job, Time seconds);
     void refresh_throughput(JobRt &job);
@@ -353,6 +365,9 @@ class Simulator : public ClusterView
 
     /** Null unless some fault class is enabled. */
     std::unique_ptr<FaultInjector> fault_;
+    /** Null unless defrag is enabled with a positive budget (a zero
+     *  budget must be byte-identical to defrag disabled). */
+    std::unique_ptr<defrag::Defragmenter> defrag_;
     /** Capacity-affecting fault events so far (ClusterView). */
     std::uint64_t fault_epoch_ = 0;
 

@@ -184,4 +184,32 @@ testbed_large_preset()
     return config;
 }
 
+TraceGenConfig
+churn_preset()
+{
+    TraceGenConfig config;
+    config.name = "churn-64gpu";
+    config.seed = 23;
+    config.topology = TopologySpec::with_total_gpus(64);
+    config.num_jobs = 160;
+    // High arrival rate and bursts: the cluster stays near-full, so
+    // every completion leaves a hole the next arrival rarely fits.
+    config.mean_interarrival_s = 150.0;
+    config.burst_probability = 0.15;
+    config.burst_max_jobs = 8;
+    // Short jobs: exp(7.3) ~ 1500 s, clamped well below the default
+    // multi-day tail, so placements turn over constantly.
+    config.duration_log_mean = 7.3;
+    config.duration_log_sigma = 0.8;
+    config.max_duration_s = 0.5 * kDay;
+    // Mixed small power-of-two sizes; enough 4s and 8s that stranded
+    // odd-sized holes actually hurt.
+    config.gpu_size_weights = {0.25, 0.25, 0.30, 0.20};
+    // Leave deadline headroom and keep best-effort jobs resident so
+    // fragmentation (not admission) dominates the outcome.
+    config.tightness_lo = 0.8;
+    config.best_effort_fraction = 0.3;
+    return config;
+}
+
 }  // namespace ef

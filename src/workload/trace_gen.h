@@ -95,6 +95,15 @@ TraceGenConfig testbed_small_preset();
 /** Fig. 6(b) / Fig. 8(a): 195 jobs on 16 servers x 8 GPUs. */
 TraceGenConfig testbed_large_preset();
 
+/**
+ * Churn-heavy preset for the defrag experiments (DESIGN.md §14):
+ * many short jobs with mixed power-of-two sizes arriving in bursts on
+ * a 64-GPU cluster. Completions keep punching odd-sized holes, so
+ * greedy-only (non-migrating) scheduling demonstrably fragments —
+ * exactly the workload background defragmentation is judged on.
+ */
+TraceGenConfig churn_preset();
+
 }  // namespace ef
 
 #endif  // EF_WORKLOAD_TRACE_GEN_H_
